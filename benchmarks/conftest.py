@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one of the paper's tables or
+figures.  The expensive part - running the evaluation matrix - is
+shared through a session-scoped :class:`ExperimentMatrix`, exactly as
+the paper derives all its figures from one set of simulations.
+
+Scale is controlled with ``--repro-scale`` (accesses per core).  The
+default is chosen so the whole benchmark suite completes in a few
+minutes while keeping the figure shapes stable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import ExperimentMatrix
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-scale",
+        action="store",
+        type=int,
+        default=1500,
+        help="trace length (accesses per core) for figure benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def matrix(request) -> ExperimentMatrix:
+    scale = request.config.getoption("--repro-scale")
+    return ExperimentMatrix(accesses_per_core=scale)
+
+
+def run_once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark.
+
+    Figure regeneration is minutes-scale; repeated rounds would add
+    nothing statistically and blow the time budget.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

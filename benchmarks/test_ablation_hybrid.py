@@ -1,0 +1,77 @@
+"""Ablation: the adaptive Con/Agg hybrid of Section 6.1.5.
+
+The paper stops at *envisioning* a system that dynamically switches
+between Superset Agg (performance) and Superset Con (energy).  This
+bench implements the switch with an energy-budget governor and shows
+the hybrid interpolating between the two pure policies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config import default_machine
+from repro.core.algorithms import build_algorithm
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.profiles import build_workload
+
+SCALE = 1500
+
+
+def run_mode(mode: str, budget_fraction: float = 0.5):
+    workload = build_workload("specweb", accesses_per_core=SCALE)
+    machine = default_machine(
+        algorithm="superset_hybrid",
+        cores_per_cmp=workload.cores_per_cmp,
+    )
+    if mode == "hybrid":
+        algorithm = build_algorithm("superset_hybrid")
+        # First run Agg to size the budget.
+        agg = run_mode("superset_agg")
+        budget = agg.total_energy * budget_fraction
+
+        holder = {}
+
+        def pressed() -> bool:
+            system = holder.get("system")
+            return system is not None and system.energy.total > budget
+
+        algorithm.set_energy_pressure(pressed)
+        system = RingMultiprocessor(
+            machine, algorithm, workload, warmup_fraction=0.3
+        )
+        holder["system"] = system
+        return system.run()
+    algorithm = build_algorithm(mode)
+    system = RingMultiprocessor(
+        machine, algorithm, workload, warmup_fraction=0.3
+    )
+    return system.run()
+
+
+def test_hybrid_interpolates(benchmark):
+    def build():
+        return {
+            mode: run_mode(mode)
+            for mode in ("superset_agg", "hybrid", "superset_con")
+        }
+
+    results = run_once(benchmark, build)
+    agg = results["superset_agg"]
+    con = results["superset_con"]
+    hybrid = results["hybrid"]
+
+    print()
+    print("%-14s %12s %14s" % ("mode", "exec", "energy (nJ)"))
+    for mode, result in results.items():
+        print(
+            "%-14s %12d %14.0f" % (mode, result.exec_time,
+                                   result.total_energy)
+        )
+
+    # Energy: hybrid lands between Con and Agg (within noise).
+    assert hybrid.total_energy <= agg.total_energy * 1.02
+    assert hybrid.total_energy >= con.total_energy * 0.98
+    # Execution time: hybrid no slower than Con (within noise).
+    assert hybrid.exec_time <= con.exec_time * 1.03

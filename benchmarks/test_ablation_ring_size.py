@@ -1,0 +1,120 @@
+"""Ablation: ring-size scaling (4 to 16 CMPs).
+
+The paper positions embedded-ring snooping as appropriate for
+medium-range machines and notes it is "not highly scalable".  This
+bench quantifies that: Lazy's snoop latency grows with N (a snoop per
+hop), so the gap between Lazy and the filtered algorithms widens with
+ring size, while Eager's energy overhead stays ~2x at any N.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config import DataNetworkConfig, default_machine
+from repro.core.algorithms import build_algorithm
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.synthetic import SharingProfile, generate_workload
+
+TORUS = {4: (2, 2), 8: (4, 2), 16: (4, 4)}
+
+
+def profile_for(num_cmps: int) -> SharingProfile:
+    return SharingProfile(
+        name="scale-%d" % num_cmps,
+        num_cores=num_cmps,
+        cores_per_cmp=1,
+        accesses_per_core=1500,
+        p_shared=0.35,
+        p_cold=0.05,
+        shared_lines=1024,
+        private_lines=1024,
+        write_fraction_shared=0.15,
+        migratory_fraction=0.1,
+        burst_mean=4.0,
+        prewarm_fraction=1.0,
+        zipf_exponent=0.8,
+        private_zipf_exponent=1.2,
+        think_mean=150.0,
+        seed=5,
+    )
+
+
+def run(algorithm_name: str, num_cmps: int):
+    workload = generate_workload(profile_for(num_cmps))
+    machine = default_machine(
+        algorithm=algorithm_name,
+        num_cmps=num_cmps,
+        cores_per_cmp=1,
+        data_network=DataNetworkConfig(torus_shape=TORUS[num_cmps]),
+    )
+    system = RingMultiprocessor(
+        machine, build_algorithm(algorithm_name), workload,
+        warmup_fraction=0.3,
+    )
+    return system.run()
+
+
+def test_ring_size_scaling(benchmark):
+    def build():
+        table = {}
+        for n in (4, 8, 16):
+            table[n] = {
+                name: run(name, n)
+                for name in ("lazy", "eager", "superset_con")
+            }
+        return table
+
+    table = run_once(benchmark, build)
+
+    print()
+    print("%4s %18s %18s %16s" % (
+        "N", "Lazy snoops/req", "Con snoops/req", "Eager E vs Lazy"))
+    for n, row in table.items():
+        print(
+            "%4d %18.2f %18.2f %15.2fx"
+            % (
+                n,
+                row["lazy"].stats.snoops_per_read_request,
+                row["superset_con"].stats.snoops_per_read_request,
+                row["eager"].total_energy / row["lazy"].total_energy,
+            )
+        )
+
+    # Lazy's snoop count grows with the ring; the filtered algorithm's
+    # grows far slower.
+    lazy_growth = (
+        table[16]["lazy"].stats.snoops_per_read_request
+        / table[4]["lazy"].stats.snoops_per_read_request
+    )
+    con_growth = (
+        table[16]["superset_con"].stats.snoops_per_read_request
+        / max(table[4]["superset_con"].stats.snoops_per_read_request,
+              1e-9)
+    )
+    assert lazy_growth > 2.0
+    assert con_growth < lazy_growth
+
+    # Eager's energy overhead is ~2x at every size.
+    for n, row in table.items():
+        ratio = row["eager"].total_energy / row["lazy"].total_energy
+        assert 1.4 < ratio < 2.2, n
+
+
+def test_latency_grows_linearly_for_lazy(benchmark):
+    def build():
+        return {
+            n: run("lazy", n).stats.mean_supplier_latency
+            for n in (4, 8, 16)
+        }
+
+    latency = run_once(benchmark, build)
+    print()
+    print("Lazy mean supplier latency by ring size:", {
+        n: round(v) for n, v in latency.items()})
+    # Supplier distance scales with N/2, each hop pays hop+snoop.
+    assert latency[8] > latency[4] * 1.5
+    assert latency[16] > latency[8] * 1.5

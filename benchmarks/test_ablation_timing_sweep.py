@@ -1,0 +1,92 @@
+"""Ablation: technology-trend sweep of the snoop-time / hop-latency
+ratio.
+
+The paper's introduction argues the problem gets worse as technology
+advances: "long latencies are less tolerable to multi-GHz
+processors".  Lazy pays one snoop *per hop*, so its disadvantage
+scales with the snoop time; the forwarding algorithms pay one snoop
+*total*.  This bench sweeps the snoop time around the paper's
+55-cycle point and locates the trend: the Lazy-to-SupersetAgg gap
+widens monotonically with snoop cost, and collapses when snoops are
+nearly free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config import RingConfig, default_machine
+from repro.core.algorithms import build_algorithm
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.profiles import build_workload
+
+SNOOP_TIMES = (5, 25, 55, 110)
+
+
+def run(algorithm_name: str, snoop_time: int):
+    workload = build_workload("splash2", accesses_per_core=800)
+    machine = default_machine(
+        algorithm=algorithm_name,
+        cores_per_cmp=workload.cores_per_cmp,
+    )
+    machine = machine.replace(
+        ring=dataclasses.replace(machine.ring, snoop_time=snoop_time)
+    )
+    system = RingMultiprocessor(
+        machine,
+        build_algorithm(algorithm_name),
+        workload,
+        warmup_fraction=0.3,
+    )
+    return system.run()
+
+
+def test_snoop_time_sweep(benchmark):
+    def build():
+        table = {}
+        for snoop_time in SNOOP_TIMES:
+            lazy = run("lazy", snoop_time)
+            agg = run("superset_agg", snoop_time)
+            table[snoop_time] = {
+                "gap": 1 - agg.exec_time / lazy.exec_time,
+                "lazy_latency": lazy.stats.mean_supplier_latency,
+                "agg_latency": agg.stats.mean_supplier_latency,
+            }
+        return table
+
+    table = run_once(benchmark, build)
+
+    print()
+    print(
+        "%10s %12s %16s %16s"
+        % ("snoop cyc", "Agg gap", "Lazy supl. lat", "Agg supl. lat")
+    )
+    for snoop_time, row in table.items():
+        print(
+            "%10d %11.1f%% %16.1f %16.1f"
+            % (
+                snoop_time,
+                100 * row["gap"],
+                row["lazy_latency"],
+                row["agg_latency"],
+            )
+        )
+
+    gaps = [table[s]["gap"] for s in SNOOP_TIMES]
+    # The gap widens monotonically with snoop cost.
+    assert gaps == sorted(gaps)
+    # Nearly-free snoops: filtering buys almost nothing.
+    assert gaps[0] < 0.05
+    # Expensive snoops: the paper's problem statement in full force.
+    assert gaps[-1] > gaps[2] > 0.05
+
+    # Mechanism check: Lazy's supplier latency grows with snoop time
+    # about N/2 times faster than Agg's.
+    lazy_growth = (
+        table[110]["lazy_latency"] - table[5]["lazy_latency"]
+    )
+    agg_growth = table[110]["agg_latency"] - table[5]["agg_latency"]
+    assert lazy_growth > 2.5 * agg_growth

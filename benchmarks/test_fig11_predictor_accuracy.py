@@ -1,0 +1,72 @@
+"""Figure 11: Supplier Predictor accuracy breakdown (true/false
+positives/negatives), including the perfect-predictor reference.
+
+Shape assertions (the paper's findings):
+
+* The perfect predictor makes roughly four negative predictions per
+  positive one on the sharing-heavy workloads (the supplier is found
+  about five nodes out); on SPECjbb there is rarely a supplier at all.
+* Subset predictors have no false positives; their false negatives
+  shrink as the predictor grows and practically disappear at 8k.
+* Superset predictors have no false negatives; false positives are
+  significant (tens of percent) and hard to eliminate.
+* Exact predictors have neither, but downgrades depress their
+  true-positive fraction relative to the perfect predictor, more so
+  for smaller predictors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import format_accuracy_table
+
+
+def test_fig11(benchmark, matrix):
+    table = run_once(benchmark, matrix.fig11_accuracy)
+    print()
+    print(format_accuracy_table(table))
+
+    perfect = table["Perfect"]
+    # Perfect predictor: only true outcomes.
+    for workload, frac in perfect.items():
+        assert frac["false_positive"] == 0.0
+        assert frac["false_negative"] == 0.0
+
+    # Supplier found ~5 hops away on the sharing-heavy workloads:
+    # about 3-6 true negatives per true positive.
+    for workload in ("splash2", "specweb"):
+        frac = perfect[workload]
+        ratio = frac["true_negative"] / frac["true_positive"]
+        assert 2.5 < ratio < 8.0, (workload, ratio)
+    # SPECjbb rarely has a supplier.
+    assert perfect["specjbb"]["true_positive"] < 0.05
+
+    # Subset: no false positives; false negatives shrink with size.
+    for label in ("Sub512", "Sub2k", "Sub8k"):
+        for workload, frac in table[label].items():
+            assert frac["false_positive"] == 0.0, (label, workload)
+    assert (
+        table["Sub8k"]["splash2"]["false_negative"]
+        <= table["Sub512"]["splash2"]["false_negative"]
+    )
+    assert table["Sub8k"]["splash2"]["false_negative"] < 0.02
+
+    # Superset: no false negatives; false positives significant.
+    for label in ("SupCy512", "SupCy2k", "SupCn2k"):
+        for workload, frac in table[label].items():
+            assert frac["false_negative"] == 0.0, (label, workload)
+    assert table["SupCy2k"]["splash2"]["false_positive"] > 0.1
+
+    # Exact: exact by construction.
+    for label in ("Exa512", "Exa2k", "Exa8k"):
+        for workload, frac in table[label].items():
+            assert frac["false_positive"] == 0.0
+            assert frac["false_negative"] == 0.0
+    # Downgrades depress the TP fraction of the small Exact predictor
+    # relative to the large one on the cache-to-cache heavy workload.
+    assert (
+        table["Exa512"]["splash2"]["true_positive"]
+        <= table["Exa8k"]["splash2"]["true_positive"] + 1e-9
+    )

@@ -1,0 +1,78 @@
+"""Figure 4: the design space of Flexible Snooping algorithms.
+
+Figure 4(b) places each algorithm in a plane of *unloaded snoop
+request latency until the supplier is found* (x) versus *snoop
+operations per request* (y):
+
+* Eager sits at low latency / maximal snoops (top of the Y axis).
+* Lazy sits at high latency / medium snoops (right).
+* Oracle sits at the origin (low latency, one snoop).
+* Subset joins Eager's latency at Lazy-or-more snoops.
+* The Superset pair sits near the origin, Con slightly right of Agg
+  (false positives delay Con's requests) and slightly below it
+  (fewer checked nodes).
+* Exact sits at the origin with Oracle.
+
+This bench reconstructs the chart from measured data (SPLASH-2
+profile) and asserts those placements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+
+WORKLOAD = "splash2"
+
+
+def test_fig4(benchmark, matrix):
+    def collect():
+        points = {}
+        for algorithm in matrix.algorithms:
+            result = matrix.result(algorithm, WORKLOAD)
+            points[algorithm] = (
+                result.stats.mean_supplier_latency,
+                result.stats.snoops_per_read_request,
+            )
+        return points
+
+    points = run_once(benchmark, collect)
+
+    print()
+    print("Figure 4(b): latency-to-supplier (x) vs snoops/request (y)")
+    for algorithm, (latency, snoops) in sorted(
+        points.items(), key=lambda kv: kv[1][0]
+    ):
+        print("  %-14s x=%7.1f  y=%5.2f" % (algorithm, latency, snoops))
+
+    lazy, eager = points["lazy"], points["eager"]
+    oracle, subset = points["oracle"], points["subset"]
+    con, agg = points["superset_con"], points["superset_agg"]
+    exact = points["exact"]
+
+    # Y axis: Eager snoops the most; Oracle/Exact the least.
+    assert eager[1] == max(p[1] for p in points.values())
+    assert oracle[1] <= min(lazy[1], eager[1], subset[1], con[1],
+                            agg[1])
+
+    # X axis: Lazy has the worst latency-to-supplier by far.
+    assert lazy[0] == max(p[0] for p in points.values())
+    assert lazy[0] > 1.5 * eager[0]
+
+    # Eager, Oracle, Subset and Agg share the low-latency column.
+    for name in ("oracle", "subset", "superset_agg"):
+        assert points[name][0] == pytest.approx(eager[0], rel=0.25), name
+
+    # Superset Con sits to the right of Agg (FP snoops delay it)...
+    assert con[0] > agg[0]
+    # ...but far left of Lazy.
+    assert con[0] < 0.7 * lazy[0]
+
+    # Subset snoops at least as much as Lazy; the Supersets much less.
+    assert subset[1] >= lazy[1] * 0.9
+    assert agg[1] < 0.8 * lazy[1]
+
+    # Exact hugs the Oracle corner.
+    assert exact[0] == pytest.approx(oracle[0], rel=0.2)
+    assert exact[1] == pytest.approx(oracle[1], abs=0.2)

@@ -1,0 +1,44 @@
+"""Figure 7: total read snoop requests and replies on the ring,
+normalized to Lazy.
+
+Shape assertions (the paper's findings):
+
+* Eager generates nearly twice Lazy's messages (request + reply on
+  every segment except the first).
+* Superset Con and Exact stay at Lazy's single combined message.
+* Oracle stays at one message.
+* Subset and Superset Agg fall between Lazy and Eager.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import format_by_workload
+
+
+def test_fig7(benchmark, matrix):
+    table = run_once(benchmark, matrix.fig7_read_messages)
+    print()
+    print(
+        format_by_workload(
+            "Figure 7: ring read messages (normalized to Lazy)",
+            table,
+            fmt="%6.3f",
+        )
+    )
+
+    for workload, row in table.items():
+        assert row["lazy"] == 1.0
+        # Eager nearly doubles the traffic.
+        assert 1.6 < row["eager"] <= 2.1, workload
+        # Single-message algorithms track Lazy closely.
+        for name in ("superset_con", "exact", "oracle"):
+            assert row[name] == pytest.approx(1.0, abs=0.1), (
+                workload,
+                name,
+            )
+        # Split-capable algorithms sit between Lazy and Eager.
+        for name in ("subset", "superset_agg"):
+            assert 1.0 < row[name] <= row["eager"] + 0.05, (workload, name)

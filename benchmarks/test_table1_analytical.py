@@ -1,0 +1,53 @@
+"""Table 1: analytical characterization of Lazy, Eager and Oracle.
+
+Regenerates the paper's Table 1 rows (snoop request latency, average
+snoop operations per request, average messages per request) from the
+closed-form models, and validates each entry against the paper's
+expressions: Lazy ~ (N-1)/2 ~ N/2 snoops and 1 message, Eager N-1
+snoops and ~2 messages, Oracle 1 snoop and 1 message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analytical import AnalyticalParams, table1
+from benchmarks.conftest import run_once
+
+N = 8
+
+
+def build_table():
+    return table1(AnalyticalParams(num_nodes=N))
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, build_table)
+
+    print()
+    print("Table 1 (N = %d, supplier always present)" % N)
+    print(
+        "%-8s %18s %14s %12s"
+        % ("", "latency (cycles)", "snoops/request", "msgs/request")
+    )
+    for name, row in rows.items():
+        print(
+            "%-8s %18.1f %14.2f %12.2f"
+            % (name, row["latency"], row["snoops"], row["messages"])
+        )
+
+    lazy, eager, oracle = rows["lazy"], rows["eager"], rows["oracle"]
+
+    # Snoops: Lazy ~ half the ring, Eager all N-1, Oracle exactly 1.
+    assert lazy["snoops"] == pytest.approx(N / 2)
+    assert eager["snoops"] == N - 1
+    assert oracle["snoops"] == 1.0
+
+    # Messages: Lazy and Oracle 1; Eager just under 2.
+    assert lazy["messages"] == 1.0
+    assert oracle["messages"] == 1.0
+    assert eager["messages"] == pytest.approx(2.0 - 1.0 / N)
+
+    # Latency: Lazy high (snoop on every hop), Eager == Oracle low.
+    assert lazy["latency"] > eager["latency"]
+    assert eager["latency"] == oracle["latency"]

@@ -1,0 +1,99 @@
+"""Table 3: analytical characterization of the Flexible Snooping
+algorithms (Subset, Superset Con, Superset Agg, Exact).
+
+Regenerates the table at representative predictor quality points and
+asserts its qualitative content: the latency column (low for all but
+Superset Con, which is medium), the snoop column (Lazy + a*FN for
+Subset, 1 + a*FP for the Supersets, 1 for Exact), and the message
+column (1 for Con/Exact, 1-2 for Subset/Agg).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.analytical import (
+    AnalyticalParams,
+    expected_latency,
+    expected_messages,
+    expected_snoops,
+    snoops_lazy,
+    table3,
+)
+from benchmarks.conftest import run_once
+
+N = 8
+
+
+def build_table():
+    # Moderate predictor imperfection, as measured in Figure 11.
+    params = AnalyticalParams(num_nodes=N, fn=0.05, fp=0.25)
+    return params, table3(params)
+
+
+def test_table3(benchmark):
+    params, rows = run_once(benchmark, build_table)
+
+    print()
+    print(
+        "Table 3 (N = %d, fn = %.2f, fp = %.2f)"
+        % (N, params.fn, params.fp)
+    )
+    print(
+        "%-14s %18s %14s %12s"
+        % ("", "latency (cycles)", "snoops/request", "msgs/request")
+    )
+    for name, row in rows.items():
+        print(
+            "%-14s %18.1f %14.2f %12.2f"
+            % (name, row["latency"], row["snoops"], row["messages"])
+        )
+
+    subset = rows["subset"]
+    con = rows["superset_con"]
+    agg = rows["superset_agg"]
+    exact = rows["exact"]
+
+    # Snoops column.
+    assert subset["snoops"] > snoops_lazy(params) - 1e-9  # Lazy + a*FN
+    assert con["snoops"] == pytest.approx(1 + params.fp * (N / 2 - 1))
+    assert agg["snoops"] == pytest.approx(1 + params.fp * (N - 2))
+    assert agg["snoops"] > con["snoops"]
+    assert exact["snoops"] == 1.0
+
+    # Messages column: 1 for Con and Exact, 1-2 for Subset and Agg.
+    assert con["messages"] == 1.0
+    assert exact["messages"] == 1.0
+    assert 1.0 < subset["messages"] < 2.0
+    assert 1.0 < agg["messages"] < 2.0
+
+    # Latency column: Superset Con is the only "medium" one.
+    low = {
+        name: rows[name]["latency"]
+        for name in ("subset", "superset_agg", "exact")
+    }
+    for name, value in low.items():
+        assert con["latency"] > value, name
+    # And all are far below Lazy's latency.
+    lazy_latency = expected_latency("lazy", params)
+    assert con["latency"] < lazy_latency
+
+
+def test_table3_degenerate_points(benchmark):
+    """Sanity: with perfect predictors every algorithm collapses to
+    the Oracle point of Table 1."""
+
+    def build():
+        params = AnalyticalParams(num_nodes=N, fn=0.0, fp=0.0)
+        return {
+            name: (
+                expected_snoops(name, params),
+                expected_messages(name, params),
+            )
+            for name in ("superset_con", "superset_agg", "exact")
+        }
+
+    rows = run_once(benchmark, build)
+    for name, (snoops, messages) in rows.items():
+        assert snoops == 1.0, name
+        assert messages <= 2.0 - 1.0 / N

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Algorithm shootout: all seven snooping algorithms on one workload.
+
+Reproduces, at example scale, the paper's main comparison (Section
+6.1): for each algorithm it reports the four evaluation dimensions -
+snoops per request, ring messages, execution time, and snoop-traffic
+energy - normalized to Lazy, plus the raw supplier statistics.
+
+Run:  python examples/algorithm_shootout.py [workload]
+      workload: splash2 (default), specjbb, or specweb
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    RingMultiprocessor,
+    build_algorithm,
+    build_workload,
+    default_machine,
+)
+
+ALGORITHMS = (
+    "lazy",
+    "eager",
+    "oracle",
+    "subset",
+    "superset_con",
+    "superset_agg",
+    "exact",
+)
+
+
+def main() -> None:
+    workload_name = sys.argv[1] if len(sys.argv) > 1 else "splash2"
+    scale = 800 if workload_name == "splash2" else 2000
+    results = {}
+    for name in ALGORITHMS:
+        workload = build_workload(workload_name, accesses_per_core=scale)
+        machine = default_machine(
+            algorithm=name, cores_per_cmp=workload.cores_per_cmp
+        )
+        system = RingMultiprocessor(
+            machine, build_algorithm(name), workload, warmup_fraction=0.3
+        )
+        results[name] = system.run()
+        print("ran %-13s (%d events)" % (name, results[name].events))
+
+    lazy = results["lazy"]
+    print()
+    print("workload: %s  (supplier found for %.0f%% of ring reads)" % (
+        workload_name,
+        100 * lazy.stats.supplier_found_fraction,
+    ))
+    header = "%-14s %9s %9s %9s %9s" % (
+        "algorithm", "snoops", "messages", "time", "energy"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in ALGORITHMS:
+        result = results[name]
+        print(
+            "%-14s %9.2f %9.3f %9.3f %9.3f"
+            % (
+                name,
+                result.stats.snoops_per_read_request,
+                result.stats.read_ring_crossings
+                / max(lazy.stats.read_ring_crossings, 1),
+                result.exec_time / max(lazy.exec_time, 1),
+                result.total_energy / max(lazy.total_energy, 1e-9),
+            )
+        )
+    print()
+    print("(messages, time and energy are normalized to Lazy)")
+
+    agg, eager = results["superset_agg"], results["eager"]
+    con = results["superset_con"]
+    print()
+    print("Headline (Section 6.1.5):")
+    print(
+        "  high-performance pick SupersetAgg: %.3fx Eager's time, "
+        "%.0f%% less energy than Eager"
+        % (
+            agg.exec_time / eager.exec_time,
+            100 * (1 - agg.total_energy / eager.total_energy),
+        )
+    )
+    print(
+        "  energy-efficient pick SupersetCon: %.1f%% slower than "
+        "SupersetAgg, %.0f%% less energy"
+        % (
+            100 * (con.exec_time / agg.exec_time - 1),
+            100 * (1 - con.total_energy / agg.total_energy),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Custom workload: explore how sharing behaviour moves the
+Lazy/Eager/Flexible trade-off.
+
+Sweeps the cache-to-cache transfer rate of a synthetic workload (by
+varying how much of the access stream is shared vs DRAM-bound) and
+shows where each algorithm wins.  This reproduces the intuition behind
+the paper's workload selection: SPECjbb-like (no sharing) workloads
+make filtering trivial, SPLASH-like (heavy sharing) workloads make the
+supplier predictors earn their keep.
+
+Run:  python examples/custom_workload.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    RingMultiprocessor,
+    SharingProfile,
+    build_algorithm,
+    default_machine,
+    generate_workload,
+)
+
+
+def make_profile(p_shared: float, p_cold: float, seed: int = 9):
+    return SharingProfile(
+        name="custom(p_shared=%.2f)" % p_shared,
+        num_cores=8,
+        cores_per_cmp=1,
+        accesses_per_core=2000,
+        p_shared=p_shared,
+        p_cold=p_cold,
+        shared_lines=1024,
+        private_lines=1024,
+        write_fraction_shared=0.15,
+        migratory_fraction=0.1,
+        burst_mean=4.0,
+        prewarm_fraction=1.0,
+        zipf_exponent=0.8,
+        private_zipf_exponent=1.2,
+        think_mean=150.0,
+        seed=seed,
+    )
+
+
+def run(algorithm_name: str, profile: SharingProfile):
+    workload = generate_workload(profile)
+    machine = default_machine(
+        algorithm=algorithm_name, cores_per_cmp=workload.cores_per_cmp
+    )
+    system = RingMultiprocessor(
+        machine, build_algorithm(algorithm_name), workload,
+        warmup_fraction=0.3,
+    )
+    return system.run()
+
+
+def main() -> None:
+    sweep = [
+        (0.05, 0.30),  # SPECjbb-like: almost no sharing, DRAM bound
+        (0.20, 0.15),
+        (0.40, 0.05),  # SPLASH-like: sharing dominates
+    ]
+    header = "%-10s %9s | %28s | %26s" % (
+        "p_shared", "supplier",
+        "snoops/request (L / E / SupC)",
+        "energy vs Lazy (E / SupC)",
+    )
+    print(header)
+    print("-" * len(header))
+    for p_shared, p_cold in sweep:
+        profile = make_profile(p_shared, p_cold)
+        lazy = run("lazy", profile)
+        eager = run("eager", profile)
+        con = run("superset_con", profile)
+        print(
+            "%-10.2f %8.0f%% | %8.2f / %5.2f / %5.2f     | "
+            "%9.2fx / %6.2fx"
+            % (
+                p_shared,
+                100 * lazy.stats.supplier_found_fraction,
+                lazy.stats.snoops_per_read_request,
+                eager.stats.snoops_per_read_request,
+                con.stats.snoops_per_read_request,
+                eager.total_energy / lazy.total_energy,
+                con.total_energy / lazy.total_energy,
+            )
+        )
+    print()
+    print(
+        "More sharing -> suppliers closer -> Lazy snoops less, and the"
+    )
+    print(
+        "Superset predictor filters most of the ring walk either way;"
+    )
+    print("Eager pays ~1.8x energy regardless of the workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Hybrid Con/Agg switching - the adaptive scheme the paper envisions.
+
+Section 6.1.5: "both Superset Con and Superset Agg use the same
+Supplier Predictor.  The only difference is the action taken on a
+positive prediction.  Therefore, we envision an adaptive system where
+the action is chosen dynamically.  Typically, the action would be that
+of Superset Agg.  However, if the system needs to save energy, it
+would use the action of Superset Con."
+
+This example runs the same workload three ways - pure Agg, pure Con,
+and the hybrid driven by a simple battery-style energy budget probe -
+and shows the hybrid landing between the two.
+
+Run:  python examples/hybrid_power_mode.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    RingMultiprocessor,
+    build_algorithm,
+    build_workload,
+    default_machine,
+)
+
+
+class EnergyGovernor:
+    """Toy power manager: flips to energy-saving mode once the run has
+    spent its energy budget, the way a thermal/battery limit would."""
+
+    def __init__(self, budget_nj: float) -> None:
+        self.budget_nj = budget_nj
+        self.system = None
+
+    def attach(self, system: RingMultiprocessor) -> None:
+        self.system = system
+
+    def pressed(self) -> bool:
+        if self.system is None:
+            return False
+        return self.system.energy.total > self.budget_nj
+
+
+def run(mode: str, workload, budget_nj: float = 0.0):
+    machine = default_machine(algorithm="superset_hybrid",
+                              cores_per_cmp=workload.cores_per_cmp)
+    if mode == "hybrid":
+        algorithm = build_algorithm("superset_hybrid")
+        governor = EnergyGovernor(budget_nj)
+        algorithm.set_energy_pressure(governor.pressed)
+    else:
+        algorithm = build_algorithm(mode)
+        governor = None
+    system = RingMultiprocessor(machine, algorithm, workload,
+                                warmup_fraction=0.3)
+    if governor is not None:
+        governor.attach(system)
+    result = system.run()
+    return result, algorithm
+
+
+def main() -> None:
+    workload = build_workload("specweb", accesses_per_core=2500)
+
+    agg_result, _ = run("superset_agg", workload)
+    con_result, _ = run("superset_con", workload)
+    # Budget: half of what pure Agg spends - the governor must switch.
+    budget = agg_result.total_energy * 0.5
+    hybrid_result, hybrid = run("hybrid", workload, budget_nj=budget)
+
+    header = "%-14s %14s %14s %12s" % (
+        "mode", "exec (cyc)", "energy (nJ)", "agg share"
+    )
+    print(header)
+    print("-" * len(header))
+    total_choices = (
+        hybrid.aggressive_choices + hybrid.conservative_choices
+    )
+    rows = [
+        ("superset_agg", agg_result, 1.0),
+        ("hybrid", hybrid_result,
+         hybrid.aggressive_choices / max(total_choices, 1)),
+        ("superset_con", con_result, 0.0),
+    ]
+    for name, result, share in rows:
+        print("%-14s %14d %14.0f %11.0f%%" % (
+            name, result.exec_time, result.total_energy, 100 * share))
+
+    print()
+    print("hybrid switched to conservative mode after spending "
+          "%.0f nJ (budget %.0f nJ)" % (hybrid_result.total_energy,
+                                        budget))
+    assert (
+        con_result.total_energy
+        <= hybrid_result.total_energy * 1.05
+    )
+
+
+if __name__ == "__main__":
+    main()

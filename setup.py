@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-build-isolation`` works on environments
+without the ``wheel`` package (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

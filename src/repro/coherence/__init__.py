@@ -1,0 +1,43 @@
+"""Cache-coherence substrate: line states, caches, and protocol rules.
+
+This package implements the enhanced MESI protocol of Section 2.2 of
+the paper: the usual Invalid (I), Shared (S), Exclusive (E) and Dirty
+(D) states, plus the Global Master (SG) and Local Master (SL)
+qualifiers of the Shared state and the Tagged (T) state used to share
+dirty data.
+"""
+
+from repro.coherence.states import (
+    LineState,
+    SUPPLIER_STATES,
+    LOCAL_MASTER_STATES,
+    CACHED_STATES,
+    is_supplier,
+    is_local_master,
+    compatible,
+)
+from repro.coherence.cache import CacheLine, SetAssociativeCache
+from repro.coherence.protocol import (
+    CoherenceError,
+    ProtocolTables,
+    supplier_next_state_on_read,
+    requester_state_from_cache,
+    requester_state_from_memory,
+)
+
+__all__ = [
+    "LineState",
+    "SUPPLIER_STATES",
+    "LOCAL_MASTER_STATES",
+    "CACHED_STATES",
+    "is_supplier",
+    "is_local_master",
+    "compatible",
+    "CacheLine",
+    "SetAssociativeCache",
+    "CoherenceError",
+    "ProtocolTables",
+    "supplier_next_state_on_read",
+    "requester_state_from_cache",
+    "requester_state_from_memory",
+]

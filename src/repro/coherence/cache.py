@@ -1,0 +1,208 @@
+"""Set-associative cache model with LRU replacement.
+
+The cache tracks line addresses (integers, already divided by the line
+size) and their coherence state.  Data values are modeled as integer
+*versions* so the test suite can check that readers always observe the
+most recent completed write (see ``MachineConfig.track_versions``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.config import CacheConfig
+from repro.coherence.states import LineState, is_dirty, is_supplier
+
+
+@dataclass
+class CacheLine:
+    """One resident cache line.
+
+    Attributes:
+        address: line address (block address, no offset bits).
+        state: coherence state; never ``I`` while resident (invalid
+            lines are simply absent from the cache).
+        version: monotonically increasing data version, used by the
+            optional coherence-correctness checker.
+    """
+
+    address: int
+    state: LineState
+    version: int = 0
+
+
+@dataclass
+class EvictionRecord:
+    """Describes a line evicted to make room for a fill."""
+
+    address: int
+    state: LineState
+    version: int
+    dirty: bool = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.dirty = is_dirty(self.state)
+
+
+class SetAssociativeCache:
+    """An LRU set-associative cache keyed by line address.
+
+    ``on_state_loss`` is invoked whenever a line leaves the cache or is
+    invalidated/downgraded out of a supplier state; the supplier
+    predictors subscribe to it to stay synchronized with the cache
+    (Section 4.3.1: "when any of these lines is evicted or invalidated,
+    the hardware removes the address from the Supplier Predictor").
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        on_state_loss: Optional[Callable[[int], None]] = None,
+        on_state_gain: Optional[Callable[[int], None]] = None,
+        on_line_added: Optional[Callable[[int], None]] = None,
+        on_line_removed: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.config = config
+        self._sets: List["OrderedDict[int, CacheLine]"] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._on_state_loss = on_state_loss
+        self._on_state_gain = on_state_gain
+        self._on_line_added = on_line_added
+        self._on_line_removed = on_line_removed
+        self.fills = 0
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+
+    def _set_for(self, address: int) -> "OrderedDict[int, CacheLine]":
+        return self._sets[address % self.config.num_sets]
+
+    def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
+        """Return the resident line, updating LRU order on a hit."""
+        cache_set = self._set_for(address)
+        line = cache_set.get(address)
+        if line is not None and touch:
+            cache_set.move_to_end(address)
+        return line
+
+    def state_of(self, address: int) -> LineState:
+        """Return the line's state, ``I`` if not resident (no LRU touch)."""
+        line = self.lookup(address, touch=False)
+        return line.state if line is not None else LineState.I
+
+    def __contains__(self, address: int) -> bool:
+        return self.lookup(address, touch=False) is not None
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def iter_lines(self) -> Iterator[CacheLine]:
+        """Iterate over all resident lines (test/diagnostic use)."""
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    # ------------------------------------------------------------------
+    # Mutation
+
+    def fill(
+        self, address: int, state: LineState, version: int = 0
+    ) -> Optional[EvictionRecord]:
+        """Insert a line, evicting the LRU line of the set if full.
+
+        Returns the eviction record of the victim, or ``None`` if no
+        eviction was needed.  Filling an already-resident line updates
+        its state in place (callers should normally use
+        ``set_state`` for that, but fill is tolerant).
+        """
+        if state == LineState.I:
+            raise ValueError("cannot fill a line in state I")
+        cache_set = self._set_for(address)
+        existing = cache_set.get(address)
+        if existing is not None:
+            self._change_state(existing, state)
+            existing.version = version
+            cache_set.move_to_end(address)
+            return None
+
+        victim_record: Optional[EvictionRecord] = None
+        if len(cache_set) >= self.config.associativity:
+            victim_address, victim = cache_set.popitem(last=False)
+            victim_record = EvictionRecord(
+                victim_address, victim.state, victim.version
+            )
+            self.evictions += 1
+            if victim_record.dirty:
+                self.dirty_evictions += 1
+            if is_supplier(victim.state) and self._on_state_loss:
+                self._on_state_loss(victim_address)
+            if self._on_line_removed:
+                self._on_line_removed(victim_address)
+
+        line = CacheLine(address=address, state=state, version=version)
+        cache_set[address] = line
+        self.fills += 1
+        if self._on_line_added:
+            self._on_line_added(address)
+        if is_supplier(state) and self._on_state_gain:
+            self._on_state_gain(address)
+        return victim_record
+
+    def set_state(self, address: int, state: LineState) -> None:
+        """Transition a resident line to a new state.
+
+        Transitioning to ``I`` removes the line.  Supplier-state gains
+        and losses fire the predictor-synchronization callbacks.
+        """
+        cache_set = self._set_for(address)
+        line = cache_set.get(address)
+        if line is None:
+            raise KeyError("line %#x not resident" % address)
+        if state == LineState.I:
+            del cache_set[address]
+            if is_supplier(line.state) and self._on_state_loss:
+                self._on_state_loss(address)
+            if self._on_line_removed:
+                self._on_line_removed(address)
+            return
+        self._change_state(line, state)
+
+    def _change_state(self, line: CacheLine, state: LineState) -> None:
+        was_supplier = is_supplier(line.state)
+        now_supplier = is_supplier(state)
+        line.state = state
+        if was_supplier and not now_supplier and self._on_state_loss:
+            self._on_state_loss(line.address)
+        if now_supplier and not was_supplier and self._on_state_gain:
+            self._on_state_gain(line.address)
+
+    def invalidate(self, address: int) -> Optional[CacheLine]:
+        """Remove the line if resident; return the removed line."""
+        cache_set = self._set_for(address)
+        line = cache_set.pop(address, None)
+        if line is not None:
+            if is_supplier(line.state) and self._on_state_loss:
+                self._on_state_loss(address)
+            if self._on_line_removed:
+                self._on_line_removed(address)
+        return line
+
+    def touch(self, address: int) -> None:
+        """Mark a line most-recently-used without changing it."""
+        cache_set = self._set_for(address)
+        if address in cache_set:
+            cache_set.move_to_end(address)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+
+    def occupancy_of_set(self, set_index: int) -> int:
+        return len(self._sets[set_index])
+
+    def lru_order(self, set_index: int) -> List[int]:
+        """Addresses of one set from least- to most-recently used."""
+        return list(self._sets[set_index].keys())

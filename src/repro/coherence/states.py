@@ -1,0 +1,121 @@
+"""Coherence line states and the compatibility matrix of Figure 2(b).
+
+The protocol is MESI enhanced with two qualifiers on the Shared state
+and a Tagged state:
+
+* ``S``  - plain shared copy; cannot supply data.
+* ``SL`` - Shared, Local Master: the one cache per CMP that brought the
+  line into the CMP; supplies data to reads from cores in the same CMP.
+* ``SG`` - Shared, Global Master: the one cache in the machine that
+  brought the line from memory; supplies data to ring snoop requests.
+* ``T``  - Tagged: the line is dirty but coherent copies exist in other
+  caches; on eviction, a T line is written back to memory.
+
+The *supplier states* - those that answer a read snoop request on the
+ring - are SG, E, D and T.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class LineState(enum.Enum):
+    """State of one line in one cache."""
+
+    I = "I"  # noqa: E741 - the paper's name for Invalid
+    S = "S"
+    SL = "SL"
+    SG = "SG"
+    E = "E"
+    D = "D"
+    T = "T"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "LineState.%s" % self.name
+
+
+#: States in which a cache answers a ring read snoop request.
+SUPPLIER_STATES: FrozenSet[LineState] = frozenset(
+    {LineState.SG, LineState.E, LineState.D, LineState.T}
+)
+
+#: States in which a cache supplies data to a read from its own CMP.
+LOCAL_MASTER_STATES: FrozenSet[LineState] = frozenset(
+    {LineState.SL, LineState.SG, LineState.E, LineState.D, LineState.T}
+)
+
+#: States denoting a valid cached copy.
+CACHED_STATES: FrozenSet[LineState] = frozenset(
+    {
+        LineState.S,
+        LineState.SL,
+        LineState.SG,
+        LineState.E,
+        LineState.D,
+        LineState.T,
+    }
+)
+
+#: States whose data differs from memory and must be written back.
+DIRTY_STATES: FrozenSet[LineState] = frozenset({LineState.D, LineState.T})
+
+
+def is_supplier(state: LineState) -> bool:
+    """True if a cache in ``state`` answers ring read snoop requests."""
+    return state in SUPPLIER_STATES
+
+
+def is_local_master(state: LineState) -> bool:
+    """True if a cache in ``state`` supplies reads within its CMP."""
+    return state in LOCAL_MASTER_STATES
+
+
+def is_dirty(state: LineState) -> bool:
+    """True if the line's data is newer than memory's copy."""
+    return state in DIRTY_STATES
+
+
+# Compatibility matrix of Figure 2(b).  ``_COMPATIBLE_ANY[a]`` is the
+# set of states another cache *in a different CMP* may hold while some
+# cache holds the line in state ``a``.  ``_COMPATIBLE_SAME_CMP[a]`` is
+# the same for a cache in the *same* CMP; the paper marks with ``*``
+# the states that are only compatible across CMPs.
+_COMPATIBLE_ANY = {
+    LineState.I: CACHED_STATES | {LineState.I},
+    LineState.S: frozenset(
+        {LineState.I, LineState.S, LineState.SL, LineState.SG, LineState.T}
+    ),
+    LineState.SL: frozenset(
+        {LineState.I, LineState.S, LineState.SL, LineState.SG, LineState.T}
+    ),
+    LineState.SG: frozenset({LineState.I, LineState.S, LineState.SL}),
+    LineState.E: frozenset({LineState.I}),
+    LineState.D: frozenset({LineState.I}),
+    LineState.T: frozenset({LineState.I, LineState.S, LineState.SL}),
+}
+
+_COMPATIBLE_SAME_CMP = {
+    LineState.I: CACHED_STATES | {LineState.I},
+    LineState.S: frozenset(
+        {LineState.I, LineState.S, LineState.SL, LineState.SG, LineState.T}
+    ),
+    # SL is compatible with SL, SG and T only if they are in a
+    # different CMP (one local master per CMP; T implies mastership).
+    LineState.SL: frozenset({LineState.I, LineState.S}),
+    LineState.SG: frozenset({LineState.I, LineState.S}),
+    LineState.E: frozenset({LineState.I}),
+    LineState.D: frozenset({LineState.I}),
+    LineState.T: frozenset({LineState.I, LineState.S}),
+}
+
+
+def compatible(a: LineState, b: LineState, same_cmp: bool) -> bool:
+    """True if two caches may simultaneously hold a line in states
+    ``a`` and ``b``, given whether the caches sit in the same CMP.
+
+    This encodes the matrix of Figure 2(b); it is symmetric.
+    """
+    table = _COMPATIBLE_SAME_CMP if same_cmp else _COMPATIBLE_ANY
+    return b in table[a]

@@ -1,0 +1,60 @@
+"""The paper's core contribution: Flexible Snooping.
+
+* :mod:`repro.core.primitives` - the three primitive operations a node
+  can take on an incoming snoop message (Table 2).
+* :mod:`repro.core.predictors` - the Supplier Predictor
+  implementations (Section 4.3).
+* :mod:`repro.core.algorithms` - the snooping algorithms built from
+  primitives plus predictors (Table 3), including the baselines Lazy,
+  Eager and Oracle.
+* :mod:`repro.core.analytical` - closed-form models behind Tables 1
+  and 3.
+"""
+
+from repro.core.presence import PresencePredictor
+from repro.core.primitives import Primitive
+from repro.core.predictors import (
+    SupplierPredictor,
+    NullPredictor,
+    SubsetPredictor,
+    SupersetPredictor,
+    ExactPredictor,
+    PerfectPredictor,
+    build_predictor,
+)
+from repro.core.algorithms import (
+    SnoopingAlgorithm,
+    Lazy,
+    Eager,
+    Oracle,
+    Subset,
+    SupersetCon,
+    SupersetAgg,
+    SupersetHybrid,
+    Exact,
+    ALGORITHMS,
+    build_algorithm,
+)
+
+__all__ = [
+    "PresencePredictor",
+    "Primitive",
+    "SupplierPredictor",
+    "NullPredictor",
+    "SubsetPredictor",
+    "SupersetPredictor",
+    "ExactPredictor",
+    "PerfectPredictor",
+    "build_predictor",
+    "SnoopingAlgorithm",
+    "Lazy",
+    "Eager",
+    "Oracle",
+    "Subset",
+    "SupersetCon",
+    "SupersetAgg",
+    "SupersetHybrid",
+    "Exact",
+    "ALGORITHMS",
+    "build_algorithm",
+]

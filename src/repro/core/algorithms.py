@@ -1,0 +1,269 @@
+"""The Flexible Snooping algorithms (Table 3) and the baselines.
+
+An algorithm is a small policy object: given the Supplier Predictor's
+prediction at a node, it selects one of the three primitives.  The
+baselines Lazy and Eager ignore the prediction and always choose
+Snoop Then Forward / Forward Then Snoop respectively; Oracle uses a
+perfect predictor.
+
+Write snoop requests cannot use supplier predictors (writes must
+invalidate *all* copies, not find the single supplier - Section 5.3).
+Algorithms that decouple read messages into request + reply (Eager,
+Subset, Superset Agg, and Oracle by the paper's convention) also
+decouple write snoops, enabling parallel invalidation; the others
+(Lazy, Superset Con, Exact) keep write snoops coupled and serial.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Type
+
+from repro.config import PredictorConfig
+from repro.core.primitives import Primitive
+
+
+class SnoopingAlgorithm:
+    """Base class for ring snooping algorithms.
+
+    Attributes:
+        name: canonical lower-case name used in configs and results.
+        display_name: name used in tables/figures (paper style).
+        default_predictor_kind: predictor family the algorithm expects.
+        decouple_writes: whether write snoops split into request +
+            reply for parallel invalidation (Section 5.3).
+    """
+
+    name = "abstract"
+    display_name = "Abstract"
+    default_predictor_kind = "none"
+    decouple_writes = False
+
+    def choose(self, prediction: bool) -> Primitive:
+        """Select the primitive for a read snoop given the prediction."""
+        raise NotImplementedError
+
+    def uses_predictor(self) -> bool:
+        """Whether the algorithm consults a Supplier Predictor at all.
+
+        Determines if predictor access latency and energy are charged
+        on each ring message arrival.
+        """
+        return self.default_predictor_kind not in ("none",)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<%s>" % type(self).__name__
+
+
+class Lazy(SnoopingAlgorithm):
+    """Snoop at every node before forwarding (Section 3.1).
+
+    One combined message all the way around; long latency, medium
+    snoop count, minimal traffic.
+    """
+
+    name = "lazy"
+    display_name = "Lazy"
+
+    def choose(self, prediction: bool) -> Primitive:
+        return Primitive.SNOOP_THEN_FORWARD
+
+
+class Eager(SnoopingAlgorithm):
+    """Forward immediately, then snoop, at every node (Barroso &
+    Dubois' slotted-ring algorithm adapted to the embedded ring).
+
+    Low latency, but snoops all N-1 nodes and nearly doubles traffic.
+    """
+
+    name = "eager"
+    display_name = "Eager"
+    decouple_writes = True
+
+    def choose(self, prediction: bool) -> Primitive:
+        return Primitive.FORWARD_THEN_SNOOP
+
+
+class Oracle(SnoopingAlgorithm):
+    """Magic lower bound: snoop only at the supplier node."""
+
+    name = "oracle"
+    display_name = "Oracle"
+    default_predictor_kind = "perfect"
+    decouple_writes = True
+
+    def choose(self, prediction: bool) -> Primitive:
+        if prediction:
+            return Primitive.SNOOP_THEN_FORWARD
+        return Primitive.FORWARD
+
+
+class Subset(SnoopingAlgorithm):
+    """Subset predictor (no false positives, false negatives possible).
+
+    Positive prediction - the supplier is guaranteed local: Snoop Then
+    Forward.  Negative prediction - the supplier may still be local:
+    Forward Then Snoop (cannot skip the snoop).
+    """
+
+    name = "subset"
+    display_name = "Subset"
+    default_predictor_kind = "subset"
+    decouple_writes = True
+
+    def choose(self, prediction: bool) -> Primitive:
+        if prediction:
+            return Primitive.SNOOP_THEN_FORWARD
+        return Primitive.FORWARD_THEN_SNOOP
+
+
+class SupersetCon(SnoopingAlgorithm):
+    """Superset predictor, conservative flavour.
+
+    Negative prediction is trustworthy (no false negatives): Forward.
+    Positive prediction assumes the supplier is local: Snoop Then
+    Forward - false positives put snoops on the critical path, but the
+    message count stays at one.
+    """
+
+    name = "superset_con"
+    display_name = "SupersetCon"
+    default_predictor_kind = "superset"
+
+    def choose(self, prediction: bool) -> Primitive:
+        if prediction:
+            return Primitive.SNOOP_THEN_FORWARD
+        return Primitive.FORWARD
+
+
+class SupersetAgg(SnoopingAlgorithm):
+    """Superset predictor, aggressive flavour.
+
+    Negative prediction: Forward.  Positive prediction: Forward Then
+    Snoop - the request is never delayed, at the cost of extra
+    messages and predictor checks at all nodes.
+    """
+
+    name = "superset_agg"
+    display_name = "SupersetAgg"
+    default_predictor_kind = "superset"
+    decouple_writes = True
+
+    def choose(self, prediction: bool) -> Primitive:
+        if prediction:
+            return Primitive.FORWARD_THEN_SNOOP
+        return Primitive.FORWARD
+
+
+class Exact(SnoopingAlgorithm):
+    """Exact predictor (downgrades on conflict evictions).
+
+    Perfect prediction: Snoop Then Forward on positive, Forward on
+    negative.  The hidden cost is the downgrade traffic (write-backs
+    and memory re-reads) charged by the system.
+    """
+
+    name = "exact"
+    display_name = "Exact"
+    default_predictor_kind = "exact"
+
+    def choose(self, prediction: bool) -> Primitive:
+        if prediction:
+            return Primitive.SNOOP_THEN_FORWARD
+        return Primitive.FORWARD
+
+
+class SupersetHybrid(SnoopingAlgorithm):
+    """The adaptive Con/Agg switch the paper envisions (Section 6.1.5).
+
+    Both Superset flavours share one predictor; only the action on a
+    positive prediction differs.  The hybrid normally behaves like
+    Superset Agg (performance), and falls back to Superset Con when
+    the machine signals energy pressure.
+
+    ``energy_pressure`` is a callable polled on each positive
+    prediction; when it returns True the conservative action is used.
+    By default the hybrid stays in aggressive mode.
+    """
+
+    name = "superset_hybrid"
+    display_name = "SupersetHybrid"
+    default_predictor_kind = "superset"
+    # Write decoupling follows the currently dominant mode; we keep the
+    # aggressive convention, matching its common case.
+    decouple_writes = True
+
+    def __init__(
+        self, energy_pressure: Optional[Callable[[], bool]] = None
+    ) -> None:
+        self._energy_pressure = energy_pressure
+        self.aggressive_choices = 0
+        self.conservative_choices = 0
+
+    def set_energy_pressure(self, probe: Callable[[], bool]) -> None:
+        self._energy_pressure = probe
+
+    def choose(self, prediction: bool) -> Primitive:
+        if not prediction:
+            return Primitive.FORWARD
+        pressed = self._energy_pressure() if self._energy_pressure else False
+        if pressed:
+            self.conservative_choices += 1
+            return Primitive.SNOOP_THEN_FORWARD
+        self.aggressive_choices += 1
+        return Primitive.FORWARD_THEN_SNOOP
+
+
+#: Registry of all algorithms by canonical name.
+ALGORITHMS: Dict[str, Type[SnoopingAlgorithm]] = {
+    cls.name: cls
+    for cls in (
+        Lazy,
+        Eager,
+        Oracle,
+        Subset,
+        SupersetCon,
+        SupersetAgg,
+        SupersetHybrid,
+        Exact,
+    )
+}
+
+
+def build_algorithm(name: str) -> SnoopingAlgorithm:
+    """Instantiate an algorithm by canonical (or display) name."""
+    key = name.lower()
+    aliases = {
+        "supersetcon": "superset_con",
+        "supersetagg": "superset_agg",
+        "supersethybrid": "superset_hybrid",
+        "supcon": "superset_con",
+        "supagg": "superset_agg",
+    }
+    key = aliases.get(key, key)
+    if key not in ALGORITHMS:
+        raise ValueError(
+            "unknown algorithm %r; known: %s"
+            % (name, ", ".join(sorted(ALGORITHMS)))
+        )
+    return ALGORITHMS[key]()
+
+
+def compatible_predictor(
+    algorithm: SnoopingAlgorithm, predictor_config: PredictorConfig
+) -> bool:
+    """Whether ``predictor_config`` provides the guarantees the
+    algorithm relies on for correctness.
+
+    An algorithm that issues ``Forward`` on a negative prediction
+    (Oracle, Superset Con/Agg/Hybrid, Exact) must never see a false
+    negative, or the single supplier would be skipped and the request
+    wrongly serviced by memory.
+    """
+    forwards_on_negative = (
+        algorithm.choose(False) is Primitive.FORWARD
+        if not isinstance(algorithm, SupersetHybrid)
+        else True
+    )
+    if not forwards_on_negative:
+        return True
+    return predictor_config.kind in ("superset", "exact", "perfect")

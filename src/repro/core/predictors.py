@@ -1,0 +1,404 @@
+"""Supplier Predictor implementations (Section 4.3).
+
+A Supplier Predictor sits in a CMP's gateway and predicts whether the
+CMP holds the requested line in a *supplier* state (SG, E, D or T).
+Four families are implemented:
+
+* :class:`SubsetPredictor` - a set-associative cache of supplier-line
+  addresses.  Capacity conflicts silently drop entries, so it keeps a
+  strict *subset* of supplier lines: false negatives, never false
+  positives.
+* :class:`SupersetPredictor` - a counting Bloom filter optionally
+  backed by a JETTY-style Exclude cache.  Aliasing creates false
+  positives, never false negatives: a strict *superset*.
+* :class:`ExactPredictor` - the subset cache enhanced so that on a
+  conflict eviction the victim line is *downgraded* in the CMP
+  (Section 4.3.3), eliminating false negatives at the cost of extra
+  memory traffic.
+* :class:`PerfectPredictor` - an oracle that inspects ground truth.
+
+Predictors are trained by cache-state callbacks: ``insert`` when a
+line enters a supplier state in the CMP, ``remove`` when it leaves
+(eviction, invalidation or downgrade).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config import PredictorConfig
+
+
+class SupplierPredictor:
+    """Interface shared by all Supplier Predictors.
+
+    Concrete predictors override ``lookup``, ``insert`` and
+    ``remove``.  Statistics counters are kept here so the energy model
+    and the accuracy breakdown of Figure 11 can read them uniformly.
+    """
+
+    #: predictor family name, matching ``PredictorConfig.kind``
+    kind = "abstract"
+    #: whether the predictor can report a positive for an absent line
+    may_false_positive = False
+    #: whether the predictor can report a negative for a present line
+    may_false_negative = False
+
+    def __init__(self, config: PredictorConfig) -> None:
+        self.config = config
+        self.lookups = 0
+        self.updates = 0
+
+    def lookup(self, address: int) -> bool:
+        """Predict whether the CMP holds ``address`` in supplier state."""
+        raise NotImplementedError
+
+    def insert(self, address: int) -> None:
+        """Train: ``address`` entered a supplier state in the CMP."""
+        raise NotImplementedError
+
+    def remove(self, address: int) -> None:
+        """Train: ``address`` left supplier state (evict/invalidate).
+
+        Must be idempotent: removal of an absent address is a no-op.
+        """
+        raise NotImplementedError
+
+    def observe_false_positive(self, address: int) -> None:
+        """Feedback: a snoop triggered by a positive prediction found
+        no supplier.  Used by the Exclude cache; default no-op."""
+
+    @property
+    def latency(self) -> int:
+        return self.config.access_latency
+
+
+class NullPredictor(SupplierPredictor):
+    """Predictor used by Lazy and Eager: it always answers "maybe"
+    (positive), forcing the algorithm's unconditional behaviour, and
+    costs neither time nor energy."""
+
+    kind = "none"
+
+    def lookup(self, address: int) -> bool:
+        return True
+
+    def insert(self, address: int) -> None:
+        pass
+
+    def remove(self, address: int) -> None:
+        pass
+
+    @property
+    def latency(self) -> int:
+        return 0
+
+
+class _AddressCache:
+    """A small set-associative LRU cache of line addresses.
+
+    Used as the storage substrate of the Subset and Exact predictors
+    and of the Exclude cache.  ``insert`` returns the victim address
+    when a valid entry had to be overwritten (the conflict-eviction
+    hook the Exact predictor needs).
+    """
+
+    def __init__(self, entries: int, associativity: int) -> None:
+        if entries % associativity != 0:
+            raise ValueError(
+                "entries (%d) must be a multiple of associativity (%d)"
+                % (entries, associativity)
+            )
+        self.entries = entries
+        self.associativity = associativity
+        self.num_sets = entries // associativity
+        self._sets: List["OrderedDict[int, None]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    def _set_for(self, address: int) -> "OrderedDict[int, None]":
+        return self._sets[address % self.num_sets]
+
+    def contains(self, address: int, touch: bool = True) -> bool:
+        cache_set = self._set_for(address)
+        if address in cache_set:
+            if touch:
+                cache_set.move_to_end(address)
+            return True
+        return False
+
+    def insert(self, address: int) -> Optional[int]:
+        """Insert; return the evicted victim address, if any."""
+        cache_set = self._set_for(address)
+        if address in cache_set:
+            cache_set.move_to_end(address)
+            return None
+        victim = None
+        if len(cache_set) >= self.associativity:
+            victim, _ = cache_set.popitem(last=False)
+        cache_set[address] = None
+        return victim
+
+    def remove(self, address: int) -> bool:
+        cache_set = self._set_for(address)
+        if address in cache_set:
+            del cache_set[address]
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class SubsetPredictor(SupplierPredictor):
+    """Set-associative cache of supplier lines (Section 4.3.1).
+
+    No false positives: every tracked address is genuinely in supplier
+    state (removals are synchronous with state loss).  False negatives
+    arise when LRU replacement silently drops a valid entry.
+    """
+
+    kind = "subset"
+    may_false_negative = True
+
+    def __init__(self, config: PredictorConfig) -> None:
+        super().__init__(config)
+        self._table = _AddressCache(config.entries, config.associativity)
+        self.conflict_drops = 0
+
+    def lookup(self, address: int) -> bool:
+        self.lookups += 1
+        return self._table.contains(address)
+
+    def insert(self, address: int) -> None:
+        self.updates += 1
+        victim = self._table.insert(address)
+        if victim is not None:
+            # The victim line is still a supplier in the CMP but is no
+            # longer tracked: a future false negative.
+            self.conflict_drops += 1
+
+    def remove(self, address: int) -> None:
+        self.updates += 1
+        self._table.remove(address)
+
+    def __contains__(self, address: int) -> bool:
+        return self._table.contains(address, touch=False)
+
+
+class ExactPredictor(SupplierPredictor):
+    """Subset cache whose conflict evictions downgrade the victim line
+    in the CMP (Section 4.3.3), so the tracked set stays *exact*.
+
+    The downgrade itself (SG/E -> SL silently; D/T -> write back and
+    keep in SL) is carried out by the system through the
+    ``downgrade_callback``; the predictor only reports which address
+    must be downgraded.
+    """
+
+    kind = "exact"
+
+    def __init__(
+        self,
+        config: PredictorConfig,
+        downgrade_callback: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        super().__init__(config)
+        self._table = _AddressCache(config.entries, config.associativity)
+        self.downgrades = 0
+        self._downgrade_callback = downgrade_callback
+
+    def set_downgrade_callback(self, callback: Callable[[int], None]) -> None:
+        self._downgrade_callback = callback
+
+    def lookup(self, address: int) -> bool:
+        self.lookups += 1
+        return self._table.contains(address)
+
+    def insert(self, address: int) -> None:
+        self.updates += 1
+        victim = self._table.insert(address)
+        if victim is not None:
+            self.downgrades += 1
+            if self._downgrade_callback is not None:
+                # The cache-state change will try to remove the victim
+                # from this predictor again; remove() is idempotent.
+                self._downgrade_callback(victim)
+
+    def remove(self, address: int) -> None:
+        self.updates += 1
+        self._table.remove(address)
+
+    def __contains__(self, address: int) -> bool:
+        return self._table.contains(address, touch=False)
+
+
+class CountingBloomFilter:
+    """Counting Bloom filter over line addresses (Section 4.3.2).
+
+    The line address is broken into ``len(field_bits)`` consecutive bit
+    fields; field *i* indexes a table of ``2**field_bits[i]``
+    counters.  An address is (possibly) present when all its counters
+    are non-zero.  Counters saturate high enough that overflow is not
+    a practical concern for simulation workloads.
+    """
+
+    def __init__(self, field_bits: Tuple[int, ...]) -> None:
+        if not field_bits:
+            raise ValueError("need at least one field")
+        self.field_bits = tuple(field_bits)
+        self._tables: List[List[int]] = [
+            [0] * (1 << bits) for bits in self.field_bits
+        ]
+        self._shifts: List[int] = []
+        shift = 0
+        for bits in self.field_bits:
+            self._shifts.append(shift)
+            shift += bits
+
+    def _indices(self, address: int) -> List[int]:
+        return [
+            (address >> shift) & ((1 << bits) - 1)
+            for shift, bits in zip(self._shifts, self.field_bits)
+        ]
+
+    def add(self, address: int) -> None:
+        for table, index in zip(self._tables, self._indices(address)):
+            table[index] += 1
+
+    def discard(self, address: int) -> None:
+        for table, index in zip(self._tables, self._indices(address)):
+            if table[index] <= 0:
+                raise ValueError(
+                    "bloom counter underflow for address %#x" % address
+                )
+            table[index] -= 1
+
+    def query(self, address: int) -> bool:
+        """True when the address *may* be present (no false negatives
+        for addresses added and not discarded)."""
+        return all(
+            table[index] > 0
+            for table, index in zip(self._tables, self._indices(address))
+        )
+
+    @property
+    def total_counters(self) -> int:
+        return sum(len(t) for t in self._tables)
+
+
+class SupersetPredictor(SupplierPredictor):
+    """Counting Bloom filter + Exclude cache (Section 4.3.2).
+
+    The Bloom filter tracks a superset of the CMP's supplier lines.
+    The Exclude cache remembers addresses recently proven *not* to be
+    suppliers (false positives observed by actual snoops), masking
+    repeat false positives.  Inserting a genuine supplier line
+    invalidates any stale Exclude entry for it.
+    """
+
+    kind = "superset"
+    may_false_positive = True
+
+    def __init__(self, config: PredictorConfig) -> None:
+        super().__init__(config)
+        self.filter = CountingBloomFilter(config.bloom_fields)
+        self.exclude = (
+            _AddressCache(config.exclude_entries, config.exclude_associativity)
+            if config.exclude_entries > 0
+            else None
+        )
+        self.exclude_hits = 0
+        self.exclude_inserts = 0
+        # Reference counts let remove() be idempotent even though the
+        # underlying Bloom counters are not.
+        self._present: Dict[int, int] = {}
+
+    def lookup(self, address: int) -> bool:
+        self.lookups += 1
+        if not self.filter.query(address):
+            return False
+        if self.exclude is not None and self.exclude.contains(address):
+            self.exclude_hits += 1
+            return False
+        return True
+
+    def insert(self, address: int) -> None:
+        self.updates += 1
+        self.filter.add(address)
+        self._present[address] = self._present.get(address, 0) + 1
+        if self.exclude is not None:
+            self.exclude.remove(address)
+
+    def remove(self, address: int) -> None:
+        count = self._present.get(address, 0)
+        if count <= 0:
+            return
+        self.updates += 1
+        self.filter.discard(address)
+        if count == 1:
+            del self._present[address]
+        else:
+            self._present[address] = count - 1
+
+    def observe_false_positive(self, address: int) -> None:
+        if self.exclude is not None:
+            self.exclude.insert(address)
+            self.exclude_inserts += 1
+            self.updates += 1
+
+    def __contains__(self, address: int) -> bool:
+        return self._present.get(address, 0) > 0
+
+
+class PerfectPredictor(SupplierPredictor):
+    """Oracle: consults ground truth provided by the system.
+
+    ``truth`` is a callable mapping an address to whether this CMP
+    currently holds it in a supplier state.
+    """
+
+    kind = "perfect"
+
+    def __init__(
+        self,
+        config: PredictorConfig,
+        truth: Optional[Callable[[int], bool]] = None,
+    ) -> None:
+        super().__init__(config)
+        self._truth = truth
+
+    def set_truth(self, truth: Callable[[int], bool]) -> None:
+        self._truth = truth
+
+    def lookup(self, address: int) -> bool:
+        self.lookups += 1
+        if self._truth is None:
+            raise RuntimeError("PerfectPredictor has no truth source")
+        return self._truth(address)
+
+    def insert(self, address: int) -> None:
+        pass
+
+    def remove(self, address: int) -> None:
+        pass
+
+    @property
+    def latency(self) -> int:
+        return 0
+
+
+def build_predictor(config: PredictorConfig) -> SupplierPredictor:
+    """Factory: build the predictor selected by ``config.kind``."""
+    if config.kind == "none":
+        return NullPredictor(config)
+    if config.kind == "subset":
+        return SubsetPredictor(config)
+    if config.kind == "superset":
+        return SupersetPredictor(config)
+    if config.kind == "exact":
+        return ExactPredictor(config)
+    if config.kind == "perfect":
+        return PerfectPredictor(config)
+    raise ValueError("unknown predictor kind %r" % (config.kind,))

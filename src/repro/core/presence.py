@@ -1,0 +1,69 @@
+"""Presence predictor: write-snoop filtering (extension).
+
+Section 5.3 of the paper observes that write snoops cannot use the
+Supplier Predictors - a write must invalidate *all* cached copies, so
+it "would need a predictor of line presence, rather than one of line
+in supplier state".  The paper leaves it there; this module builds
+that predictor.
+
+A :class:`PresencePredictor` is a per-CMP counting Bloom filter over
+*all* resident lines (JETTY's original construction).  It has no
+false negatives, so a negative prediction proves the CMP caches no
+copy of the line and the invalidation snoop can be skipped safely; a
+false positive merely costs one unnecessary snoop.
+
+Enabled with ``MachineConfig.filter_write_snoops``; evaluated by
+``benchmarks/test_ablation_write_filter.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.predictors import CountingBloomFilter
+
+
+class PresencePredictor:
+    """Counting Bloom filter over the CMP's resident lines.
+
+    Trained by the cache-residency callbacks (one increment per copy
+    brought in, one decrement per copy displaced), so a line cached by
+    several cores in the CMP is reference-counted and stays present
+    until the last copy leaves.
+    """
+
+    #: The default fields give a 2^15 + 2^11 = 34816-counter filter.
+    #: Presence filters must be sized against the CMP's full residency
+    #: (up to 32k lines on the default machine), unlike the Supplier
+    #: Predictors' Bloom filters which only track supplier sets; an
+    #: undersized filter saturates and stops filtering.
+    DEFAULT_FIELDS: Tuple[int, ...] = (15, 11)
+
+    def __init__(
+        self,
+        fields: Tuple[int, ...] = DEFAULT_FIELDS,
+        access_latency: int = 2,
+    ) -> None:
+        self.filter = CountingBloomFilter(fields)
+        self.access_latency = access_latency
+        self.lookups = 0
+        self.updates = 0
+        self.filtered = 0
+
+    def line_added(self, address: int) -> None:
+        """One cached copy of ``address`` entered the CMP."""
+        self.filter.add(address)
+        self.updates += 1
+
+    def line_removed(self, address: int) -> None:
+        """One cached copy of ``address`` left the CMP."""
+        self.filter.discard(address)
+        self.updates += 1
+
+    def may_be_present(self, address: int) -> bool:
+        """False only when the CMP provably holds no copy."""
+        self.lookups += 1
+        present = self.filter.query(address)
+        if not present:
+            self.filtered += 1
+        return present

@@ -1,0 +1,166 @@
+"""The three primitive operations of Flexible Snooping (Table 2).
+
+When a snoop request (or combined request/reply) arrives at a node,
+the node executes one of:
+
+* ``FORWARD_THEN_SNOOP`` - forward the snoop request immediately, then
+  perform the snoop; the outcome leaves later in a (new or merged)
+  snoop reply.  Splits a combined message.  The node always ends up
+  emitting two messages: a request and a reply.
+* ``SNOOP_THEN_FORWARD`` - perform the snoop first, then forward a
+  single Combined Request/Reply carrying the outcome.  Recombines a
+  split message (waiting for the trailing reply if necessary).
+* ``FORWARD`` - pass the message(s) through untouched, without
+  snooping.  This is the *filtering* primitive.
+
+The timing semantics are implemented by
+:meth:`apply_primitive`, shared by the full-system simulator and the
+unit tests, so the Table 2 behaviour is encoded exactly once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ring.messages import MessageMode, RingMessage
+
+
+class Primitive(enum.Enum):
+    """Action a node takes on an incoming snoop message."""
+
+    FORWARD_THEN_SNOOP = "forward_then_snoop"
+    SNOOP_THEN_FORWARD = "snoop_then_forward"
+    FORWARD = "forward"
+
+    @property
+    def snoops(self) -> bool:
+        """True if the primitive performs a snoop operation."""
+        return self is not Primitive.FORWARD
+
+
+@dataclass
+class PrimitiveOutcome:
+    """Result of applying a primitive at one node.
+
+    Attributes:
+        request_departure: when the request/combined form leaves the
+            node toward the downstream neighbour.
+        reply_departure: when the trailing reply leaves the node, or
+            ``None`` if the outgoing message is combined.
+        snooped: whether a snoop operation was performed.
+        snoop_done: completion time of the snoop, if performed.
+        supplied: whether this node supplied the line.
+    """
+
+    request_departure: int
+    reply_departure: Optional[int]
+    snooped: bool
+    snoop_done: Optional[int] = None
+    supplied: bool = False
+
+
+def apply_primitive(
+    message: RingMessage,
+    primitive: Primitive,
+    *,
+    now: int,
+    snoop_time: int,
+    predictor_latency: int,
+    node_is_supplier: bool,
+    node: int,
+    snoop_queue_delay: int = 0,
+) -> PrimitiveOutcome:
+    """Apply one primitive to ``message`` at a node, per Table 2.
+
+    ``message`` is mutated in place: its mode, satisfaction flags, and
+    supplier field are updated.  Departure times are returned so the
+    caller can schedule the arrival at the downstream node.
+
+    Args:
+        message: the logical message; ``message.request_time`` must be
+            the arrival time at this node (== ``now``).
+        primitive: the action selected by the snooping algorithm.
+        now: current simulation time (request arrival at this node).
+        snoop_time: CMP bus access + L2 snoop time.
+        predictor_latency: Supplier Predictor access time, charged
+            before the chosen action begins (0 for predictor-less
+            algorithms).
+        node_is_supplier: ground truth - whether this CMP holds the
+            line in a supplier state *now* (evaluated by the caller at
+            snoop time; supplier state cannot change mid-transaction
+            because colliding transactions are squashed).
+        node: this node's id, recorded if it supplies.
+        snoop_queue_delay: extra cycles the snoop waits for the CMP's
+            snoop port (0 unless snoop-port serialization is enabled).
+            Under Forward-Then-Snoop the request still leaves
+            immediately; only the snoop outcome is delayed.
+    """
+    arrival_reply = message.reply_time if message.mode is MessageMode.SPLIT else None
+    start = now + predictor_latency
+
+    if primitive is Primitive.FORWARD:
+        # Both physical forms pass through unchanged.
+        return PrimitiveOutcome(
+            request_departure=start,
+            reply_departure=arrival_reply,
+            snooped=False,
+        )
+
+    snoop_done = start + snoop_queue_delay + snoop_time
+
+    if primitive is Primitive.SNOOP_THEN_FORWARD:
+        if node_is_supplier:
+            # Supply: send combined R/R with the positive outcome; a
+            # trailing reply, if any, is discarded here.
+            message.mark_satisfied_combined(node)
+            message.recombine()
+            return PrimitiveOutcome(
+                request_departure=snoop_done,
+                reply_departure=None,
+                snooped=True,
+                snoop_done=snoop_done,
+                supplied=True,
+            )
+        if message.mode is MessageMode.SPLIT:
+            # Wait for the trailing reply, merge, forward combined.
+            departure = max(snoop_done, arrival_reply)
+            if message.satisfied_reply:
+                # The trailing reply carried a positive outcome from an
+                # upstream supplier; the recombined message is a reply.
+                message.satisfied = True
+            message.recombine()
+            return PrimitiveOutcome(
+                request_departure=departure,
+                reply_departure=None,
+                snooped=True,
+                snoop_done=snoop_done,
+            )
+        # Combined arrival: forward a new combined R/R after snooping.
+        return PrimitiveOutcome(
+            request_departure=snoop_done,
+            reply_departure=None,
+            snooped=True,
+            snoop_done=snoop_done,
+        )
+
+    # FORWARD_THEN_SNOOP: the request leaves immediately; the snoop
+    # outcome leaves in a reply when both the local snoop and any
+    # trailing reply are available.
+    if message.mode is MessageMode.SPLIT:
+        reply_departure = max(snoop_done, arrival_reply)
+    else:
+        reply_departure = snoop_done
+    supplied = False
+    if node_is_supplier:
+        message.mark_satisfied_reply_only(node)
+        supplied = True
+    message.split(reply_departure)
+    return PrimitiveOutcome(
+        request_departure=start,
+        reply_departure=reply_departure,
+        snooped=True,
+        snoop_done=snoop_done,
+        supplied=supplied,
+    )

@@ -1,0 +1,5 @@
+"""Energy accounting for snoop traffic."""
+
+from repro.energy.model import EnergyBreakdown, EnergyModel
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]

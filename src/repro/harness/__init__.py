@@ -1,0 +1,30 @@
+"""Experiment harness: runs the paper's evaluation matrix and formats
+the tables and figures of Section 6."""
+
+from repro.harness.experiments import (
+    ExperimentMatrix,
+    MAIN_ALGORITHMS,
+    WORKLOADS,
+    run_experiment,
+)
+from repro.harness.report import render_report
+from repro.harness.sweep import (
+    Sweep,
+    run_sweep,
+    sweep_memory_field,
+    sweep_predictor_entries,
+    sweep_ring_field,
+)
+
+__all__ = [
+    "ExperimentMatrix",
+    "MAIN_ALGORITHMS",
+    "WORKLOADS",
+    "run_experiment",
+    "render_report",
+    "Sweep",
+    "run_sweep",
+    "sweep_memory_field",
+    "sweep_predictor_entries",
+    "sweep_ring_field",
+]

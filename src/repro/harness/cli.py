@@ -1,0 +1,228 @@
+"""Command-line interface: ``flexsnoop``.
+
+Examples::
+
+    flexsnoop run --algorithm superset_agg --workload splash2
+    flexsnoop figure 6
+    flexsnoop figure 9 --scale 1000
+    flexsnoop table 1
+    flexsnoop report --scale 1000 --out report.md
+    flexsnoop trace --workload specjbb --out jbb.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analytical import AnalyticalParams, table1, table3
+from repro.harness.experiments import (
+    ExperimentMatrix,
+    MAIN_ALGORITHMS,
+    WORKLOADS,
+    format_accuracy_table,
+    format_by_workload,
+    run_experiment,
+)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(
+        args.algorithm,
+        args.workload,
+        predictor=args.predictor,
+        accesses_per_core=args.scale,
+        seed=args.seed,
+    )
+    print("algorithm : %s" % result.algorithm)
+    print("workload  : %s" % result.workload)
+    print("exec time : %d cycles" % result.exec_time)
+    print("energy    : %.1f nJ" % result.total_energy)
+    for key, value in sorted(result.stats.summary().items()):
+        print("%-28s %s" % (key, value))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    matrix = ExperimentMatrix(accesses_per_core=args.scale, seed=args.seed)
+    number = args.number
+    if number == 6:
+        print(
+            format_by_workload(
+                "Figure 6: snoop operations per read snoop request",
+                matrix.fig6_snoops_per_request(),
+            )
+        )
+    elif number == 7:
+        print(
+            format_by_workload(
+                "Figure 7: ring read messages (normalized to Lazy)",
+                matrix.fig7_read_messages(),
+            )
+        )
+    elif number == 8:
+        print(
+            format_by_workload(
+                "Figure 8: execution time (normalized to Lazy)",
+                matrix.fig8_execution_time(),
+                fmt="%6.3f",
+            )
+        )
+    elif number == 9:
+        print(
+            format_by_workload(
+                "Figure 9: snoop-traffic energy (normalized to Lazy)",
+                matrix.fig9_energy(),
+                fmt="%6.3f",
+            )
+        )
+    elif number == 10:
+        table = matrix.fig10_sensitivity()
+        print("Figure 10: execution-time sensitivity to predictor size")
+        for workload, by_algorithm in table.items():
+            for algorithm, by_predictor in by_algorithm.items():
+                for predictor, value in by_predictor.items():
+                    print(
+                        "%-9s %-13s %-9s %6.3f"
+                        % (workload, algorithm, predictor, value)
+                    )
+    elif number == 11:
+        print(format_accuracy_table(matrix.fig11_accuracy()))
+    else:
+        print("unknown figure %d (know 6-11)" % number, file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    params = AnalyticalParams(num_nodes=args.nodes)
+    if args.number == 1:
+        rows = table1(params)
+        print("Table 1: baseline algorithms (analytical, N=%d)" % args.nodes)
+    elif args.number == 3:
+        rows = table3(params)
+        print(
+            "Table 3: Flexible Snooping algorithms (analytical, N=%d)"
+            % args.nodes
+        )
+    else:
+        print("unknown table %d (know 1 and 3)" % args.number, file=sys.stderr)
+        return 2
+    print(
+        "%-14s %10s %8s %9s"
+        % ("algorithm", "latency", "snoops", "messages")
+    )
+    for name, row in rows.items():
+        print(
+            "%-14s %10.1f %8.2f %9.2f"
+            % (name, row["latency"], row["snoops"], row["messages"])
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness.report import render_report
+
+    matrix = ExperimentMatrix(accesses_per_core=args.scale,
+                              seed=args.seed)
+    figures = (
+        [int(f) for f in args.figures.split(",")]
+        if args.figures
+        else None
+    )
+    text = render_report(matrix, figures=figures)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print("wrote %s" % args.out)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.io import save_trace
+    from repro.workloads.profiles import build_workload
+
+    workload = build_workload(
+        args.workload, accesses_per_core=args.scale, seed=args.seed
+    )
+    save_trace(workload, args.out)
+    print(
+        "wrote %s: %d cores, %d accesses"
+        % (args.out, workload.num_cores, workload.total_accesses)
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flexsnoop",
+        description="Flexible Snooping (ISCA 2006) reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one simulation")
+    run_parser.add_argument(
+        "--algorithm", default="lazy", choices=sorted(MAIN_ALGORITHMS) + [
+            "superset_hybrid"
+        ]
+    )
+    run_parser.add_argument("--workload", default="splash2",
+                            choices=WORKLOADS)
+    run_parser.add_argument("--predictor", default=None)
+    run_parser.add_argument("--scale", type=int, default=2000,
+                            help="accesses per core")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.set_defaults(func=_cmd_run)
+
+    figure_parser = sub.add_parser(
+        "figure", help="regenerate one of the paper's figures"
+    )
+    figure_parser.add_argument("number", type=int)
+    figure_parser.add_argument("--scale", type=int, default=2000)
+    figure_parser.add_argument("--seed", type=int, default=0)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    table_parser = sub.add_parser(
+        "table", help="print one of the paper's analytical tables"
+    )
+    table_parser.add_argument("number", type=int)
+    table_parser.add_argument("--nodes", type=int, default=8)
+    table_parser.set_defaults(func=_cmd_table)
+
+    report_parser = sub.add_parser(
+        "report", help="render the whole evaluation as one document"
+    )
+    report_parser.add_argument("--scale", type=int, default=1500)
+    report_parser.add_argument("--seed", type=int, default=0)
+    report_parser.add_argument(
+        "--figures",
+        default="",
+        help="comma-separated figure numbers (default: 6,7,8,9,11)",
+    )
+    report_parser.add_argument("--out", default="")
+    report_parser.set_defaults(func=_cmd_report)
+
+    trace_parser = sub.add_parser(
+        "trace", help="generate a workload trace file"
+    )
+    trace_parser.add_argument("--workload", default="splash2",
+                              choices=WORKLOADS)
+    trace_parser.add_argument("--scale", type=int, default=2000)
+    trace_parser.add_argument("--seed", type=int, default=0)
+    trace_parser.add_argument("--out", required=True)
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,319 @@
+"""Experiment matrix runner.
+
+The paper's evaluation (Section 6) compares seven algorithms across
+three workload classes along four dimensions, then varies the
+Supplier Predictor organization.  This module runs that matrix and
+formats each figure's data the way the paper presents it.
+
+Results are memoized per (algorithm, workload, predictor, scale,
+seed): Figures 6-9 all derive from the *same* run matrix, just like
+the paper derives them from the same simulations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig, NAMED_PREDICTORS, default_machine
+from repro.core.algorithms import build_algorithm
+from repro.sim.system import RingMultiprocessor, SimulationResult
+from repro.workloads.profiles import build_workload
+
+#: Algorithms of the main comparison (Section 6.1), in paper order.
+MAIN_ALGORITHMS: Tuple[str, ...] = (
+    "lazy",
+    "eager",
+    "oracle",
+    "subset",
+    "superset_con",
+    "superset_agg",
+    "exact",
+)
+
+#: Workload classes of the evaluation.
+WORKLOADS: Tuple[str, ...] = ("splash2", "specjbb", "specweb")
+
+#: Predictor variants of the sensitivity study (Section 6.2).
+SENSITIVITY_PREDICTORS: Dict[str, Tuple[str, ...]] = {
+    "subset": ("Sub512", "Sub2k", "Sub8k"),
+    "superset_con": ("Supy512", "Supy2k", "Supn2k"),
+    "superset_agg": ("Supy512", "Supy2k", "Supn2k"),
+    "exact": ("Exa512", "Exa2k", "Exa8k"),
+}
+
+#: Default trace length per core for harness/benchmark runs.  Large
+#: enough for stable statistics, small enough for quick iteration.
+DEFAULT_SCALE = 2000
+
+
+#: Fraction of each run used to warm caches and predictors before
+#: statistics are collected (the paper similarly skips workload
+#: initialization before measuring).
+DEFAULT_WARMUP = 0.35
+
+
+def run_experiment(
+    algorithm: str,
+    workload: str,
+    predictor: Optional[str] = None,
+    accesses_per_core: int = DEFAULT_SCALE,
+    seed: int = 0,
+    config: Optional[MachineConfig] = None,
+    warmup_fraction: float = DEFAULT_WARMUP,
+) -> SimulationResult:
+    """Run one (algorithm, workload) cell of the evaluation matrix.
+
+    Args:
+        algorithm: algorithm name (see ``repro.core.ALGORITHMS``).
+        workload: ``splash2``, ``specjbb`` or ``specweb``.
+        predictor: named predictor override (Section 5.2 names); by
+            default the algorithm's main-comparison predictor is used.
+        accesses_per_core: trace length (0 = workload default).
+        seed: workload seed override (0 = workload default).
+        config: full machine config override (advanced use; its
+            predictor field is still replaced when ``predictor`` or
+            the algorithm default says so).
+    """
+    trace = build_workload(workload, accesses_per_core, seed)
+    if config is None:
+        machine = default_machine(
+            algorithm=algorithm,
+            predictor=predictor,
+            cores_per_cmp=trace.cores_per_cmp,
+        )
+    else:
+        machine = config
+        if predictor is not None:
+            machine = machine.replace(
+                predictor=NAMED_PREDICTORS[predictor]
+            )
+    algo = build_algorithm(algorithm)
+    system = RingMultiprocessor(
+        machine, algo, trace, warmup_fraction=warmup_fraction
+    )
+    return system.run()
+
+
+@dataclass
+class ExperimentMatrix:
+    """Runs and caches the full evaluation matrix.
+
+    All figure extractors pull from the shared cache, so the matrix is
+    simulated at most once per configuration.
+    """
+
+    accesses_per_core: int = DEFAULT_SCALE
+    seed: int = 0
+    algorithms: Sequence[str] = MAIN_ALGORITHMS
+    workloads: Sequence[str] = WORKLOADS
+    _cache: Dict[Tuple[str, str, Optional[str]], SimulationResult] = field(
+        default_factory=dict
+    )
+
+    def result(
+        self,
+        algorithm: str,
+        workload: str,
+        predictor: Optional[str] = None,
+    ) -> SimulationResult:
+        key = (algorithm, workload, predictor)
+        if key not in self._cache:
+            self._cache[key] = run_experiment(
+                algorithm,
+                workload,
+                predictor,
+                accesses_per_core=self.accesses_per_core,
+                seed=self.seed,
+            )
+        return self._cache[key]
+
+    def run_main_matrix(self) -> None:
+        """Eagerly run every (algorithm, workload) cell."""
+        for workload in self.workloads:
+            for algorithm in self.algorithms:
+                self.result(algorithm, workload)
+
+    # ------------------------------------------------------------------
+    # Figure 6: snoop operations per read snoop request
+
+    def fig6_snoops_per_request(self) -> Dict[str, Dict[str, float]]:
+        """{workload: {algorithm: snoops/request}} (absolute values)."""
+        return {
+            workload: {
+                algorithm: self.result(
+                    algorithm, workload
+                ).stats.snoops_per_read_request
+                for algorithm in self.algorithms
+            }
+            for workload in self.workloads
+        }
+
+    # ------------------------------------------------------------------
+    # Figure 7: ring read messages, normalized to Lazy
+
+    def fig7_read_messages(self) -> Dict[str, Dict[str, float]]:
+        """{workload: {algorithm: crossings normalized to Lazy}}."""
+        table: Dict[str, Dict[str, float]] = {}
+        for workload in self.workloads:
+            lazy = self.result("lazy", workload).stats.read_ring_crossings
+            table[workload] = {
+                algorithm: (
+                    self.result(algorithm, workload).stats.read_ring_crossings
+                    / lazy
+                    if lazy
+                    else 0.0
+                )
+                for algorithm in self.algorithms
+            }
+        return table
+
+    # ------------------------------------------------------------------
+    # Figure 8: execution time, normalized to Lazy
+
+    def fig8_execution_time(self) -> Dict[str, Dict[str, float]]:
+        table: Dict[str, Dict[str, float]] = {}
+        for workload in self.workloads:
+            lazy = self.result("lazy", workload).exec_time
+            table[workload] = {
+                algorithm: (
+                    self.result(algorithm, workload).exec_time / lazy
+                    if lazy
+                    else 0.0
+                )
+                for algorithm in self.algorithms
+            }
+        return table
+
+    # ------------------------------------------------------------------
+    # Figure 9: snoop-traffic energy, normalized to Lazy
+
+    def fig9_energy(self) -> Dict[str, Dict[str, float]]:
+        table: Dict[str, Dict[str, float]] = {}
+        for workload in self.workloads:
+            lazy = self.result("lazy", workload).total_energy
+            table[workload] = {
+                algorithm: (
+                    self.result(algorithm, workload).total_energy / lazy
+                    if lazy
+                    else 0.0
+                )
+                for algorithm in self.algorithms
+            }
+        return table
+
+    # ------------------------------------------------------------------
+    # Figure 10: predictor-size sensitivity of execution time
+
+    def fig10_sensitivity(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """{workload: {algorithm: {predictor: exec time normalized to
+        the main-comparison predictor}}}."""
+        table: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for workload in self.workloads:
+            table[workload] = {}
+            for algorithm, predictors in SENSITIVITY_PREDICTORS.items():
+                center = self.result(algorithm, workload).exec_time
+                table[workload][algorithm] = {
+                    predictor: (
+                        self.result(algorithm, workload, predictor).exec_time
+                        / center
+                        if center
+                        else 0.0
+                    )
+                    for predictor in predictors
+                }
+        return table
+
+    # ------------------------------------------------------------------
+    # Figure 11: Supplier Predictor accuracy
+
+    def fig11_accuracy(self) -> Dict[str, Dict[str, Dict[str, float]]]:
+        """{predictor-label: {workload: fraction breakdown}}.
+
+        Includes the ``Perfect`` reference collected on the Lazy runs
+        (checked at every node until the supplier is found).
+        """
+        table: Dict[str, Dict[str, Dict[str, float]]] = {}
+        table["Perfect"] = {
+            workload: self.result(
+                "lazy", workload
+            ).stats.perfect_accuracy.fractions()
+            for workload in self.workloads
+        }
+        plan = [
+            ("Sub512", "subset", "Sub512"),
+            ("Sub2k", "subset", "Sub2k"),
+            ("Sub8k", "subset", "Sub8k"),
+            ("SupCy512", "superset_con", "Supy512"),
+            ("SupCy2k", "superset_con", "Supy2k"),
+            ("SupCn2k", "superset_con", "Supn2k"),
+            ("Exa512", "exact", "Exa512"),
+            ("Exa2k", "exact", "Exa2k"),
+            ("Exa8k", "exact", "Exa8k"),
+        ]
+        for label, algorithm, predictor in plan:
+            table[label] = {
+                workload: self.result(
+                    algorithm, workload, predictor
+                ).stats.accuracy.fractions()
+                for workload in self.workloads
+            }
+        return table
+
+
+# ----------------------------------------------------------------------
+# Formatting helpers (paper-style text tables)
+
+
+def format_by_workload(
+    title: str,
+    table: Dict[str, Dict[str, float]],
+    fmt: str = "%6.2f",
+) -> str:
+    """Render a {workload: {algorithm: value}} table like the paper's
+    bar charts: one row per algorithm, one column per workload."""
+    workloads = list(table)
+    algorithms: List[str] = list(next(iter(table.values())))
+    lines = [title]
+    header = "%-14s" % "algorithm" + "".join(
+        "%12s" % w for w in workloads
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for algorithm in algorithms:
+        row = "%-14s" % algorithm + "".join(
+            "%12s" % (fmt % table[w][algorithm]) for w in workloads
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_accuracy_table(
+    table: Dict[str, Dict[str, Dict[str, float]]]
+) -> str:
+    """Render the Figure 11 accuracy breakdown."""
+    lines = ["Figure 11: Supplier Predictor accuracy (fractions)"]
+    header = "%-10s %-9s %6s %6s %6s %6s" % (
+        "predictor",
+        "workload",
+        "TP",
+        "TN",
+        "FP",
+        "FN",
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for predictor, by_workload in table.items():
+        for workload, frac in by_workload.items():
+            lines.append(
+                "%-10s %-9s %6.3f %6.3f %6.3f %6.3f"
+                % (
+                    predictor,
+                    workload,
+                    frac["true_positive"],
+                    frac["true_negative"],
+                    frac["false_positive"],
+                    frac["false_negative"],
+                )
+            )
+    return "\n".join(lines)

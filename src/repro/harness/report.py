@@ -1,0 +1,182 @@
+"""Report generation: one self-contained text/markdown document with
+every figure of the paper's evaluation, rendered as tables and ASCII
+bar charts.
+
+Used by ``flexsnoop report`` and by notebook users who want the whole
+evaluation in one call::
+
+    from repro.harness.experiments import ExperimentMatrix
+    from repro.harness.report import render_report
+    print(render_report(ExperimentMatrix(accesses_per_core=1000)))
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.harness.experiments import (
+    ExperimentMatrix,
+    format_accuracy_table,
+)
+
+#: Width of the ASCII bars.
+BAR_WIDTH = 36
+
+
+def ascii_bar(value: float, maximum: float, width: int = BAR_WIDTH) -> str:
+    """Render one horizontal bar, scaled so ``maximum`` fills
+    ``width`` characters."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * value / maximum))
+    filled = max(0, min(width, filled))
+    return "#" * filled
+
+
+def bar_chart(
+    title: str,
+    table: Dict[str, Dict[str, float]],
+    fmt: str = "%.2f",
+) -> str:
+    """Render a {workload: {algorithm: value}} mapping as grouped
+    ASCII bars, one group per workload (the paper's figure layout)."""
+    lines = [title, "=" * len(title)]
+    maximum = max(
+        value for row in table.values() for value in row.values()
+    )
+    for workload, row in table.items():
+        lines.append("")
+        lines.append("[%s]" % workload)
+        for algorithm, value in row.items():
+            lines.append(
+                "  %-14s %8s |%s"
+                % (algorithm, fmt % value, ascii_bar(value, maximum))
+            )
+    return "\n".join(lines)
+
+
+def _section(title: str, body: str) -> str:
+    return "## %s\n\n```\n%s\n```\n" % (title, body)
+
+
+def render_report(
+    matrix: ExperimentMatrix,
+    figures: Optional[Iterable[int]] = None,
+) -> str:
+    """Render the evaluation report.
+
+    Args:
+        matrix: the experiment matrix (results are computed lazily and
+            cached, so rendering twice is cheap).
+        figures: which figures to include (default: 6, 7, 8, 9, 11;
+            Figure 10 adds ~24 extra simulations and is opt-in).
+    """
+    selected = set(figures) if figures is not None else {6, 7, 8, 9, 11}
+    parts: List[str] = [
+        "# Flexible Snooping - evaluation report",
+        "",
+        "Machine: 8 CMPs, embedded unidirectional ring "
+        "(39-cycle hops, 55-cycle snoops), workloads at %d "
+        "accesses/core." % matrix.accesses_per_core,
+        "",
+    ]
+
+    if 6 in selected:
+        parts.append(
+            _section(
+                "Figure 6 - snoop operations per read snoop request",
+                bar_chart(
+                    "snoops per request (absolute)",
+                    matrix.fig6_snoops_per_request(),
+                ),
+            )
+        )
+    if 7 in selected:
+        parts.append(
+            _section(
+                "Figure 7 - ring read messages (normalized to Lazy)",
+                bar_chart(
+                    "read requests + replies vs Lazy",
+                    matrix.fig7_read_messages(),
+                    fmt="%.3f",
+                ),
+            )
+        )
+    if 8 in selected:
+        parts.append(
+            _section(
+                "Figure 8 - execution time (normalized to Lazy)",
+                bar_chart(
+                    "execution time vs Lazy",
+                    matrix.fig8_execution_time(),
+                    fmt="%.3f",
+                ),
+            )
+        )
+    if 9 in selected:
+        parts.append(
+            _section(
+                "Figure 9 - snoop-traffic energy (normalized to Lazy)",
+                bar_chart(
+                    "energy vs Lazy",
+                    matrix.fig9_energy(),
+                    fmt="%.3f",
+                ),
+            )
+        )
+    if 10 in selected:
+        sensitivity = matrix.fig10_sensitivity()
+        lines = ["exec time vs the 2k-entry configuration"]
+        for workload, by_algorithm in sensitivity.items():
+            for algorithm, by_predictor in by_algorithm.items():
+                for predictor, value in by_predictor.items():
+                    lines.append(
+                        "%-9s %-13s %-9s %6.3f"
+                        % (workload, algorithm, predictor, value)
+                    )
+        parts.append(
+            _section("Figure 10 - predictor-size sensitivity",
+                      "\n".join(lines))
+        )
+    if 11 in selected:
+        parts.append(
+            _section(
+                "Figure 11 - Supplier Predictor accuracy",
+                format_accuracy_table(matrix.fig11_accuracy()),
+            )
+        )
+
+    parts.append(_headline_summary(matrix))
+    return "\n".join(parts)
+
+
+def _headline_summary(matrix: ExperimentMatrix) -> str:
+    """The Section 6.1.5 headline, computed from this run."""
+    energy = matrix.fig9_energy()
+    time = matrix.fig8_execution_time()
+    lines = ["## Headline (Section 6.1.5)", ""]
+    for workload in matrix.workloads:
+        agg_vs_eager_energy = 100 * (
+            1 - energy[workload]["superset_agg"] / energy[workload]["eager"]
+        )
+        con_vs_agg_energy = 100 * (
+            1
+            - energy[workload]["superset_con"]
+            / energy[workload]["superset_agg"]
+        )
+        con_vs_agg_time = 100 * (
+            time[workload]["superset_con"] / time[workload]["superset_agg"]
+            - 1
+        )
+        lines.append(
+            "* %s: SupersetAgg uses %.0f%% less energy than Eager; "
+            "SupersetCon is %.0f%% slower than Agg but uses %.0f%% "
+            "less energy."
+            % (
+                workload,
+                agg_vs_eager_energy,
+                con_vs_agg_time,
+                con_vs_agg_energy,
+            )
+        )
+    return "\n".join(lines) + "\n"

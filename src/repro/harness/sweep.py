@@ -1,0 +1,154 @@
+"""Generic parameter sweeps over machine configuration.
+
+The ablation benchmarks each hand-roll a loop over one knob; this
+module generalizes that into a reusable utility::
+
+    from repro.harness.sweep import Sweep, sweep_ring_field
+
+    sweep = sweep_ring_field(
+        "snoop_time", [25, 55, 110],
+        algorithm="superset_agg", workload="splash2",
+        accesses_per_core=800,
+    )
+    for point in sweep.points:
+        print(point.value, point.result.exec_time)
+    print(sweep.series("exec_time"))
+
+Sweeps accept a *mutator* - a function that takes the base
+``MachineConfig`` and one swept value and returns the modified config
+- so any nested field can be swept without bespoke plumbing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.config import MachineConfig, default_machine
+from repro.core.algorithms import build_algorithm
+from repro.sim.system import RingMultiprocessor, SimulationResult
+from repro.workloads.profiles import build_workload
+
+ConfigMutator = Callable[[MachineConfig, Any], MachineConfig]
+
+
+@dataclass
+class SweepPoint:
+    """One (value, result) pair of a sweep."""
+
+    value: Any
+    result: SimulationResult
+
+
+@dataclass
+class Sweep:
+    """A completed sweep: the swept values with their run results."""
+
+    name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, metric: str) -> Dict[Any, float]:
+        """Extract one metric across the sweep.
+
+        ``metric`` is an attribute of :class:`SimulationResult`
+        (``exec_time``, ``total_energy``) or of its ``stats`` object
+        (``snoops_per_read_request``, ``mean_read_miss_latency``, ...).
+        """
+        series: Dict[Any, float] = {}
+        for point in self.points:
+            if hasattr(point.result, metric):
+                series[point.value] = getattr(point.result, metric)
+            else:
+                series[point.value] = getattr(point.result.stats, metric)
+        return series
+
+    def normalized_series(self, metric: str, baseline: Any) -> Dict[
+        Any, float
+    ]:
+        """``series(metric)`` divided by the value at ``baseline``."""
+        series = self.series(metric)
+        if baseline not in series:
+            raise KeyError("baseline value %r not swept" % (baseline,))
+        reference = series[baseline]
+        if reference == 0:
+            raise ZeroDivisionError("baseline metric is zero")
+        return {key: value / reference for key, value in series.items()}
+
+
+def run_sweep(
+    name: str,
+    values: Sequence[Any],
+    mutate: ConfigMutator,
+    *,
+    algorithm: str = "lazy",
+    workload: str = "splash2",
+    accesses_per_core: int = 800,
+    seed: int = 0,
+    warmup_fraction: float = 0.3,
+    base_config: Optional[MachineConfig] = None,
+) -> Sweep:
+    """Run one simulation per swept value and collect the results."""
+    sweep = Sweep(name=name)
+    for value in values:
+        trace = build_workload(workload, accesses_per_core, seed)
+        base = base_config or default_machine(
+            algorithm=algorithm, cores_per_cmp=trace.cores_per_cmp
+        )
+        machine = mutate(base, value)
+        system = RingMultiprocessor(
+            machine,
+            build_algorithm(algorithm),
+            trace,
+            warmup_fraction=warmup_fraction,
+        )
+        sweep.points.append(SweepPoint(value=value,
+                                       result=system.run()))
+    return sweep
+
+
+def _nested_replace(config: MachineConfig, section: str, field_name: str,
+                    value: Any) -> MachineConfig:
+    inner = getattr(config, section)
+    return config.replace(
+        **{section: dataclasses.replace(inner, **{field_name: value})}
+    )
+
+
+def sweep_ring_field(field_name: str, values: Sequence[Any],
+                     **kwargs) -> Sweep:
+    """Sweep one field of :class:`RingConfig` (e.g. ``snoop_time``,
+    ``hop_latency``, ``link_occupancy``)."""
+    return run_sweep(
+        "ring.%s" % field_name,
+        values,
+        lambda config, value: _nested_replace(
+            config, "ring", field_name, value
+        ),
+        **kwargs,
+    )
+
+
+def sweep_memory_field(field_name: str, values: Sequence[Any],
+                       **kwargs) -> Sweep:
+    """Sweep one field of :class:`MemoryConfig`."""
+    return run_sweep(
+        "memory.%s" % field_name,
+        values,
+        lambda config, value: _nested_replace(
+            config, "memory", field_name, value
+        ),
+        **kwargs,
+    )
+
+
+def sweep_predictor_entries(values: Sequence[int], **kwargs) -> Sweep:
+    """Sweep the Supplier Predictor's entry count."""
+    return run_sweep(
+        "predictor.entries",
+        values,
+        lambda config, value: config.replace(
+            predictor=config.predictor.with_entries(value)
+        ),
+        **kwargs,
+    )

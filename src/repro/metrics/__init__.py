@@ -1,0 +1,6 @@
+"""Statistics collection for simulation runs."""
+
+from repro.metrics.histogram import LatencyHistogram, merge
+from repro.metrics.stats import PredictorAccuracy, RunStats
+
+__all__ = ["LatencyHistogram", "merge", "PredictorAccuracy", "RunStats"]

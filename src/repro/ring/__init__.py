@@ -1,0 +1,16 @@
+"""Embedded-ring interconnect: topology, message types, node gateways."""
+
+from repro.ring.messages import (
+    MessageMode,
+    SnoopKind,
+    RingMessage,
+)
+from repro.ring.topology import RingTopology, TorusTopology
+
+__all__ = [
+    "MessageMode",
+    "SnoopKind",
+    "RingMessage",
+    "RingTopology",
+    "TorusTopology",
+]

@@ -1,0 +1,95 @@
+"""Ring and torus topology helpers.
+
+The machine embeds one or more unidirectional rings in its physical
+network (a 2D torus by default).  Snoop messages are constrained to a
+ring; data messages use torus shortest paths.  Requests are mapped to
+rings by line address, balancing the load (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config import DataNetworkConfig, RingConfig
+
+
+class RingTopology:
+    """Unidirectional ring over ``num_nodes`` CMP gateways.
+
+    Node ids are 0..num_nodes-1 and the ring order follows ids:
+    node i forwards to node (i+1) mod N.
+    """
+
+    def __init__(self, num_nodes: int, config: RingConfig) -> None:
+        if num_nodes < 2:
+            raise ValueError("a ring needs at least 2 nodes")
+        self.num_nodes = num_nodes
+        self.config = config
+
+    def next_node(self, node: int) -> int:
+        """Downstream neighbour of ``node`` on the ring."""
+        self._check(node)
+        return (node + 1) % self.num_nodes
+
+    def ring_distance(self, src: int, dst: int) -> int:
+        """Number of ring segments from ``src`` to ``dst`` going
+        downstream; 0 when src == dst."""
+        self._check(src)
+        self._check(dst)
+        return (dst - src) % self.num_nodes
+
+    def ring_of(self, address: int) -> int:
+        """Ring index a line address maps to (address interleaving)."""
+        return address % self.config.num_rings
+
+    def walk_order(self, requester: int) -> List[int]:
+        """Nodes a snoop request visits, in order, excluding the
+        requester itself (the request finally returns home)."""
+        self._check(requester)
+        return [
+            (requester + offset) % self.num_nodes
+            for offset in range(1, self.num_nodes)
+        ]
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                "node %d out of range [0, %d)" % (node, self.num_nodes)
+            )
+
+
+class TorusTopology:
+    """2D torus used by data and memory messages.
+
+    CMP ``i`` sits at coordinates ``(i // cols, i % cols)``.
+    """
+
+    def __init__(self, num_nodes: int, config: DataNetworkConfig) -> None:
+        rows, cols = config.torus_shape
+        if rows * cols < num_nodes:
+            raise ValueError(
+                "torus %dx%d cannot place %d nodes" % (rows, cols, num_nodes)
+            )
+        self.num_nodes = num_nodes
+        self.rows = rows
+        self.cols = cols
+        self.config = config
+
+    def coordinates(self, node: int) -> Tuple[int, int]:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError("node %d out of range" % node)
+        return node // self.cols, node % self.cols
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Shortest-path hop count on the torus."""
+        (r1, c1), (r2, c2) = self.coordinates(src), self.coordinates(dst)
+        dr = abs(r1 - r2)
+        dc = abs(c1 - c2)
+        return min(dr, self.rows - dr) + min(dc, self.cols - dc)
+
+    def transfer_latency(self, src: int, dst: int) -> int:
+        """Latency of a data transfer from src to dst (cycles)."""
+        if src == dst:
+            return self.config.overhead
+        hops = self.hop_distance(src, dst)
+        return hops * self.config.per_hop_latency + self.config.overhead

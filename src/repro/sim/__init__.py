@@ -1,0 +1,13 @@
+"""Discrete-event simulation substrate and full-system assembly."""
+
+from repro.sim.engine import Event, EventEngine
+from repro.sim.memory import MainMemory
+from repro.sim.system import RingMultiprocessor, SimulationResult
+
+__all__ = [
+    "Event",
+    "EventEngine",
+    "MainMemory",
+    "RingMultiprocessor",
+    "SimulationResult",
+]

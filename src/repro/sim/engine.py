@@ -1,0 +1,106 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary
+heap.  The sequence number breaks ties so that events scheduled first
+fire first, which makes every simulation fully deterministic for a
+given seed and input trace.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass
+class Event:
+    """Handle to one scheduled callback.
+
+    The heap itself stores ``(time, seq, event)`` tuples so ordering
+    comparisons run at C speed and never touch this object.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], None]
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing when the event is popped."""
+        self.cancelled = True
+
+
+class EventEngine:
+    """Binary-heap event queue with a monotonic simulation clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+        self._seq = 0
+        self.now = 0
+        self.events_processed = 0
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        return self._push(self.now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise ValueError(
+                "cannot schedule at %d, current time is %d" % (time, self.now)
+            )
+        return self._push(time, callback)
+
+    def _push(self, time: int, callback: Callable[[], None]) -> Event:
+        event = Event(time=time, seq=self._seq, callback=callback)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+        return event
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next pending event, or None when empty."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event; return False when the queue is empty."""
+        heap = self._heap
+        while heap:
+            time, _, event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self.now = time
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the queue.
+
+        Args:
+            until: stop once the clock would pass this time.
+            max_events: safety valve against runaway simulations.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._heap:
+            if max_events is not None and processed >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if self.step():
+                processed += 1
+        return processed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for entry in self._heap if not entry[2].cancelled)

@@ -1,0 +1,1042 @@
+"""Full-system simulator: CMP nodes, embedded ring, memory, protocol.
+
+:class:`RingMultiprocessor` assembles the substrates into the machine
+of Figure 2(a) and drives a workload trace through it under a chosen
+snooping algorithm.  The ring walk of every coherence transaction is
+simulated message-by-message with the exact Table 2 primitive
+semantics (via :func:`repro.core.primitives.apply_primitive`), so the
+snoop counts, message counts, latencies and predictor behaviour emerge
+from the mechanism rather than from closed-form shortcuts.
+
+Transaction life cycle (reads):
+
+1. A core misses in its own L2 and in its CMP's local master.
+2. A snoop message is issued on the line's embedded ring.  At each
+   node the Supplier Predictor is consulted and the algorithm picks a
+   primitive; snoops and crossings are counted and charged.
+3. If a supplier is found, it transitions per the protocol rules and
+   the data line travels the torus to the requester, which may use it
+   on arrival (the transaction can no longer be squashed).
+4. Otherwise the negative response returns to the requester, which
+   fetches the line from the home memory (prefetched if the walk
+   passed the home node and the heuristic is on).
+
+Collisions: a transaction issued on a line with an in-flight
+conflicting transaction (any write involved) is squashed - it
+circulates for serialization only, then retries after a back-off.
+Same-CMP requests to a busy line wait in an MSHR instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.config import MachineConfig
+from repro.coherence.cache import EvictionRecord
+from repro.coherence.protocol import (
+    CoherenceError,
+    ProtocolTables,
+    downgrade_state,
+    local_reader_state,
+    requester_state_from_cache,
+    requester_state_from_memory,
+    supplier_next_state_on_read,
+    writer_state,
+)
+from repro.coherence.states import LineState, SUPPLIER_STATES
+from repro.core.algorithms import SnoopingAlgorithm
+from repro.core.predictors import PerfectPredictor
+from repro.core.presence import PresencePredictor
+from repro.core.primitives import Primitive, apply_primitive
+from repro.energy.model import EnergyModel
+from repro.metrics.stats import RunStats
+from repro.ring.messages import MessageMode, RingMessage, SnoopKind
+from repro.ring.node import CMPNode
+from repro.ring.topology import RingTopology, TorusTopology
+from repro.sim.engine import EventEngine
+from repro.sim.memory import MainMemory
+from repro.sim.processor import Core, build_cores
+from repro.workloads.trace import Access, WorkloadTrace
+
+
+@dataclass
+class Transaction:
+    """One in-flight ring coherence transaction."""
+
+    txn_id: int
+    kind: SnoopKind
+    address: int
+    requester_cmp: int
+    core: Core
+    issue_time: int
+    msg: RingMessage = None  # type: ignore[assignment]
+    needs_data: bool = True
+    write_version: int = 0
+    expected_version: int = 0
+    data_arrival: Optional[int] = None
+    supplied_version: int = 0
+    supplier_cmp: Optional[int] = None
+    prefetch_initiated: bool = False
+    waiters: List[Core] = field(default_factory=list)
+    retired: bool = False
+
+
+@dataclass
+class SimulationResult:
+    """Everything a run produces."""
+
+    algorithm: str
+    workload: str
+    stats: RunStats
+    energy: Dict[str, float]
+    exec_time: int
+    events: int
+    config: MachineConfig
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy["total"]
+
+    def summary(self) -> Dict[str, float]:
+        data = self.stats.summary()
+        data["energy_total"] = self.total_energy
+        return data
+
+
+class RingMultiprocessor:
+    """The simulated machine.  Build it, then call :meth:`run`."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        algorithm: SnoopingAlgorithm,
+        workload: WorkloadTrace,
+        collect_perfect: bool = True,
+        warmup_fraction: float = 0.0,
+    ) -> None:
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        workload.validate()
+        if workload.num_cmps != config.num_cmps:
+            raise ValueError(
+                "workload spans %d CMPs but machine has %d"
+                % (workload.num_cmps, config.num_cmps)
+            )
+        if workload.cores_per_cmp != config.cores_per_cmp:
+            raise ValueError(
+                "workload uses %d cores/CMP but machine has %d"
+                % (workload.cores_per_cmp, config.cores_per_cmp)
+            )
+        self.config = config
+        self.algorithm = algorithm
+        self.workload = workload
+        self.collect_perfect = collect_perfect
+
+        self.engine = EventEngine()
+        self.ring = RingTopology(config.num_cmps, config.ring)
+        self.torus = TorusTopology(config.num_cmps, config.data_network)
+        self.memory = MainMemory(config.memory, config.num_cmps)
+        self.stats = RunStats()
+        self.energy = EnergyModel(config.energy, config.predictor.kind)
+
+        # O(1) line-location indexes, kept consistent by cache
+        # callbacks routed through the LineRegistry hooks below.
+        self._supplier_of: Dict[int, Tuple[int, int]] = {}
+        self._holder_count: Dict[int, int] = {}
+        # Optional write-snoop filtering (extension, see
+        # repro.core.presence): one presence predictor per CMP,
+        # trained by the same residency callbacks.
+        self.presence: List[PresencePredictor] = (
+            [PresencePredictor() for _ in range(config.num_cmps)]
+            if config.filter_write_snoops
+            else []
+        )
+
+        self.nodes: List[CMPNode] = [
+            CMPNode(
+                i,
+                config.cores_per_cmp,
+                config.cache,
+                config.predictor,
+                registry=self,
+            )
+            for i in range(config.num_cmps)
+        ]
+        for node in self.nodes:
+            if node.is_exact:
+                node.predictor.set_downgrade_callback(
+                    self._make_downgrade_handler(node.cmp_id)
+                )
+            if isinstance(node.predictor, PerfectPredictor):
+                node.predictor.set_truth(
+                    self._make_supplier_truth(node.cmp_id)
+                )
+
+        self.cores: List[Core] = build_cores(
+            workload.traces, config.cores_per_cmp
+        )
+
+        self._active: Dict[int, List[Transaction]] = {}
+        self._txn_seq = 0
+        self._write_counter = 0
+        # Optional contention modeling: next-free times of each ring
+        # link (keyed by (ring index, source node)) and of each CMP's
+        # snoop port.
+        self._link_free: Dict[Tuple[int, int], int] = {}
+        self._snoop_port_free: List[int] = [0] * config.num_cmps
+        # Warmup: the first ``warmup_fraction`` of all accesses fill
+        # the caches and train the predictors; statistics and energy
+        # are reset when the threshold is crossed, so reported numbers
+        # reflect steady-state behaviour (the paper likewise skips
+        # workload initialization before measuring).
+        self._completed_accesses = 0
+        self._warmup_target = int(workload.total_accesses * warmup_fraction)
+        self._in_warmup = self._warmup_target > 0
+        self._warmup_end_time = 0
+        self._last_completed_write: Dict[int, int] = {}
+        self._downgraded: Set[int] = set()
+        self._ran = False
+        self._apply_prewarm()
+
+    def _apply_prewarm(self) -> None:
+        """Install the workload's prewarm lines (resident private data
+        of a long-running application) in E state.
+
+        Filled in reverse so the hottest lines (listed first) end up
+        most recently used.  The fills flow through the normal cache
+        callbacks, so predictors and the line registry see them.
+        """
+        if not self.workload.prewarm:
+            return
+        for core, lines in zip(self.cores, self.workload.prewarm):
+            cache = self.nodes[core.cmp_id].caches[core.local_id]
+            for address in reversed(lines):
+                cache.fill(address, LineState.E, 0)
+
+    # ==================================================================
+    # LineRegistry hooks (called synchronously by cache mutations)
+
+    def supplier_gain(self, cmp_id: int, core: int, address: int) -> None:
+        existing = self._supplier_of.get(address)
+        if existing is not None and existing != (cmp_id, core):
+            raise CoherenceError(
+                "line %#x gained supplier at %s while %s still holds it"
+                % (address, (cmp_id, core), existing)
+            )
+        self._supplier_of[address] = (cmp_id, core)
+
+    def supplier_loss(self, cmp_id: int, core: int, address: int) -> None:
+        existing = self._supplier_of.get(address)
+        if existing == (cmp_id, core):
+            del self._supplier_of[address]
+
+    def line_added(self, cmp_id: int, core: int, address: int) -> None:
+        self._holder_count[address] = self._holder_count.get(address, 0) + 1
+        if self.presence:
+            self.presence[cmp_id].line_added(address)
+
+    def line_removed(self, cmp_id: int, core: int, address: int) -> None:
+        count = self._holder_count.get(address, 0) - 1
+        if count <= 0:
+            self._holder_count.pop(address, None)
+        else:
+            self._holder_count[address] = count
+        if self.presence:
+            self.presence[cmp_id].line_removed(address)
+
+    def _cmp_has_supplier(self, cmp_id: int, address: int) -> bool:
+        entry = self._supplier_of.get(address)
+        return entry is not None and entry[0] == cmp_id
+
+    def _make_supplier_truth(self, cmp_id: int):
+        supplier_of = self._supplier_of
+
+        def truth(address: int) -> bool:
+            entry = supplier_of.get(address)
+            return entry is not None and entry[0] == cmp_id
+
+        return truth
+
+    # ==================================================================
+    # Public API
+
+    def run(self, max_events: Optional[int] = None) -> SimulationResult:
+        """Replay the workload to completion and return the results."""
+        if self._ran:
+            raise RuntimeError("a RingMultiprocessor can only run once")
+        self._ran = True
+        for core in self.cores:
+            if core.trace:
+                self.engine.schedule(
+                    core.trace[0].think_time,
+                    self._make_issue_handler(core),
+                )
+            else:
+                core.finish_time = 0
+        self.engine.run(max_events=max_events)
+        self._finalize_energy()
+        self.stats.core_finish_times = [
+            core.finish_time if core.finish_time is not None else -1
+            for core in self.cores
+        ]
+        unfinished = [c.core_id for c in self.cores if c.finish_time is None]
+        if unfinished:
+            raise RuntimeError(
+                "simulation ended with unfinished cores: %s" % unfinished
+            )
+        finish = max(self.stats.core_finish_times, default=0)
+        self.stats.exec_time = max(finish - self._warmup_end_time, 0)
+        return SimulationResult(
+            algorithm=self.algorithm.name,
+            workload=self.workload.name,
+            stats=self.stats,
+            energy=self.energy.breakdown.as_dict(),
+            exec_time=self.stats.exec_time,
+            events=self.engine.events_processed,
+            config=self.config,
+        )
+
+    def _end_warmup(self) -> None:
+        """Reset all measurement state; caches and predictors keep
+        their trained contents."""
+        self._in_warmup = False
+        self._warmup_end_time = self.engine.now
+        self.stats = RunStats()
+        self.energy = EnergyModel(
+            self.config.energy, self.config.predictor.kind
+        )
+        for node in self.nodes:
+            node.predictor.lookups = 0
+            node.predictor.updates = 0
+        for presence in self.presence:
+            presence.lookups = 0
+            presence.updates = 0
+            presence.filtered = 0
+        self.memory.reads = 0
+        self.memory.writebacks = 0
+        self.memory.prefetches = 0
+
+    # ==================================================================
+    # Core replay
+
+    def _make_issue_handler(self, core: Core) -> Callable[[], None]:
+        return lambda: self._issue_access(core)
+
+    def _issue_access(self, core: Core) -> None:
+        access = core.current_access
+        core.block(self.engine.now)
+        if access.is_write:
+            self._handle_write(core, access)
+        else:
+            self._handle_read(core, access)
+
+    def _complete_access(self, core: Core, at_time: int) -> None:
+        core.unblock(at_time)
+        core.advance()
+        self._completed_accesses += 1
+        if self._in_warmup and self._completed_accesses >= self._warmup_target:
+            self._end_warmup()
+        if core.done:
+            core.finish_time = at_time
+            return
+        next_access = core.current_access
+        self.engine.schedule_at(
+            max(at_time, self.engine.now) + next_access.think_time,
+            self._make_issue_handler(core),
+        )
+
+    # ==================================================================
+    # Reads
+
+    def _handle_read(self, core: Core, access: Access) -> None:
+        self.stats.reads += 1
+        address = access.address
+        node = self.nodes[core.cmp_id]
+        own = node.caches[core.local_id]
+
+        line = own.lookup(address)
+        if line is not None:
+            self.stats.read_hits_local_cache += 1
+            self._check_version(address, line.version, at_issue=True)
+            self._complete_access(
+                core, self.engine.now + self.config.cache.hit_latency
+            )
+            return
+
+        master_core = node.local_master_core(address)
+        if master_core is not None:
+            master_cache = node.caches[master_core]
+            master_line = master_cache.lookup(address)
+            assert master_line is not None
+            self.stats.read_hits_local_master += 1
+            if master_line.state in SUPPLIER_STATES:
+                # A dirty or exclusive master now shares the line:
+                # D becomes T, E becomes SG (SG and T are unchanged),
+                # exactly as when supplying a ring read.
+                master_cache.set_state(
+                    address,
+                    supplier_next_state_on_read(master_line.state),
+                )
+            self._fill(
+                core, address, local_reader_state(), master_line.version
+            )
+            self._check_version(address, master_line.version, at_issue=True)
+            self._complete_access(
+                core,
+                self.engine.now + self.config.cache.local_master_latency,
+            )
+            return
+
+        self._start_ring_transaction(core, address, SnoopKind.READ)
+
+    # ==================================================================
+    # Writes
+
+    def _handle_write(self, core: Core, access: Access) -> None:
+        self.stats.writes += 1
+        address = access.address
+        node = self.nodes[core.cmp_id]
+        own = node.caches[core.local_id]
+        state = own.state_of(address)
+
+        if state in (LineState.E, LineState.D):
+            # Silent upgrade: exclusive ownership already held.
+            self.stats.write_hits_exclusive += 1
+            self._write_counter += 1
+            version = self._write_counter
+            own.set_state(address, LineState.D)
+            resident = own.lookup(address)
+            assert resident is not None
+            resident.version = version
+            done = self.engine.now + self.config.cache.hit_latency
+            self._note_write_completed(address, version, done)
+            self._complete_access(core, done)
+            return
+
+        self._start_ring_transaction(core, address, SnoopKind.WRITE)
+
+    # ==================================================================
+    # Ring transactions: issue, walk, completion
+
+    def _start_ring_transaction(
+        self, core: Core, address: int, kind: SnoopKind
+    ) -> None:
+        now = self.engine.now
+        active_list = self._active.get(address)
+        squashed = False
+        if active_list:
+            for txn in active_list:
+                if txn.requester_cmp == core.cmp_id:
+                    txn.waiters.append(core)
+                    self.stats.mshr_queued += 1
+                    return
+            # A write-involving overlap on the same line from another
+            # CMP is a collision; the younger message is squashed and
+            # retried (Section 2.1.4).  Already-squashed messages are
+            # ignored: they circulate for serialization only and must
+            # never squash others, or two retrying requesters would
+            # livelock each other.  Concurrent *reads* proceed - the
+            # memory-race between two reads that both miss all caches
+            # is reconciled at data-delivery time.
+            squashed = any(
+                not t.msg.squashed
+                and (kind is SnoopKind.WRITE or t.kind is SnoopKind.WRITE)
+                for t in active_list
+            )
+
+        self._txn_seq += 1
+        txn = Transaction(
+            txn_id=self._txn_seq,
+            kind=kind,
+            address=address,
+            requester_cmp=core.cmp_id,
+            core=core,
+            issue_time=now,
+            expected_version=self._last_completed_write.get(address, 0),
+        )
+        if kind is SnoopKind.WRITE:
+            # Data for the write can come from the writer's own copy
+            # or from any valid copy in the CMP (supplied over the CMP
+            # bus); only a CMP-wide miss needs data from the ring or
+            # memory.  The version is allocated at commit time so that
+            # write serialization order matches commit order.
+            txn.needs_data = not self.nodes[core.cmp_id].holders(address)
+        txn.msg = RingMessage(
+            transaction_id=txn.txn_id,
+            kind=kind,
+            address=address,
+            requester=core.cmp_id,
+            request_time=now,
+            squashed=squashed,
+        )
+        self._active.setdefault(address, []).append(txn)
+
+        if not squashed:
+            if kind is SnoopKind.READ:
+                self.stats.read_ring_transactions += 1
+            else:
+                self.stats.write_ring_transactions += 1
+
+        first = self.ring.next_node(core.cmp_id)
+        self._forward_request(txn, first, now)
+
+    def _cross_link(self, txn: Transaction, from_node: int,
+                    departure: int) -> int:
+        """Reserve the ring link for one message crossing; returns the
+        actual departure time (== requested time unless link
+        contention modeling is on and the link is busy)."""
+        occupancy = self.config.ring.link_occupancy
+        if not occupancy:
+            return departure
+        key = (self.ring.ring_of(txn.address), from_node)
+        actual = max(departure, self._link_free.get(key, 0))
+        self._link_free[key] = actual + occupancy
+        return actual
+
+    def _reserve_snoop_port(self, node_id: int, ready: int) -> int:
+        """Queueing delay before a snoop can start at ``node_id``."""
+        if not self.config.ring.serialize_snoop_port:
+            return 0
+        start = max(ready, self._snoop_port_free[node_id])
+        self._snoop_port_free[node_id] = (
+            start + self.config.ring.snoop_time
+        )
+        return start - ready
+
+    def _forward_request(
+        self, txn: Transaction, to_node: int, departure: int
+    ) -> None:
+        """Send the request/combined form across one ring segment."""
+        txn.msg.hops_request += 1
+        self._charge_crossing(txn)
+        from_node = (to_node - 1) % self.config.num_cmps
+        departure = self._cross_link(txn, from_node, departure)
+        arrival = departure + self.config.ring.hop_latency
+        self.engine.schedule_at(
+            arrival, lambda: self._ring_step(txn, to_node)
+        )
+
+    def _charge_crossing(self, txn: Transaction) -> None:
+        self.energy.charge_ring_crossing()
+        if txn.kind is SnoopKind.READ:
+            self.stats.read_ring_crossings += 1
+        else:
+            self.stats.write_ring_crossings += 1
+
+    def _advance_trailing_reply(
+        self, txn: Transaction, node_id: int
+    ) -> None:
+        """Move the trailing reply across the segment into ``node_id``
+        (the node currently processing the request).
+
+        With link-contention modeling on, the reply reserves the same
+        link the request used; the reservation is made when the
+        request is processed, a one-hop-early approximation that keeps
+        the reply's timing analytic.
+        """
+        msg = txn.msg
+        if msg.mode is MessageMode.SPLIT:
+            assert msg.reply_time is not None
+            upstream = (node_id - 1) % self.config.num_cmps
+            departure = self._cross_link(txn, upstream, msg.reply_time)
+            msg.reply_time = departure + self.config.ring.hop_latency
+            msg.hops_reply += 1
+            self._charge_crossing(txn)
+
+    def _ring_step(self, txn: Transaction, node_id: int) -> None:
+        now = self.engine.now
+        msg = txn.msg
+        if node_id == txn.requester_cmp:
+            # The final reply crossing is accounted by _walk_returned.
+            self._walk_returned(txn)
+            return
+        self._advance_trailing_reply(txn, node_id)
+
+        if msg.squashed or msg.satisfied:
+            # Squashed messages circulate for serialization only; a
+            # satisfied combined R/R is a reply and induces no snoops.
+            self._forward_request(txn, self.ring.next_node(node_id), now)
+            return
+
+        if txn.kind is SnoopKind.WRITE:
+            self._write_step(txn, node_id, now)
+            return
+
+        self._read_step(txn, node_id, now)
+
+    # ------------------------------------------------------------------
+    # Read walk
+
+    def _read_step(self, txn: Transaction, node_id: int, now: int) -> None:
+        msg = txn.msg
+        node = self.nodes[node_id]
+        address = txn.address
+        supplier_here = self._cmp_has_supplier(node_id, address)
+
+        if (
+            self.collect_perfect
+            and not msg.satisfied_reply
+            and not msg.satisfied
+        ):
+            # The paper's "perfect predictor" is checked at every node
+            # until the request finds the supplier.
+            self.stats.perfect_accuracy.record(supplier_here, supplier_here)
+
+        if self.algorithm.uses_predictor():
+            predictor = node.predictor
+            prediction = predictor.lookup(address)
+            predictor_latency = predictor.latency
+            if not isinstance(predictor, PerfectPredictor):
+                self.stats.accuracy.record(prediction, supplier_here)
+        else:
+            prediction = True
+            predictor_latency = 0
+
+        primitive = self.algorithm.choose(prediction)
+        if primitive is Primitive.FORWARD and supplier_here:
+            raise CoherenceError(
+                "algorithm %s filtered the snoop at the supplier node "
+                "(false negative on line %#x at CMP %d)"
+                % (self.algorithm.name, address, node_id)
+            )
+
+        snoop_queue_delay = (
+            self._reserve_snoop_port(node_id, now + predictor_latency)
+            if primitive.snoops
+            else 0
+        )
+        outcome = apply_primitive(
+            msg,
+            primitive,
+            now=now,
+            snoop_time=self.config.ring.snoop_time,
+            predictor_latency=predictor_latency,
+            node_is_supplier=supplier_here,
+            node=node_id,
+            snoop_queue_delay=snoop_queue_delay,
+        )
+
+        if outcome.snooped:
+            self.stats.read_snoops += 1
+            self.energy.charge_snoop()
+            if (
+                not supplier_here
+                and prediction
+                and self.algorithm.uses_predictor()
+            ):
+                node.predictor.observe_false_positive(address)
+            if outcome.supplied:
+                assert outcome.snoop_done is not None
+                self._supply_read(txn, node_id, outcome.snoop_done)
+
+        if self.memory.config.prefetch_on_snoop and node_id == (
+            self.memory.home_of(address)
+        ):
+            if not txn.prefetch_initiated and not msg.satisfied_reply:
+                txn.prefetch_initiated = True
+                self.memory.note_prefetch()
+
+        self._forward_request(
+            txn, self.ring.next_node(node_id), outcome.request_departure
+        )
+
+    def _supply_read(
+        self, txn: Transaction, node_id: int, snoop_done: int
+    ) -> None:
+        node = self.nodes[node_id]
+        found = node.supplier_line(txn.address)
+        assert found is not None, "supplier vanished mid-transaction"
+        supplier_core, line = found
+        next_state = supplier_next_state_on_read(line.state)
+        node.caches[supplier_core].set_state(txn.address, next_state)
+
+        txn.supplier_cmp = node_id
+        txn.supplied_version = line.version
+        data_arrival = snoop_done + self.torus.transfer_latency(
+            node_id, txn.requester_cmp
+        )
+        txn.data_arrival = data_arrival
+        self.stats.reads_supplied_by_cache += 1
+        self.stats.supplier_latency_sum += snoop_done - txn.issue_time
+        self.stats.supplier_latency_count += 1
+        self.engine.schedule_at(
+            data_arrival, lambda: self._deliver_read_data(txn)
+        )
+
+    def _deliver_read_data(self, txn: Transaction) -> None:
+        self._fill(
+            txn.core,
+            txn.address,
+            requester_state_from_cache(),
+            txn.supplied_version,
+        )
+        self._check_version(txn.address, txn.supplied_version, txn=txn)
+        self._record_read_latency(txn)
+        self._complete_access(txn.core, self.engine.now)
+
+    # ------------------------------------------------------------------
+    # Write walk
+
+    def _write_step(self, txn: Transaction, node_id: int, now: int) -> None:
+        msg = txn.msg
+        node = self.nodes[node_id]
+        address = txn.address
+        supplier_here = self._cmp_has_supplier(node_id, address)
+
+        # Writes snoop (and invalidate) at every node; decoupling only
+        # changes whether invalidations proceed in parallel.  With the
+        # presence-predictor extension, a node that provably caches no
+        # copy skips the snoop entirely (the filter has no false
+        # negatives, so this never misses a copy).
+        predictor_latency = 0
+        if self.presence:
+            presence = self.presence[node_id]
+            predictor_latency = presence.access_latency
+            if not presence.may_be_present(address):
+                outcome = apply_primitive(
+                    msg,
+                    Primitive.FORWARD,
+                    now=now,
+                    snoop_time=self.config.ring.snoop_time,
+                    predictor_latency=predictor_latency,
+                    node_is_supplier=False,
+                    node=node_id,
+                )
+                self._forward_request(
+                    txn,
+                    self.ring.next_node(node_id),
+                    outcome.request_departure,
+                )
+                return
+        primitive = (
+            Primitive.FORWARD_THEN_SNOOP
+            if self.algorithm.decouple_writes
+            else Primitive.SNOOP_THEN_FORWARD
+        )
+        outcome = apply_primitive(
+            msg,
+            primitive,
+            now=now,
+            snoop_time=self.config.ring.snoop_time,
+            predictor_latency=predictor_latency,
+            node_is_supplier=False,  # writes never mark the message satisfied
+            node=node_id,
+            snoop_queue_delay=self._reserve_snoop_port(
+                node_id, now + predictor_latency
+            ),
+        )
+        assert outcome.snooped and outcome.snoop_done is not None
+        self.stats.write_snoops += 1
+        self.energy.charge_snoop()
+
+        if supplier_here and txn.needs_data and txn.data_arrival is None:
+            found = node.supplier_line(address)
+            assert found is not None
+            _, line = found
+            txn.supplied_version = line.version
+            txn.supplier_cmp = node_id
+            txn.data_arrival = outcome.snoop_done + self.torus.transfer_latency(
+                node_id, txn.requester_cmp
+            )
+            self.stats.writes_supplied_by_cache += 1
+
+        snoop_done = outcome.snoop_done
+        self.engine.schedule_at(
+            snoop_done, lambda: self.nodes[node_id].invalidate_all(address)
+        )
+
+        self._forward_request(
+            txn, self.ring.next_node(node_id), outcome.request_departure
+        )
+
+    # ------------------------------------------------------------------
+    # Walk completion
+
+    def _walk_returned(self, txn: Transaction) -> None:
+        """The request form is back at the requester; wait for the
+        trailing reply if the message is split."""
+        now = self.engine.now
+        msg = txn.msg
+        if msg.mode is MessageMode.SPLIT:
+            assert msg.reply_time is not None
+            info_time = msg.reply_time + self.config.ring.hop_latency
+            msg.hops_reply += 1
+            self._charge_crossing(txn)
+        else:
+            info_time = now
+        self.engine.schedule_at(
+            max(info_time, now), lambda: self._walk_done(txn)
+        )
+
+    def _walk_done(self, txn: Transaction) -> None:
+        now = self.engine.now
+        if txn.msg.squashed:
+            self._retire(txn)
+            self.stats.squashes += 1
+            self.engine.schedule(
+                self.config.squash_backoff, lambda: self._retry(txn)
+            )
+            return
+        if txn.kind is SnoopKind.WRITE:
+            self._write_done(txn, now)
+        else:
+            self._read_done(txn, now)
+
+    def _read_done(self, txn: Transaction, info_time: int) -> None:
+        msg = txn.msg
+        if msg.satisfied or msg.satisfied_reply:
+            # Data delivery is already scheduled; retire once both the
+            # reply has returned and the data has arrived.
+            assert txn.data_arrival is not None
+            retire_at = max(info_time, txn.data_arrival)
+            if retire_at > self.engine.now:
+                self.engine.schedule_at(retire_at, lambda: self._retire(txn))
+            else:
+                self._retire(txn)
+            return
+
+        # Negative response: fetch from the home memory.
+        address = txn.address
+        latency = self.memory.read_latency(
+            txn.requester_cmp, address, txn.prefetch_initiated
+        )
+        if (
+            txn.prefetch_initiated
+            and self.memory.home_of(address) != txn.requester_cmp
+        ):
+            self.stats.reads_prefetched += 1
+        self.stats.reads_supplied_by_memory += 1
+
+        if address in self._downgraded:
+            # The Exact predictor downgraded this line; had it not, a
+            # cache could have supplied it.  Charge the re-read.
+            if self._any_holder(address):
+                self.energy.charge_downgrade_reread()
+                self.stats.downgrade_rereads += 1
+            self._downgraded.discard(address)
+
+        data_arrival = info_time + latency
+        txn.data_arrival = data_arrival
+        self.engine.schedule_at(
+            data_arrival, lambda: self._deliver_memory_data(txn)
+        )
+
+    def _deliver_memory_data(self, txn: Transaction) -> None:
+        address = txn.address
+        # Reconcile with the global state *now*: a concurrent read from
+        # another CMP may have installed a supplier after our walk
+        # passed it (both walks found no supplier and both went to
+        # memory).  In that case we take the shared role, keeping the
+        # single-supplier invariant; the racing supplier can only be
+        # clean (a write would have squashed this read), so memory's
+        # data is current.
+        supplier = self._find_global_supplier(address)
+        if supplier is not None:
+            node_id, core_id = supplier
+            cache = self.nodes[node_id].caches[core_id]
+            line = cache.lookup(address, touch=False)
+            assert line is not None
+            cache.set_state(
+                address, supplier_next_state_on_read(line.state)
+            )
+            version = line.version
+            state = requester_state_from_cache()
+        else:
+            version = self.memory.read(address)
+            state = requester_state_from_memory(self._any_holder(address))
+        self._fill(txn.core, address, state, version)
+        self._check_version(address, version, txn=txn)
+        self._record_read_latency(txn)
+        self._complete_access(txn.core, self.engine.now)
+        self._retire(txn)
+
+    def _write_done(self, txn: Transaction, info_time: int) -> None:
+        address = txn.address
+        if txn.needs_data:
+            if txn.data_arrival is not None:
+                complete_at = max(info_time, txn.data_arrival)
+            else:
+                latency = self.memory.read_latency(
+                    txn.requester_cmp, address, txn.prefetch_initiated
+                )
+                self.memory.read(address)
+                self.stats.writes_supplied_by_memory += 1
+                complete_at = info_time + latency
+        else:
+            complete_at = info_time
+
+        if complete_at > self.engine.now:
+            self.engine.schedule_at(
+                complete_at, lambda: self._commit_write(txn, complete_at)
+            )
+        else:
+            self._commit_write(txn, complete_at)
+
+    def _commit_write(self, txn: Transaction, at_time: int) -> None:
+        core = txn.core
+        address = txn.address
+        node = self.nodes[core.cmp_id]
+        # The version is allocated here, at commit, so that it is
+        # consistent with the global serialization order of writes
+        # (an owner's silent write that slipped in while this
+        # transaction was in flight must order before it).
+        self._write_counter += 1
+        txn.write_version = self._write_counter
+        # Local copies (including the writer's own old copy) are
+        # invalidated on the CMP bus, then the writer installs the
+        # dirty line.
+        node.invalidate_all(address)
+        self._fill(core, address, writer_state(), txn.write_version)
+        self._note_write_completed(address, txn.write_version, at_time)
+        self._complete_access(core, at_time)
+        self._retire(txn)
+
+    # ------------------------------------------------------------------
+    # Retirement, retries, MSHR waiters
+
+    def _retire(self, txn: Transaction) -> None:
+        if txn.retired:
+            return
+        txn.retired = True
+        active_list = self._active.get(txn.address)
+        if active_list and txn in active_list:
+            active_list.remove(txn)
+            if not active_list:
+                del self._active[txn.address]
+        if self.config.check_invariants:
+            self._check_line_invariants(txn.address)
+        waiters, txn.waiters = txn.waiters, []
+        for waiter in waiters:
+            self.engine.schedule(0, self._make_reissue_handler(waiter))
+
+    def _make_reissue_handler(self, core: Core) -> Callable[[], None]:
+        def reissue() -> None:
+            access = core.current_access
+            if access.is_write:
+                self._handle_write_reissue(core, access)
+            else:
+                self._handle_read_reissue(core, access)
+
+        return reissue
+
+    def _handle_read_reissue(self, core: Core, access: Access) -> None:
+        # Identical to _handle_read but without re-counting the access.
+        self.stats.reads -= 1
+        self._handle_read(core, access)
+
+    def _handle_write_reissue(self, core: Core, access: Access) -> None:
+        self.stats.writes -= 1
+        self._handle_write(core, access)
+
+    def _retry(self, txn: Transaction) -> None:
+        self.stats.retries += 1
+        core = txn.core
+        access = core.current_access
+        if access.is_write:
+            self._handle_write_reissue(core, access)
+        else:
+            self._handle_read_reissue(core, access)
+
+    # ------------------------------------------------------------------
+    # Cache mutation helpers
+
+    def _fill(
+        self, core: Core, address: int, state: LineState, version: int
+    ) -> None:
+        cache = self.nodes[core.cmp_id].caches[core.local_id]
+        victim = cache.fill(address, state, version)
+        if victim is not None:
+            self._handle_eviction(victim)
+
+    def _handle_eviction(self, victim: EvictionRecord) -> None:
+        self.stats.dirty_evictions += victim.dirty
+        if victim.dirty:
+            self.memory.writeback(victim.address, victim.version)
+            self.stats.writebacks += 1
+
+    def _make_downgrade_handler(self, cmp_id: int) -> Callable[[int], None]:
+        def downgrade(address: int) -> None:
+            node = self.nodes[cmp_id]
+            core = node.find_downgrade_victim(address)
+            if core is None:
+                return
+            cache = node.caches[core]
+            line = cache.lookup(address, touch=False)
+            assert line is not None
+            new_state, needs_writeback = downgrade_state(line.state)
+            if needs_writeback:
+                self.memory.writeback(address, line.version)
+                self.stats.downgrade_writebacks += 1
+                self.energy.charge_downgrade_writeback()
+            cache.set_state(address, new_state)
+            self.stats.downgrades += 1
+            self.energy.charge_downgrade()
+            self._downgraded.add(address)
+
+        return downgrade
+
+    # ------------------------------------------------------------------
+    # Bookkeeping helpers
+
+    def _any_holder(self, address: int) -> bool:
+        return self._holder_count.get(address, 0) > 0
+
+    def _find_global_supplier(
+        self, address: int
+    ) -> Optional[Tuple[int, int]]:
+        """(cmp, core) of the machine-wide supplier copy, if any."""
+        return self._supplier_of.get(address)
+
+    def _note_write_completed(
+        self, address: int, version: int, at_time: int
+    ) -> None:
+        if version > self._last_completed_write.get(address, 0):
+            self._last_completed_write[address] = version
+
+    def _check_version(
+        self,
+        address: int,
+        obtained: int,
+        txn: Optional[Transaction] = None,
+        at_issue: bool = False,
+    ) -> None:
+        if not self.config.track_versions:
+            return
+        if txn is not None:
+            expected = txn.expected_version
+        else:
+            expected = self._last_completed_write.get(address, 0)
+        if obtained < expected:
+            self.stats.version_violations += 1
+
+    def _record_read_latency(self, txn: Transaction) -> None:
+        assert txn.data_arrival is not None
+        latency = txn.data_arrival - txn.issue_time
+        self.stats.read_miss_latency_sum += latency
+        self.stats.read_miss_count += 1
+        self.stats.read_miss_histogram.record(latency)
+
+    def _check_line_invariants(self, address: int) -> None:
+        snapshot: Dict[Tuple[int, int], LineState] = {}
+        for node in self.nodes:
+            for core_idx, cache in enumerate(node.caches):
+                state = cache.state_of(address)
+                if state != LineState.I:
+                    snapshot[(node.cmp_id, core_idx)] = state
+        ProtocolTables.check_line(snapshot, address)
+
+    def _finalize_energy(self) -> None:
+        for node in self.nodes:
+            self.energy.charge_predictor_lookup(node.predictor.lookups)
+            self.energy.charge_predictor_update(node.predictor.updates)
+        # The presence filter (write-snoop filtering extension) is a
+        # Bloom structure of the Superset predictor's class; charge it
+        # at the same rates.
+        for presence in self.presence:
+            self.energy.breakdown.predictor_lookups += (
+                presence.lookups * self.config.energy.superset_lookup
+            )
+            self.energy.breakdown.predictor_updates += (
+                presence.updates * self.config.energy.superset_update
+            )

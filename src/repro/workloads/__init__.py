@@ -1,0 +1,40 @@
+"""Workload traces and synthetic generators.
+
+The paper evaluates SPLASH-2, SPECjbb 2000 and SPECweb 2005.  Those
+binaries (and the execution-driven SESC/Simics infrastructure that ran
+them) are not available, so this package provides a parameterised
+synthetic generator plus per-workload *profiles* calibrated to the
+sharing behaviour the paper reports (see DESIGN.md, "Substitutions").
+"""
+
+from repro.workloads.trace import Access, CoreTrace, WorkloadTrace
+from repro.workloads.synthetic import SharingProfile, generate_workload
+from repro.workloads.profiles import (
+    WORKLOAD_PROFILES,
+    splash2_profile,
+    specjbb_profile,
+    specweb_profile,
+    build_workload,
+)
+from repro.workloads.io import load_trace, save_trace
+from repro.workloads.splash2_apps import (
+    SPLASH2_APPS,
+    build_app_workload,
+)
+
+__all__ = [
+    "Access",
+    "CoreTrace",
+    "WorkloadTrace",
+    "SharingProfile",
+    "generate_workload",
+    "WORKLOAD_PROFILES",
+    "splash2_profile",
+    "specjbb_profile",
+    "specweb_profile",
+    "build_workload",
+    "load_trace",
+    "save_trace",
+    "SPLASH2_APPS",
+    "build_app_workload",
+]

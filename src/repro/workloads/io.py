@@ -1,0 +1,108 @@
+"""Trace file I/O.
+
+Serializes :class:`WorkloadTrace` objects to a compact JSON-lines
+format so traces can be generated once and replayed across many
+simulator configurations - or produced by external tools (e.g. a Pin
+tool or a full-system simulator) and fed to this package.
+
+Format (one JSON document per line):
+
+* line 1 - header: ``{"format": "flexsnoop-trace", "version": 1,
+  "name": ..., "cores_per_cmp": ..., "num_cores": ...}``
+* one line per core - ``{"core": i, "accesses": [[address, w, think],
+  ...], "prewarm": [...]}`` where ``w`` is 0/1.
+
+Addresses are line addresses (byte address divided by the line size).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.workloads.trace import Access, WorkloadTrace
+
+FORMAT_NAME = "flexsnoop-trace"
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not match the expected format."""
+
+
+def save_trace(workload: WorkloadTrace, path: Union[str, Path]) -> None:
+    """Write a workload trace to ``path`` (JSON-lines)."""
+    workload.validate()
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "name": workload.name,
+            "cores_per_cmp": workload.cores_per_cmp,
+            "num_cores": workload.num_cores,
+        }
+        handle.write(json.dumps(header) + "\n")
+        for core, trace in enumerate(workload.traces):
+            record = {
+                "core": core,
+                "accesses": [
+                    [a.address, int(a.is_write), a.think_time]
+                    for a in trace
+                ],
+            }
+            if workload.prewarm:
+                record["prewarm"] = workload.prewarm[core]
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_trace(path: Union[str, Path]) -> WorkloadTrace:
+    """Read a workload trace written by :func:`save_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise TraceFormatError("empty trace file: %s" % path)
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError("bad trace header: %s" % exc) from exc
+        if header.get("format") != FORMAT_NAME:
+            raise TraceFormatError(
+                "not a %s file: %s" % (FORMAT_NAME, path)
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise TraceFormatError(
+                "unsupported trace version %r" % header.get("version")
+            )
+
+        num_cores = header["num_cores"]
+        traces: List[List[Access]] = [[] for _ in range(num_cores)]
+        prewarm: List[List[int]] = [[] for _ in range(num_cores)]
+        saw_prewarm = False
+        for line in handle:
+            record = json.loads(line)
+            core = record["core"]
+            if not 0 <= core < num_cores:
+                raise TraceFormatError("core %r out of range" % core)
+            traces[core] = [
+                Access(
+                    address=address,
+                    is_write=bool(is_write),
+                    think_time=think,
+                )
+                for address, is_write, think in record["accesses"]
+            ]
+            if "prewarm" in record:
+                saw_prewarm = True
+                prewarm[core] = list(record["prewarm"])
+
+    workload = WorkloadTrace(
+        name=header["name"],
+        cores_per_cmp=header["cores_per_cmp"],
+        traces=traces,
+        prewarm=prewarm if saw_prewarm else [],
+    )
+    workload.validate()
+    return workload

@@ -1,0 +1,240 @@
+"""Per-application SPLASH-2 profiles.
+
+The paper simulates 11 SPLASH-2 applications (all but Volrend) and
+reports SPLASH-2 bars as means over them.  The aggregate profile in
+:mod:`repro.workloads.profiles` stands in for that mean; this module
+additionally provides one profile per application, parameterized to
+each program's published sharing characterization (Woo et al.,
+ISCA 1995, plus the coherence-traffic folklore those kernels
+established):
+
+========  ==========================================================
+barnes    irregular octree sharing; migratory bodies, high reuse
+cholesky  task-queue factorization; producer-consumer panels
+fft       all-to-all transpose; producer-consumer, streaming, low reuse
+fmm       barnes-like but with better locality
+lu        blocked factorization; one-writer many-reader panels
+ocean     nearest-neighbour grids; big working set, capacity misses
+radiosity task stealing; heavily migratory scene patches
+radix     permutation phase writes; streaming + producer-consumer
+raytrace  read-mostly shared scene; task queue
+water-ns  migratory molecule records, all-pairs interactions
+water-sp  water with spatial decomposition: more locality
+========  ==========================================================
+
+Each runs the paper's SPLASH-2 configuration: 32 cores, 4 per CMP.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.workloads.synthetic import SharingProfile
+from repro.workloads.trace import WorkloadTrace
+from repro.workloads.synthetic import generate_workload
+
+#: Paper configuration for SPLASH-2 runs.
+_CORES = 32
+_CORES_PER_CMP = 4
+
+
+def _app(
+    name: str,
+    seed: int,
+    *,
+    p_shared: float,
+    p_cold: float,
+    shared_lines: int,
+    private_lines: int,
+    write_fraction_shared: float,
+    migratory_fraction: float,
+    producer_consumer_fraction: float,
+    zipf_exponent: float,
+    burst_mean: float,
+    accesses_per_core: int,
+) -> SharingProfile:
+    return SharingProfile(
+        name="splash2/%s" % name,
+        num_cores=_CORES,
+        cores_per_cmp=_CORES_PER_CMP,
+        accesses_per_core=accesses_per_core,
+        p_shared=p_shared,
+        p_cold=p_cold,
+        shared_lines=shared_lines,
+        private_lines=private_lines,
+        write_fraction_shared=write_fraction_shared,
+        write_fraction_private=0.3,
+        migratory_fraction=migratory_fraction,
+        producer_consumer_fraction=producer_consumer_fraction,
+        zipf_exponent=zipf_exponent,
+        private_zipf_exponent=1.5,
+        burst_mean=burst_mean,
+        prewarm_fraction=0.35,
+        think_mean=140.0,
+        seed=seed,
+    )
+
+
+def barnes(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "barnes", 101,
+        p_shared=0.45, p_cold=0.02, shared_lines=2048,
+        private_lines=1500, write_fraction_shared=0.12,
+        migratory_fraction=0.12, producer_consumer_fraction=0.08,
+        zipf_exponent=1.0, burst_mean=6.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+def cholesky(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "cholesky", 102,
+        p_shared=0.35, p_cold=0.05, shared_lines=2048,
+        private_lines=2000, write_fraction_shared=0.10,
+        migratory_fraction=0.05, producer_consumer_fraction=0.25,
+        zipf_exponent=0.8, burst_mean=5.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+def fft(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "fft", 103,
+        p_shared=0.30, p_cold=0.10, shared_lines=4096,
+        private_lines=2500, write_fraction_shared=0.08,
+        migratory_fraction=0.0, producer_consumer_fraction=0.35,
+        zipf_exponent=0.4, burst_mean=3.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+def fmm(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "fmm", 104,
+        p_shared=0.35, p_cold=0.02, shared_lines=2048,
+        private_lines=2000, write_fraction_shared=0.10,
+        migratory_fraction=0.08, producer_consumer_fraction=0.10,
+        zipf_exponent=1.0, burst_mean=7.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+def lu(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "lu", 105,
+        p_shared=0.40, p_cold=0.02, shared_lines=2048,
+        private_lines=1500, write_fraction_shared=0.06,
+        migratory_fraction=0.0, producer_consumer_fraction=0.30,
+        zipf_exponent=0.7, burst_mean=8.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+def ocean(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "ocean", 106,
+        p_shared=0.30, p_cold=0.12, shared_lines=4096,
+        private_lines=4000, write_fraction_shared=0.15,
+        migratory_fraction=0.04, producer_consumer_fraction=0.15,
+        zipf_exponent=0.5, burst_mean=4.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+def radiosity(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "radiosity", 107,
+        p_shared=0.45, p_cold=0.02, shared_lines=1536,
+        private_lines=1500, write_fraction_shared=0.15,
+        migratory_fraction=0.22, producer_consumer_fraction=0.08,
+        zipf_exponent=1.0, burst_mean=5.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+def radix(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "radix", 108,
+        p_shared=0.25, p_cold=0.15, shared_lines=4096,
+        private_lines=3000, write_fraction_shared=0.30,
+        migratory_fraction=0.0, producer_consumer_fraction=0.30,
+        zipf_exponent=0.3, burst_mean=2.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+def raytrace(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "raytrace", 109,
+        p_shared=0.50, p_cold=0.03, shared_lines=3072,
+        private_lines=1500, write_fraction_shared=0.03,
+        migratory_fraction=0.04, producer_consumer_fraction=0.05,
+        zipf_exponent=0.9, burst_mean=6.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+def water_nsquared(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "water-nsquared", 110,
+        p_shared=0.40, p_cold=0.02, shared_lines=1536,
+        private_lines=1500, write_fraction_shared=0.12,
+        migratory_fraction=0.25, producer_consumer_fraction=0.05,
+        zipf_exponent=0.8, burst_mean=5.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+def water_spatial(accesses_per_core: int = 1500) -> SharingProfile:
+    return _app(
+        "water-spatial", 111,
+        p_shared=0.32, p_cold=0.02, shared_lines=1536,
+        private_lines=1500, write_fraction_shared=0.10,
+        migratory_fraction=0.15, producer_consumer_fraction=0.08,
+        zipf_exponent=0.9, burst_mean=7.0,
+        accesses_per_core=accesses_per_core,
+    )
+
+
+#: The 11 applications of the paper's SPLASH-2 runs.
+SPLASH2_APPS: Dict[str, Callable[..., SharingProfile]] = {
+    "barnes": barnes,
+    "cholesky": cholesky,
+    "fft": fft,
+    "fmm": fmm,
+    "lu": lu,
+    "ocean": ocean,
+    "radiosity": radiosity,
+    "radix": radix,
+    "raytrace": raytrace,
+    "water-nsquared": water_nsquared,
+    "water-spatial": water_spatial,
+}
+
+
+def build_app_workload(
+    app: str, accesses_per_core: int = 0
+) -> WorkloadTrace:
+    """Generate the trace for one SPLASH-2 application profile."""
+    if app not in SPLASH2_APPS:
+        raise ValueError(
+            "unknown SPLASH-2 app %r; known: %s"
+            % (app, ", ".join(sorted(SPLASH2_APPS)))
+        )
+    factory = SPLASH2_APPS[app]
+    profile = (
+        factory(accesses_per_core) if accesses_per_core else factory()
+    )
+    return generate_workload(profile)
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean, as the paper uses for its SPLASH-2 bars."""
+    if not values:
+        raise ValueError("nothing to average")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,16 @@
+"""Pytest configuration for the test suite.
+
+The suite is organized as:
+
+* ``tests/unit`` - one module per library module, no simulation runs
+  beyond microscopic ones.
+* ``tests/property`` - hypothesis-driven invariant checks (cache vs a
+  reference model, predictor guarantees).
+* ``tests/integration`` - whole-system runs: single hand-built
+  transactions with exact cycle assertions, contended workloads with
+  coherence/version checking, calibration contracts, and
+  cross-validation of the simulator against the analytical models.
+
+Individual test modules build their own fixtures; nothing needs to be
+shared globally.
+"""

@@ -1,0 +1,120 @@
+"""Cross-validation: the discrete-event simulator against the
+closed-form models of Tables 1 and 3.
+
+For a controlled experiment - one read per supplier distance, supplier
+planted at every position 1..N-1 in turn - the simulator's averaged
+latency, snoop count and message count must equal the analytical
+expectations exactly (the analytical model assumes a uniform supplier
+distribution, which this experiment realizes by construction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, default_machine
+from repro.coherence.states import LineState
+from repro.core.algorithms import build_algorithm
+from repro.core.analytical import (
+    AnalyticalParams,
+    expected_latency,
+    expected_messages,
+    expected_snoops,
+)
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.trace import Access, WorkloadTrace
+
+N = 8
+LINE = 0x890  # maps to ring 0; home node 0x890 % 8 = 0
+
+
+def run_at_distance(algorithm_name: str, distance: int):
+    """One unloaded read whose supplier sits ``distance`` hops away."""
+    traces = [[] for _ in range(N)]
+    traces[0] = [Access(address=LINE, is_write=False, think_time=0)]
+    workload = WorkloadTrace(name="probe", cores_per_cmp=1, traces=traces)
+    machine = default_machine(
+        algorithm=algorithm_name,
+        cores_per_cmp=1,
+        cache=CacheConfig(num_lines=256, associativity=8),
+    )
+    system = RingMultiprocessor(
+        machine, build_algorithm(algorithm_name), workload
+    )
+    system.nodes[distance].caches[0].fill(LINE, LineState.E)
+    result = system.run()
+    stats = result.stats
+    return {
+        # Time from issue until the supplier's snoop completes: the
+        # analytical latency definition.
+        "latency": stats.mean_supplier_latency,
+        "snoops": stats.read_snoops,
+        "messages": stats.read_ring_crossings / N,
+    }
+
+
+def average_over_distances(algorithm_name: str):
+    rows = [
+        run_at_distance(algorithm_name, d) for d in range(1, N)
+    ]
+    return {
+        key: sum(row[key] for row in rows) / len(rows)
+        for key in rows[0]
+    }
+
+
+def params(**kwargs):
+    return AnalyticalParams(
+        num_nodes=N,
+        hop_latency=39,
+        snoop_time=55,
+        predictor_latency=2,
+        p_supplier=1.0,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize(
+    "algorithm,pred_latency",
+    [
+        ("lazy", 0),
+        ("eager", 0),
+        ("oracle", 0),
+        ("subset", 2),
+        ("superset_con", 2),
+        ("superset_agg", 2),
+        ("exact", 2),
+    ],
+)
+def test_simulator_matches_analytical(algorithm, pred_latency):
+    measured = average_over_distances(algorithm)
+    p = AnalyticalParams(
+        num_nodes=N,
+        hop_latency=39,
+        snoop_time=55,
+        predictor_latency=pred_latency,
+        p_supplier=1.0,
+        fn=0.0,
+        fp=0.0,
+    )
+    # Latency until the supplier's snoop completes.
+    assert measured["latency"] == pytest.approx(
+        expected_latency(algorithm, p), rel=1e-9
+    ), "latency"
+    # Snoop operations per request.
+    assert measured["snoops"] == pytest.approx(
+        expected_snoops(algorithm, p), rel=1e-9
+    ), "snoops"
+    # Ring messages per request (crossings / N).
+    assert measured["messages"] == pytest.approx(
+        expected_messages(algorithm, p), rel=1e-9
+    ), "messages"
+
+
+def test_lazy_vs_eager_latency_gap_matches_table1():
+    lazy = average_over_distances("lazy")["latency"]
+    eager = average_over_distances("eager")["latency"]
+    p = params()
+    assert lazy - eager == pytest.approx(
+        expected_latency("lazy", p) - expected_latency("eager", p)
+    )

@@ -1,0 +1,179 @@
+"""Scenario-level protocol tests: multi-step sequences exercising the
+SL/SG/T state machine across CMPs, evictions with write-back, and the
+mastership rules of Section 2.2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, default_machine
+from repro.coherence.states import LineState
+from repro.core.algorithms import build_algorithm
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.trace import Access, WorkloadTrace
+
+N = 4
+LINE = 0x1001  # home node 1
+
+
+def build_system(accesses_by_core, cores_per_cmp=1, cache_lines=64):
+    traces = [[] for _ in range(N * cores_per_cmp)]
+    for core, accesses in accesses_by_core.items():
+        traces[core] = [
+            Access(address=a, is_write=w, think_time=t)
+            for (a, w, t) in accesses
+        ]
+    workload = WorkloadTrace(
+        name="scenario", cores_per_cmp=cores_per_cmp, traces=traces
+    )
+    machine = default_machine(
+        algorithm="lazy",
+        num_cmps=N,
+        cores_per_cmp=cores_per_cmp,
+        cache=CacheConfig(num_lines=cache_lines, associativity=4),
+        track_versions=True,
+        check_invariants=True,
+    )
+    return RingMultiprocessor(
+        machine, build_algorithm("lazy"), workload
+    )
+
+
+def state_of(system, cmp_id, address, core=0):
+    return system.nodes[cmp_id].caches[core].state_of(address)
+
+
+# ----------------------------------------------------------------------
+# Read chains: mastership propagation
+
+
+def test_read_chain_single_global_master():
+    """Three CMPs read in sequence: the first becomes the global
+    master (E then SG); later readers take SL in their own CMPs."""
+    system = build_system(
+        {
+            0: [(LINE, False, 0)],
+            1: [(LINE, False, 4000)],
+            2: [(LINE, False, 8000)],
+        }
+    )
+    system.run()
+    assert state_of(system, 0, LINE) is LineState.SG
+    assert state_of(system, 1, LINE) is LineState.SL
+    assert state_of(system, 2, LINE) is LineState.SL
+
+
+def test_local_read_after_remote_fill():
+    """Within a CMP, the core that fetched the line stays local
+    master; its sibling reads get plain S."""
+    system = build_system(
+        {
+            0: [(LINE, False, 0)],   # CMP 0, core 0
+            1: [(LINE, False, 4000)],  # CMP 0, core 1: local hit
+        },
+        cores_per_cmp=2,
+    )
+    result = system.run()
+    assert result.stats.read_hits_local_master == 1
+    assert result.stats.read_ring_transactions == 1
+    assert system.nodes[0].caches[0].state_of(LINE) is LineState.SG
+    assert system.nodes[0].caches[1].state_of(LINE) is LineState.S
+
+
+def test_dirty_line_shared_through_tagged():
+    """Writer -> remote reader -> another remote reader: D becomes T
+    at first supply and stays T; readers hold SL."""
+    system = build_system(
+        {
+            0: [(LINE, True, 0)],
+            1: [(LINE, False, 5000)],
+            2: [(LINE, False, 10000)],
+        }
+    )
+    result = system.run()
+    assert state_of(system, 0, LINE) is LineState.T
+    assert state_of(system, 1, LINE) is LineState.SL
+    assert state_of(system, 2, LINE) is LineState.SL
+    assert result.stats.reads_supplied_by_cache == 2
+    assert result.stats.reads_supplied_by_memory == 0
+
+
+def test_tagged_eviction_writes_back():
+    """Evicting a T line must write the dirty data back, so a later
+    read is served by memory with the written value."""
+    # Addresses mapping to the same cache set to force the eviction:
+    # with 64 lines / 4-way there are 16 sets; stride 16 collides.
+    conflicting = [LINE + 16 * i for i in range(1, 5)]
+    accesses_writer = [(LINE, True, 0)]
+    accesses_reader = [(LINE, False, 4000)]
+    # After supplying (T), the writer's core fills 4 more lines into
+    # the same set, evicting LINE.
+    accesses_writer += [(a, False, 5000) for a in conflicting]
+    final_reader = [(LINE, False, 40000)]
+    system = build_system(
+        {0: accesses_writer, 1: accesses_reader, 2: final_reader}
+    )
+    result = system.run()
+    assert result.stats.version_violations == 0
+    assert result.stats.writebacks >= 1
+    assert system.memory.version_of(LINE) > 0
+
+
+def test_read_with_only_plain_s_copies_goes_to_memory():
+    """Plain S copies cannot supply: when the global master is gone,
+    the request falls through to memory and the requester becomes the
+    new global master (SG)."""
+    system = build_system({0: [(LINE, False, 0)]})
+    # Plant an S copy with no master anywhere.
+    system.nodes[2].caches[0].fill(LINE, LineState.S)
+    result = system.run()
+    assert result.stats.reads_supplied_by_memory == 1
+    assert state_of(system, 0, LINE) is LineState.SG
+    assert state_of(system, 2, LINE) is LineState.S
+
+
+def test_upgrade_from_sl_claims_ownership():
+    """A reader holding SL that writes must invalidate the rest of
+    the sharers, including the old global master."""
+    system = build_system(
+        {
+            0: [(LINE, False, 0)],            # becomes SG
+            1: [(LINE, False, 5000),          # becomes SL
+                (LINE, True, 5000)],          # upgrade: invalidates SG
+        }
+    )
+    result = system.run()
+    assert state_of(system, 0, LINE) is LineState.I
+    assert state_of(system, 1, LINE) is LineState.D
+    assert result.stats.version_violations == 0
+
+
+def test_silent_store_to_exclusive_keeps_ring_quiet():
+    system = build_system(
+        {0: [(LINE, False, 0), (LINE, True, 3000)]}
+    )
+    result = system.run()
+    # Read miss -> E; write upgrades silently.
+    assert result.stats.write_ring_transactions == 0
+    assert state_of(system, 0, LINE) is LineState.D
+
+
+def test_migratory_round_trip_versions():
+    """Each CMP increments the line in turn; every reader must see
+    its predecessor's value (version monotonicity end-to-end)."""
+    accesses = {}
+    for cmp in range(N):
+        accesses[cmp] = [
+            (LINE, False, 3000 + 9000 * cmp),
+            (LINE, True, 10),
+        ]
+    system = build_system(accesses)
+    result = system.run()
+    assert result.stats.version_violations == 0
+    owners = [
+        cmp
+        for cmp in range(N)
+        if state_of(system, cmp, LINE)
+        in (LineState.D, LineState.T)
+    ]
+    assert len(owners) == 1

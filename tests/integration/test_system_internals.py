@@ -1,0 +1,123 @@
+"""Integration tests for system internals: the line registry hooks,
+version checking plumbing, multi-ring mapping, and rerun protection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, default_machine
+from repro.coherence.protocol import CoherenceError
+from repro.coherence.states import LineState
+from repro.core.algorithms import build_algorithm
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.trace import Access, WorkloadTrace
+
+
+def empty_system(num_cmps=4, cores_per_cmp=2, **overrides):
+    traces = [[] for _ in range(num_cmps * cores_per_cmp)]
+    workload = WorkloadTrace(
+        name="empty", cores_per_cmp=cores_per_cmp, traces=traces
+    )
+    machine = default_machine(
+        algorithm="lazy",
+        num_cmps=num_cmps,
+        cores_per_cmp=cores_per_cmp,
+        cache=CacheConfig(num_lines=64, associativity=4),
+        **overrides,
+    )
+    return RingMultiprocessor(machine, build_algorithm("lazy"),
+                              workload)
+
+
+def test_registry_tracks_supplier_moves():
+    system = empty_system()
+    cache_a = system.nodes[0].caches[0]
+    cache_b = system.nodes[2].caches[1]
+    cache_a.fill(0x10, LineState.E)
+    assert system._find_global_supplier(0x10) == (0, 0)
+    assert system._cmp_has_supplier(0, 0x10)
+    assert not system._cmp_has_supplier(2, 0x10)
+    cache_a.set_state(0x10, LineState.SL)  # supplier lost
+    assert system._find_global_supplier(0x10) is None
+    cache_b.fill(0x10, LineState.D)
+    assert system._find_global_supplier(0x10) == (2, 1)
+
+
+def test_registry_rejects_second_supplier():
+    system = empty_system()
+    system.nodes[0].caches[0].fill(0x10, LineState.E)
+    with pytest.raises(CoherenceError):
+        system.nodes[1].caches[0].fill(0x10, LineState.D)
+
+
+def test_holder_count_reference_counting():
+    system = empty_system()
+    system.nodes[0].caches[0].fill(0x20, LineState.S)
+    system.nodes[1].caches[0].fill(0x20, LineState.S)
+    assert system._any_holder(0x20)
+    system.nodes[0].caches[0].invalidate(0x20)
+    assert system._any_holder(0x20)
+    system.nodes[1].caches[0].invalidate(0x20)
+    assert not system._any_holder(0x20)
+
+
+def test_system_runs_once_only():
+    system = empty_system()
+    system.run()
+    with pytest.raises(RuntimeError):
+        system.run()
+
+
+def test_mismatched_workload_rejected():
+    traces = [[] for _ in range(6)]
+    workload = WorkloadTrace(name="w", cores_per_cmp=2, traces=traces)
+    machine = default_machine(algorithm="lazy", num_cmps=4,
+                              cores_per_cmp=2)
+    with pytest.raises(ValueError):
+        RingMultiprocessor(machine, build_algorithm("lazy"), workload)
+
+    workload = WorkloadTrace(
+        name="w", cores_per_cmp=1, traces=[[] for _ in range(4)]
+    )
+    with pytest.raises(ValueError):
+        RingMultiprocessor(machine, build_algorithm("lazy"), workload)
+
+
+def test_version_checker_flags_stale_data():
+    system = empty_system(track_versions=True)
+    system._last_completed_write[0x30] = 7
+    system._check_version(0x30, obtained=6)
+    assert system.stats.version_violations == 1
+    system._check_version(0x30, obtained=7)
+    assert system.stats.version_violations == 1
+
+
+def test_version_checker_disabled_by_default():
+    system = empty_system()
+    system._last_completed_write[0x30] = 7
+    system._check_version(0x30, obtained=1)
+    assert system.stats.version_violations == 0
+
+
+def test_ring_assignment_balances_addresses():
+    system = empty_system()
+    from repro.workloads.synthetic import scramble
+
+    counts = [0, 0]
+    for logical in range(2000):
+        counts[system.ring.ring_of(scramble(logical))] += 1
+    assert abs(counts[0] - counts[1]) < 0.15 * sum(counts)
+
+
+def test_invariant_checker_runs_on_demand():
+    system = empty_system(check_invariants=True)
+    system.nodes[0].caches[0].fill(0x40, LineState.T)
+    system.nodes[1].caches[0].fill(0x40, LineState.S)
+    system._check_line_invariants(0x40)  # compatible: no raise
+    # Force an incompatible snapshot bypassing the registry.
+    cache = system.nodes[2].caches[0]
+    cache._sets[0x40 % cache.config.num_sets][0x40] = type(
+        next(iter(system.nodes[0].caches[0].iter_lines()))
+    )(address=0x40, state=LineState.D, version=0)
+    with pytest.raises(CoherenceError):
+        system._check_line_invariants(0x40)

@@ -1,0 +1,197 @@
+"""Integration tests running whole synthetic workloads through the
+system under every algorithm, checking coherence invariants, version
+correctness (readers always see the latest completed write), and
+cross-algorithm metric relationships."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, default_machine
+from repro.coherence.protocol import ProtocolTables
+from repro.coherence.states import LineState
+from repro.core.algorithms import ALGORITHMS, build_algorithm
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.synthetic import SharingProfile, generate_workload
+
+ALGORITHM_NAMES = [
+    "lazy",
+    "eager",
+    "oracle",
+    "subset",
+    "superset_con",
+    "superset_agg",
+    "superset_hybrid",
+    "exact",
+]
+
+
+def stress_profile(seed=7, cores=8, cores_per_cmp=2):
+    """A small, very contended workload: lots of sharing and writes,
+    which maximizes collisions and state churn."""
+    return SharingProfile(
+        name="stress",
+        num_cores=cores,
+        cores_per_cmp=cores_per_cmp,
+        accesses_per_core=400,
+        p_shared=0.6,
+        p_cold=0.05,
+        shared_lines=48,
+        private_lines=64,
+        write_fraction_shared=0.35,
+        write_fraction_private=0.4,
+        migratory_fraction=0.25,
+        think_mean=8.0,
+        seed=seed,
+    )
+
+
+def run_system(algorithm_name, profile):
+    workload = generate_workload(profile)
+    machine = default_machine(
+        algorithm=algorithm_name,
+        num_cmps=workload.num_cmps,
+        cores_per_cmp=workload.cores_per_cmp,
+        cache=CacheConfig(num_lines=128, associativity=4),
+        track_versions=True,
+        check_invariants=True,
+    )
+    system = RingMultiprocessor(
+        machine, build_algorithm(algorithm_name), workload
+    )
+    return system, system.run()
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_no_version_violations_under_contention(algorithm):
+    _, result = run_system(algorithm, stress_profile())
+    assert result.stats.version_violations == 0
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_final_state_globally_coherent(algorithm):
+    system, _ = run_system(algorithm, stress_profile())
+    addresses = set()
+    for node in system.nodes:
+        for cache in node.caches:
+            addresses.update(line.address for line in cache.iter_lines())
+    for address in addresses:
+        snapshot = {}
+        for node in system.nodes:
+            for core_index, cache in enumerate(node.caches):
+                state = cache.state_of(address)
+                if state != LineState.I:
+                    snapshot[(node.cmp_id, core_index)] = state
+        ProtocolTables.check_line(snapshot, address)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHM_NAMES)
+def test_registry_consistent_with_caches(algorithm):
+    """The O(1) supplier/holder indexes must agree with a full scan."""
+    system, _ = run_system(algorithm, stress_profile())
+    from repro.coherence.states import SUPPLIER_STATES
+
+    scan_suppliers = {}
+    scan_holders = {}
+    for node in system.nodes:
+        for core_index, cache in enumerate(node.caches):
+            for line in cache.iter_lines():
+                scan_holders[line.address] = (
+                    scan_holders.get(line.address, 0) + 1
+                )
+                if line.state in SUPPLIER_STATES:
+                    assert line.address not in scan_suppliers
+                    scan_suppliers[line.address] = (
+                        node.cmp_id,
+                        core_index,
+                    )
+    assert system._supplier_of == scan_suppliers
+    assert {
+        a: c for a, c in system._holder_count.items() if c > 0
+    } == scan_holders
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_determinism_across_runs(seed):
+    _, a = run_system("superset_agg", stress_profile(seed=seed))
+    _, b = run_system("superset_agg", stress_profile(seed=seed))
+    assert a.exec_time == b.exec_time
+    assert a.stats.read_snoops == b.stats.read_snoops
+    assert a.total_energy == b.total_energy
+
+
+def test_all_cores_complete():
+    system, result = run_system("lazy", stress_profile())
+    assert all(t >= 0 for t in result.stats.core_finish_times)
+    assert result.exec_time == max(result.stats.core_finish_times)
+
+
+def test_eager_always_snoops_everything():
+    _, result = run_system("eager", stress_profile())
+    n = 4  # CMPs
+    # Non-squashed read requests snoop all N-1 nodes.
+    assert result.stats.snoops_per_read_request == pytest.approx(
+        n - 1, abs=0.35  # squashed walks dilute the average slightly
+    )
+
+
+def test_oracle_never_worse_than_eager():
+    _, eager = run_system("eager", stress_profile())
+    _, oracle = run_system("oracle", stress_profile())
+    assert oracle.stats.read_snoops < eager.stats.read_snoops
+    assert oracle.exec_time <= eager.exec_time * 1.05
+
+
+def test_lazy_slowest_superset_agg_between():
+    _, lazy = run_system("lazy", stress_profile())
+    _, agg = run_system("superset_agg", stress_profile())
+    assert agg.exec_time <= lazy.exec_time
+
+
+def test_superset_con_single_message():
+    _, con = run_system("superset_con", stress_profile())
+    _, lazy = run_system("lazy", stress_profile())
+    # Con never splits read messages: crossings track Lazy's closely.
+    ratio = (
+        con.stats.read_ring_crossings / lazy.stats.read_ring_crossings
+    )
+    assert 0.9 < ratio < 1.1
+
+
+def test_subset_never_misses_supplier():
+    """With a Subset predictor, a false negative must degrade to
+    Forward-Then-Snoop, never skip the supplier: every ring read that
+    a supplier could serve is served by it."""
+    system, result = run_system("subset", stress_profile())
+    assert result.stats.version_violations == 0
+    # Cache-supplied reads exist despite predictor conflict drops.
+    assert result.stats.reads_supplied_by_cache > 0
+
+
+def test_hybrid_runs_and_tracks_modes():
+    workload = generate_workload(stress_profile())
+    machine = default_machine(
+        algorithm="superset_hybrid",
+        num_cmps=workload.num_cmps,
+        cores_per_cmp=workload.cores_per_cmp,
+        cache=CacheConfig(num_lines=128, associativity=4),
+    )
+    algorithm = build_algorithm("superset_hybrid")
+    toggle = {"pressed": False}
+    algorithm.set_energy_pressure(lambda: toggle["pressed"])
+    system = RingMultiprocessor(machine, algorithm, workload)
+    result = system.run()
+    assert algorithm.aggressive_choices > 0
+    assert result.stats.version_violations == 0
+
+
+def test_mshr_queues_same_cmp_requests():
+    _, result = run_system("lazy", stress_profile(cores=8,
+                                                  cores_per_cmp=4))
+    assert result.stats.mshr_queued > 0
+
+
+def test_collisions_squash_and_retry():
+    _, result = run_system("lazy", stress_profile())
+    assert result.stats.squashes > 0
+    assert result.stats.retries >= result.stats.squashes

@@ -1,0 +1,165 @@
+"""Integration tests for the measurement-window machinery: statistics
+warmup and cache prewarm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, default_machine
+from repro.coherence.states import LineState
+from repro.core.algorithms import build_algorithm
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.synthetic import SharingProfile, generate_workload
+
+
+def profile(prewarm_fraction=0.0, seed=23):
+    return SharingProfile(
+        name="warm",
+        num_cores=4,
+        cores_per_cmp=1,
+        accesses_per_core=400,
+        p_shared=0.3,
+        p_cold=0.1,
+        shared_lines=64,
+        private_lines=128,
+        prewarm_fraction=prewarm_fraction,
+        seed=seed,
+    )
+
+
+def build(prewarm_fraction=0.0, warmup_fraction=0.0):
+    workload = generate_workload(profile(prewarm_fraction))
+    machine = default_machine(
+        algorithm="lazy",
+        num_cmps=4,
+        cores_per_cmp=1,
+        cache=CacheConfig(num_lines=256, associativity=8),
+        track_versions=True,
+    )
+    return RingMultiprocessor(
+        machine,
+        build_algorithm("lazy"),
+        workload,
+        warmup_fraction=warmup_fraction,
+    )
+
+
+# ----------------------------------------------------------------------
+# Warmup (statistics reset)
+
+
+def test_warmup_reduces_counted_accesses():
+    full = build(warmup_fraction=0.0).run()
+    measured = build(warmup_fraction=0.5).run()
+    assert measured.stats.reads < full.stats.reads
+    assert measured.stats.reads > 0
+
+
+def test_warmup_shrinks_exec_time_window():
+    full = build(warmup_fraction=0.0).run()
+    measured = build(warmup_fraction=0.5).run()
+    assert measured.exec_time < full.exec_time
+
+
+def test_warmup_lowers_compulsory_miss_share():
+    """After warmup the caches are trained, so the memory-supplied
+    share of ring reads drops."""
+    cold = build(warmup_fraction=0.0).run()
+    warm = build(warmup_fraction=0.6).run()
+    assert (
+        warm.stats.supplier_found_fraction
+        >= cold.stats.supplier_found_fraction
+    )
+
+
+def test_invalid_warmup_fraction_rejected():
+    workload = generate_workload(profile())
+    machine = default_machine(algorithm="lazy", num_cmps=4,
+                              cores_per_cmp=1)
+    with pytest.raises(ValueError):
+        RingMultiprocessor(
+            machine, build_algorithm("lazy"), workload,
+            warmup_fraction=1.0,
+        )
+
+
+# ----------------------------------------------------------------------
+# Prewarm (initial cache contents)
+
+
+def test_prewarm_installs_exclusive_lines():
+    system = build(prewarm_fraction=1.0)
+    workload = system.workload
+    assert workload.prewarm
+    for core, lines in zip(system.cores, workload.prewarm):
+        cache = system.nodes[core.cmp_id].caches[core.local_id]
+        resident = [a for a in lines if a in cache]
+        # Set conflicts may evict a few prewarmed lines; the bulk must
+        # be resident, and everything resident must be Exclusive.
+        assert len(resident) > 0.85 * len(lines)
+        for address in resident:
+            assert cache.state_of(address) is LineState.E
+
+
+def test_prewarm_trains_predictors():
+    workload = generate_workload(profile(prewarm_fraction=1.0))
+    machine = default_machine(
+        algorithm="subset",
+        num_cmps=4,
+        cores_per_cmp=1,
+        cache=CacheConfig(num_lines=256, associativity=8),
+    )
+    system = RingMultiprocessor(
+        machine, build_algorithm("subset"), workload
+    )
+    predictor = system.nodes[0].predictor
+    hits = sum(
+        1 for address in workload.prewarm[0] if address in predictor
+    )
+    assert hits > 0
+
+
+def test_prewarm_eliminates_private_cold_misses():
+    cold = build(prewarm_fraction=0.0).run()
+    warm = build(prewarm_fraction=1.0).run()
+    # Private lines now hit; ring reads shrink to shared + cold pools.
+    assert warm.stats.read_ring_transactions < (
+        cold.stats.read_ring_transactions
+    )
+
+
+def test_prewarm_hot_lines_survive_capacity():
+    """The prewarm list is installed hottest-last (MRU), so when the
+    pool exceeds the cache, the hot head survives."""
+    workload = generate_workload(
+        SharingProfile(
+            name="overflow",
+            num_cores=4,
+            cores_per_cmp=1,
+            accesses_per_core=10,
+            p_shared=0.0,
+            p_cold=0.0,
+            private_lines=512,  # 2x the 256-line cache
+            prewarm_fraction=1.0,
+            seed=3,
+        )
+    )
+    machine = default_machine(
+        algorithm="lazy",
+        num_cmps=4,
+        cores_per_cmp=1,
+        cache=CacheConfig(num_lines=256, associativity=8),
+    )
+    system = RingMultiprocessor(machine, build_algorithm("lazy"),
+                                workload)
+    cache = system.nodes[0].caches[0]
+    hot = workload.prewarm[0][:32]
+    resident = sum(1 for address in hot if address in cache)
+    assert resident > 24  # the hot head is (almost) fully resident
+
+
+def test_prewarm_mismatched_length_rejected():
+    workload = generate_workload(profile(prewarm_fraction=0.5))
+    workload.prewarm.pop()
+    with pytest.raises(ValueError):
+        workload.validate()

@@ -1,0 +1,132 @@
+"""Integration tests for write-snoop filtering with the presence
+predictor (the extension of Section 5.3's open question)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, default_machine
+from repro.coherence.states import LineState
+from repro.core.algorithms import build_algorithm
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.synthetic import SharingProfile, generate_workload
+from repro.workloads.trace import Access, WorkloadTrace
+
+N = 8
+LINE = 0x1236
+
+
+def single_write_system(filter_writes: bool):
+    traces = [[] for _ in range(N)]
+    traces[0] = [Access(address=LINE, is_write=True, think_time=0)]
+    workload = WorkloadTrace(name="w", cores_per_cmp=1, traces=traces)
+    machine = default_machine(
+        algorithm="lazy",
+        cores_per_cmp=1,
+        cache=CacheConfig(num_lines=256, associativity=8),
+        filter_write_snoops=filter_writes,
+        track_versions=True,
+    )
+    return RingMultiprocessor(machine, build_algorithm("lazy"), workload)
+
+
+def test_filtered_write_skips_empty_nodes():
+    system = single_write_system(filter_writes=True)
+    # Copies only at nodes 2 and 5.
+    system.nodes[0].caches[0].fill(LINE, LineState.S)
+    system.nodes[2].caches[0].fill(LINE, LineState.S)
+    system.nodes[5].caches[0].fill(LINE, LineState.SG)
+    result = system.run()
+    # Only the two holder nodes are snooped (not all 7).
+    assert result.stats.write_snoops == 2
+    # All copies are still invalidated; the writer owns the line.
+    assert system.nodes[2].caches[0].state_of(LINE) is LineState.I
+    assert system.nodes[5].caches[0].state_of(LINE) is LineState.I
+    assert system.nodes[0].caches[0].state_of(LINE) is LineState.D
+
+
+def test_unfiltered_write_snoops_everyone():
+    system = single_write_system(filter_writes=False)
+    system.nodes[0].caches[0].fill(LINE, LineState.S)
+    system.nodes[2].caches[0].fill(LINE, LineState.S)
+    result = system.run()
+    assert result.stats.write_snoops == N - 1
+
+
+def test_filtering_preserves_correctness_under_load():
+    profile = SharingProfile(
+        name="wf-stress",
+        num_cores=8,
+        cores_per_cmp=2,
+        accesses_per_core=300,
+        p_shared=0.5,
+        p_cold=0.05,
+        shared_lines=64,
+        private_lines=64,
+        write_fraction_shared=0.4,
+        migratory_fraction=0.2,
+        think_mean=10.0,
+        seed=13,
+    )
+    workload = generate_workload(profile)
+    machine = default_machine(
+        algorithm="superset_agg",
+        num_cmps=4,
+        cores_per_cmp=2,
+        cache=CacheConfig(num_lines=128, associativity=4),
+        filter_write_snoops=True,
+        track_versions=True,
+        check_invariants=True,
+    )
+    system = RingMultiprocessor(
+        machine, build_algorithm("superset_agg"), workload
+    )
+    result = system.run()
+    assert result.stats.version_violations == 0
+    # The filter actually removed snoops.
+    assert sum(p.filtered for p in system.presence) > 0
+
+
+def test_filtering_reduces_write_snoops_on_private_workload():
+    """On a no-sharing workload, almost no node holds the written
+    lines, so nearly all write snoops are filtered."""
+    profile = SharingProfile(
+        name="wf-private",
+        num_cores=8,
+        cores_per_cmp=1,
+        accesses_per_core=400,
+        p_shared=0.0,
+        p_cold=0.0,
+        shared_lines=16,
+        private_lines=4096,  # exceeds the 1k-line cache: write misses
+        write_fraction_private=0.5,
+        private_zipf_exponent=0.1,
+        think_mean=10.0,
+        seed=21,
+    )
+    workload = generate_workload(profile)
+
+    def run(filter_writes: bool):
+        machine = default_machine(
+            algorithm="lazy",
+            cores_per_cmp=1,
+            cache=CacheConfig(num_lines=1024, associativity=8),
+            filter_write_snoops=filter_writes,
+        )
+        system = RingMultiprocessor(
+            machine, build_algorithm("lazy"), workload
+        )
+        return system.run()
+
+    unfiltered = run(False)
+    filtered = run(True)
+    assert unfiltered.stats.write_ring_transactions > 0
+    assert (
+        filtered.stats.write_snoops
+        < 0.3 * unfiltered.stats.write_snoops
+    )
+    # Reads are untouched by the write filter.
+    assert filtered.stats.read_snoops == pytest.approx(
+        unfiltered.stats.read_snoops,
+        rel=0.1,
+    )

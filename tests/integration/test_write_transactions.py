@@ -1,0 +1,215 @@
+"""Integration tests for write snoop transactions: upgrades, write
+misses, invalidation, and the coupled/decoupled handling of
+Section 5.3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, default_machine
+from repro.coherence.states import LineState
+from repro.core.algorithms import build_algorithm
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.trace import Access, WorkloadTrace
+
+HOP = 39
+SNOOP = 55
+N = 8
+LINE = 0x1236
+
+
+def workload(accesses_by_core):
+    traces = [[] for _ in range(N)]
+    for core, accesses in accesses_by_core.items():
+        traces[core] = [
+            Access(address=a, is_write=w, think_time=t)
+            for (a, w, t) in accesses
+        ]
+    return WorkloadTrace(name="w", cores_per_cmp=1, traces=traces)
+
+
+def build_system(algorithm_name, accesses_by_core, **machine_overrides):
+    machine = default_machine(
+        algorithm=algorithm_name,
+        cores_per_cmp=1,
+        cache=CacheConfig(num_lines=256, associativity=8),
+        track_versions=True,
+        check_invariants=True,
+        **machine_overrides,
+    )
+    system = RingMultiprocessor(
+        machine, build_algorithm(algorithm_name), workload(accesses_by_core)
+    )
+    return system
+
+
+# ----------------------------------------------------------------------
+# Silent upgrade
+
+
+def test_write_to_exclusive_is_silent():
+    system = build_system("lazy", {0: [(LINE, True, 0)]})
+    system.nodes[0].caches[0].fill(LINE, LineState.E)
+    result = system.run()
+    assert result.stats.write_ring_transactions == 0
+    assert result.stats.write_hits_exclusive == 1
+    assert system.nodes[0].caches[0].state_of(LINE) is LineState.D
+
+
+def test_write_to_dirty_is_silent():
+    system = build_system("lazy", {0: [(LINE, True, 0)]})
+    system.nodes[0].caches[0].fill(LINE, LineState.D)
+    result = system.run()
+    assert result.stats.write_ring_transactions == 0
+
+
+# ----------------------------------------------------------------------
+# Ring upgrades invalidate all other copies
+
+
+@pytest.mark.parametrize("writer_state", [
+    LineState.S, LineState.SL, LineState.SG, LineState.T,
+])
+def test_upgrade_invalidates_other_copies(writer_state):
+    system = build_system("lazy", {0: [(LINE, True, 0)]})
+    system.nodes[0].caches[0].fill(LINE, writer_state)
+    other_state = (
+        LineState.S if writer_state in (LineState.SG, LineState.T)
+        else LineState.S
+    )
+    system.nodes[2].caches[0].fill(LINE, other_state)
+    system.nodes[5].caches[0].fill(LINE, other_state)
+    result = system.run()
+    assert result.stats.write_ring_transactions == 1
+    assert system.nodes[0].caches[0].state_of(LINE) is LineState.D
+    assert system.nodes[2].caches[0].state_of(LINE) is LineState.I
+    assert system.nodes[5].caches[0].state_of(LINE) is LineState.I
+
+
+def test_write_snoops_every_node():
+    system = build_system("lazy", {0: [(LINE, True, 0)]})
+    system.nodes[0].caches[0].fill(LINE, LineState.S)
+    result = system.run()
+    assert result.stats.write_snoops == N - 1
+
+
+# ----------------------------------------------------------------------
+# Write misses fetch data
+
+
+def test_write_miss_supplied_by_cache():
+    system = build_system("lazy", {0: [(LINE, True, 0)]})
+    system.nodes[3].caches[0].fill(LINE, LineState.D, version=5)
+    result = system.run()
+    assert result.stats.writes_supplied_by_cache == 1
+    assert system.nodes[0].caches[0].state_of(LINE) is LineState.D
+    assert system.nodes[3].caches[0].state_of(LINE) is LineState.I
+
+
+def test_write_miss_supplied_by_memory():
+    system = build_system("lazy", {0: [(LINE, True, 0)]})
+    result = system.run()
+    assert result.stats.writes_supplied_by_memory == 1
+    assert system.nodes[0].caches[0].state_of(LINE) is LineState.D
+
+
+# ----------------------------------------------------------------------
+# Coupled vs decoupled timing (Section 5.3)
+
+
+def write_completion_time(algorithm_name):
+    system = build_system(algorithm_name, {0: [(LINE, True, 0)]})
+    system.nodes[0].caches[0].fill(LINE, LineState.S)  # upgrade, no data
+    result = system.run()
+    return result.exec_time
+
+
+def test_coupled_write_is_serial():
+    # Lazy couples write snoops: each hop pays the snoop.
+    assert write_completion_time("lazy") == N * HOP + (N - 1) * SNOOP
+
+
+def test_decoupled_write_parallel_invalidation():
+    # Eager decouples: the request races ahead; the reply collects the
+    # last snoop outcome at the final node.
+    expected = N * HOP + SNOOP
+    assert write_completion_time("eager") == expected
+
+
+def test_superset_con_couples_writes():
+    assert write_completion_time("superset_con") == (
+        write_completion_time("lazy")
+    )
+
+
+def test_superset_agg_decouples_writes():
+    assert write_completion_time("superset_agg") == (
+        write_completion_time("eager")
+    )
+
+
+def test_decoupled_write_messages_nearly_double():
+    coupled = build_system("lazy", {0: [(LINE, True, 0)]})
+    coupled.nodes[0].caches[0].fill(LINE, LineState.S)
+    decoupled = build_system("eager", {0: [(LINE, True, 0)]})
+    decoupled.nodes[0].caches[0].fill(LINE, LineState.S)
+    assert coupled.run().stats.write_ring_crossings == N
+    assert decoupled.run().stats.write_ring_crossings == 2 * N - 1
+
+
+# ----------------------------------------------------------------------
+# Read-after-write coherence across nodes
+
+
+def test_reader_sees_writers_data():
+    system = build_system(
+        "lazy",
+        {
+            0: [(LINE, True, 0)],
+            4: [(LINE, False, 5000)],  # read well after the write
+        },
+    )
+    result = system.run()
+    assert result.stats.version_violations == 0
+    # The writer supplied the dirty line cache-to-cache and moved to T.
+    assert system.nodes[0].caches[0].state_of(LINE) is LineState.T
+    assert system.nodes[4].caches[0].state_of(LINE) is LineState.SL
+    assert result.stats.reads_supplied_by_cache == 1
+
+
+def test_two_writers_serialize():
+    system = build_system(
+        "lazy",
+        {
+            0: [(LINE, True, 0)],
+            4: [(LINE, True, 0)],  # simultaneous write: collision
+        },
+    )
+    result = system.run()
+    assert result.stats.squashes >= 1
+    assert result.stats.retries >= 1
+    assert result.stats.version_violations == 0
+    # Exactly one final owner in D.
+    owners = [
+        node.cmp_id
+        for node in system.nodes
+        if node.caches[0].state_of(LINE) is LineState.D
+    ]
+    assert len(owners) == 1
+
+
+def test_read_during_write_squashes_and_retries():
+    system = build_system(
+        "lazy",
+        {
+            0: [(LINE, True, 0)],
+            4: [(LINE, False, 50)],  # lands mid-write
+        },
+    )
+    result = system.run()
+    assert result.stats.version_violations == 0
+    assert system.nodes[4].caches[0].state_of(LINE) in (
+        LineState.SL,
+        LineState.E,  # if it retried after the writer's line moved on
+        LineState.S,
+    )

@@ -1,0 +1,128 @@
+"""Property-based tests for the set-associative cache.
+
+The cache is checked against a simple reference model: a dict plus an
+explicit per-set LRU list.  Hypothesis drives random operation
+sequences and the two implementations must never diverge.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.coherence.cache import SetAssociativeCache
+from repro.coherence.states import LineState
+
+NUM_LINES = 16
+ASSOC = 4
+NUM_SETS = NUM_LINES // ASSOC
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("fill"), st.integers(0, 63)),
+        st.tuples(st.just("lookup"), st.integers(0, 63)),
+        st.tuples(st.just("invalidate"), st.integers(0, 63)),
+    ),
+    max_size=200,
+)
+
+
+class ReferenceCache:
+    """Straight-line model of a set-associative LRU cache."""
+
+    def __init__(self) -> None:
+        self.sets = [OrderedDict() for _ in range(NUM_SETS)]
+
+    def _set(self, address):
+        return self.sets[address % NUM_SETS]
+
+    def fill(self, address):
+        s = self._set(address)
+        if address in s:
+            s.move_to_end(address)
+            return
+        if len(s) >= ASSOC:
+            s.popitem(last=False)
+        s[address] = True
+
+    def lookup(self, address):
+        s = self._set(address)
+        if address in s:
+            s.move_to_end(address)
+            return True
+        return False
+
+    def invalidate(self, address):
+        self._set(address).pop(address, None)
+
+    def resident(self):
+        return {a for s in self.sets for a in s}
+
+
+@given(operations)
+@settings(max_examples=200, deadline=None)
+def test_cache_matches_reference_model(ops):
+    cache = SetAssociativeCache(
+        CacheConfig(num_lines=NUM_LINES, associativity=ASSOC)
+    )
+    reference = ReferenceCache()
+    for op, address in ops:
+        if op == "fill":
+            cache.fill(address, LineState.S)
+            reference.fill(address)
+        elif op == "lookup":
+            got = cache.lookup(address) is not None
+            expected = reference.lookup(address)
+            assert got == expected
+        else:
+            cache.invalidate(address)
+            reference.invalidate(address)
+    assert {line.address for line in cache.iter_lines()} == (
+        reference.resident()
+    )
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_cache_capacity_invariant(ops):
+    cache = SetAssociativeCache(
+        CacheConfig(num_lines=NUM_LINES, associativity=ASSOC)
+    )
+    for op, address in ops:
+        if op == "fill":
+            cache.fill(address, LineState.S)
+        elif op == "invalidate":
+            cache.invalidate(address)
+        for set_index in range(NUM_SETS):
+            assert cache.occupancy_of_set(set_index) <= ASSOC
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_supplier_callbacks_track_supplier_set(ops):
+    """Gains and losses reported by the callbacks must reconstruct the
+    exact set of resident supplier lines."""
+    tracked = set()
+
+    cache = SetAssociativeCache(
+        CacheConfig(num_lines=NUM_LINES, associativity=ASSOC),
+        on_state_gain=tracked.add,
+        on_state_loss=tracked.discard,
+    )
+    for op, address in ops:
+        if op == "fill":
+            # Alternate supplier and non-supplier fills by parity.
+            state = LineState.E if address % 2 == 0 else LineState.S
+            cache.fill(address, state)
+        elif op == "invalidate":
+            cache.invalidate(address)
+
+    actual = {
+        line.address
+        for line in cache.iter_lines()
+        if line.state is LineState.E
+    }
+    assert tracked == actual

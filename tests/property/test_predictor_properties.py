@@ -1,0 +1,122 @@
+"""Property-based tests of the Supplier Predictor guarantees.
+
+These are the correctness-critical invariants of Section 4.3:
+
+* Subset predictors must never report a false positive.
+* Superset predictors must never report a false negative (an
+  algorithm that trusts a negative with Forward would skip the
+  supplier and break coherence).
+* Exact predictors must be exact, *given* that the downgrade callback
+  removes the victim from the tracked set (as the cache-state loss
+  callback does in the real system).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PredictorConfig
+from repro.core.predictors import (
+    ExactPredictor,
+    SubsetPredictor,
+    SupersetPredictor,
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 300)),
+        st.tuples(st.just("remove"), st.integers(0, 300)),
+        st.tuples(st.just("lookup"), st.integers(0, 300)),
+        st.tuples(st.just("observe_fp"), st.integers(0, 300)),
+    ),
+    max_size=300,
+)
+
+
+def drive(predictor, ops, live, check):
+    """Replay operations, maintaining the reference live set the way
+    the cache callbacks do (insert on supplier gain, remove on loss).
+    ``check(address, prediction, live)`` runs at every lookup, against
+    the live set *as of that moment*."""
+    for op, address in ops:
+        if op == "insert":
+            predictor.insert(address)
+            live.add(address)
+        elif op == "remove":
+            predictor.remove(address)
+            live.discard(address)
+        elif op == "lookup":
+            check(address, predictor.lookup(address), live)
+        else:
+            if address not in live:
+                predictor.observe_false_positive(address)
+
+
+@given(operations)
+@settings(max_examples=200, deadline=None)
+def test_subset_no_false_positives(ops):
+    predictor = SubsetPredictor(
+        PredictorConfig(kind="subset", entries=32, associativity=4)
+    )
+
+    def check(address, positive, live):
+        if positive:
+            assert address in live
+
+    drive(predictor, ops, set(), check)
+
+
+@given(operations)
+@settings(max_examples=200, deadline=None)
+def test_superset_no_false_negatives(ops):
+    predictor = SupersetPredictor(
+        PredictorConfig(
+            kind="superset",
+            bloom_fields=(4, 3),
+            exclude_entries=16,
+            exclude_associativity=4,
+        )
+    )
+
+    def check(address, positive, live):
+        if address in live:
+            assert positive
+
+    drive(predictor, ops, set(), check)
+
+
+@given(operations)
+@settings(max_examples=200, deadline=None)
+def test_exact_is_exact_with_downgrade_coupling(ops):
+    predictor = ExactPredictor(
+        PredictorConfig(kind="exact", entries=32, associativity=4)
+    )
+    live = set()
+
+    def downgrade(address):
+        # The system downgrades the line out of supplier state, which
+        # removes it from the live set and (idempotently) from the
+        # predictor via the cache callback.
+        live.discard(address)
+        predictor.remove(address)
+
+    predictor.set_downgrade_callback(downgrade)
+
+    def check(address, positive, current_live):
+        assert positive == (address in current_live)
+
+    drive(predictor, ops, live, check)
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_superset_bloom_counters_never_negative(ops):
+    predictor = SupersetPredictor(
+        PredictorConfig(
+            kind="superset", bloom_fields=(4, 3), exclude_entries=0
+        )
+    )
+    drive(predictor, ops, set(), lambda *args: None)
+    for table in predictor.filter._tables:
+        assert all(count >= 0 for count in table)

@@ -1,0 +1,139 @@
+"""Unit tests for the snooping algorithm policies (Table 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PredictorConfig
+from repro.core.algorithms import (
+    ALGORITHMS,
+    Eager,
+    Exact,
+    Lazy,
+    Oracle,
+    Subset,
+    SupersetAgg,
+    SupersetCon,
+    SupersetHybrid,
+    build_algorithm,
+    compatible_predictor,
+)
+from repro.core.primitives import Primitive
+
+
+def test_lazy_always_snoops_then_forwards():
+    algorithm = Lazy()
+    assert algorithm.choose(True) is Primitive.SNOOP_THEN_FORWARD
+    assert algorithm.choose(False) is Primitive.SNOOP_THEN_FORWARD
+    assert not algorithm.uses_predictor()
+    assert not algorithm.decouple_writes
+
+
+def test_eager_always_forwards_then_snoops():
+    algorithm = Eager()
+    assert algorithm.choose(True) is Primitive.FORWARD_THEN_SNOOP
+    assert algorithm.choose(False) is Primitive.FORWARD_THEN_SNOOP
+    assert not algorithm.uses_predictor()
+    assert algorithm.decouple_writes
+
+
+def test_oracle_policy():
+    algorithm = Oracle()
+    assert algorithm.choose(True) is Primitive.SNOOP_THEN_FORWARD
+    assert algorithm.choose(False) is Primitive.FORWARD
+    assert algorithm.uses_predictor()
+    assert algorithm.default_predictor_kind == "perfect"
+
+
+def test_subset_policy_matches_table3():
+    algorithm = Subset()
+    # Positive: supplier guaranteed local -> Snoop Then Forward.
+    assert algorithm.choose(True) is Primitive.SNOOP_THEN_FORWARD
+    # Negative: may be a false negative -> must still snoop.
+    assert algorithm.choose(False) is Primitive.FORWARD_THEN_SNOOP
+    assert algorithm.decouple_writes
+
+
+def test_superset_con_policy_matches_table3():
+    algorithm = SupersetCon()
+    assert algorithm.choose(True) is Primitive.SNOOP_THEN_FORWARD
+    assert algorithm.choose(False) is Primitive.FORWARD
+    assert not algorithm.decouple_writes
+
+
+def test_superset_agg_policy_matches_table3():
+    algorithm = SupersetAgg()
+    assert algorithm.choose(True) is Primitive.FORWARD_THEN_SNOOP
+    assert algorithm.choose(False) is Primitive.FORWARD
+    assert algorithm.decouple_writes
+
+
+def test_exact_policy_matches_table3():
+    algorithm = Exact()
+    assert algorithm.choose(True) is Primitive.SNOOP_THEN_FORWARD
+    assert algorithm.choose(False) is Primitive.FORWARD
+    assert not algorithm.decouple_writes
+
+
+def test_hybrid_defaults_to_aggressive():
+    algorithm = SupersetHybrid()
+    assert algorithm.choose(True) is Primitive.FORWARD_THEN_SNOOP
+    assert algorithm.choose(False) is Primitive.FORWARD
+    assert algorithm.aggressive_choices == 1
+
+
+def test_hybrid_switches_under_energy_pressure():
+    pressed = {"value": False}
+    algorithm = SupersetHybrid(energy_pressure=lambda: pressed["value"])
+    assert algorithm.choose(True) is Primitive.FORWARD_THEN_SNOOP
+    pressed["value"] = True
+    assert algorithm.choose(True) is Primitive.SNOOP_THEN_FORWARD
+    assert algorithm.conservative_choices == 1
+    assert algorithm.aggressive_choices == 1
+
+
+def test_registry_contains_all_algorithms():
+    assert set(ALGORITHMS) == {
+        "lazy",
+        "eager",
+        "oracle",
+        "subset",
+        "superset_con",
+        "superset_agg",
+        "superset_hybrid",
+        "exact",
+    }
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [
+        ("lazy", Lazy),
+        ("EAGER", Eager),
+        ("SupersetCon", SupersetCon),
+        ("supagg", SupersetAgg),
+        ("superset_hybrid", SupersetHybrid),
+    ],
+)
+def test_build_algorithm_aliases(name, cls):
+    assert isinstance(build_algorithm(name), cls)
+
+
+def test_build_algorithm_unknown():
+    with pytest.raises(ValueError):
+        build_algorithm("nonexistent")
+
+
+def test_compatible_predictor_guards_false_negatives():
+    # Algorithms that Forward on negative need FN-free predictors.
+    superset_config = PredictorConfig(kind="superset")
+    subset_config = PredictorConfig(kind="subset")
+    assert compatible_predictor(SupersetCon(), superset_config)
+    assert not compatible_predictor(SupersetCon(), subset_config)
+    assert compatible_predictor(Exact(), PredictorConfig(kind="exact"))
+    assert not compatible_predictor(Oracle(), subset_config)
+    # Subset snoops on negative, so a subset predictor is fine.
+    assert compatible_predictor(Subset(), subset_config)
+    # Lazy/Eager never filter, any predictor is safe.
+    assert compatible_predictor(Lazy(), subset_config)
+    assert compatible_predictor(Eager(), subset_config)

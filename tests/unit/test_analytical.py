@@ -1,0 +1,180 @@
+"""Unit tests for the closed-form Table 1 / Table 3 models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.analytical import (
+    ALGORITHM_NAMES,
+    AnalyticalParams,
+    expected_latency,
+    expected_messages,
+    expected_snoops,
+    table1,
+    table3,
+)
+
+
+def params(**kwargs):
+    defaults = dict(num_nodes=8, hop_latency=39, snoop_time=55,
+                    predictor_latency=2, p_supplier=1.0)
+    defaults.update(kwargs)
+    return AnalyticalParams(**defaults)
+
+
+# ----------------------------------------------------------------------
+# Table 1 baselines (supplier always exists)
+
+
+def test_lazy_snoops_half_the_ring():
+    p = params()
+    # Uniform over 1..7 -> mean 4 = N/2 (the paper quotes (N-1)/2).
+    assert expected_snoops("lazy", p) == pytest.approx(4.0)
+
+
+def test_eager_snoops_everyone():
+    assert expected_snoops("eager", params()) == 7.0
+
+
+def test_oracle_snoops_once():
+    assert expected_snoops("oracle", params()) == 1.0
+
+
+def test_lazy_single_message():
+    assert expected_messages("lazy", params()) == 1.0
+
+
+def test_eager_nearly_two_messages():
+    p = params()
+    assert expected_messages("eager", p) == pytest.approx(15 / 8)
+
+
+def test_latency_ordering_of_baselines():
+    p = params()
+    lazy = expected_latency("lazy", p)
+    eager = expected_latency("eager", p)
+    oracle = expected_latency("oracle", p)
+    assert lazy > eager
+    assert eager == oracle
+    # Lazy pays the snoop at every hop.
+    assert lazy == pytest.approx(4.0 * (39 + 55))
+    assert eager == pytest.approx(4.0 * 39 + 55)
+
+
+def test_no_supplier_shifts_snoop_counts():
+    p = params(p_supplier=0.0)
+    assert expected_snoops("lazy", p) == 7.0  # walks the whole ring
+    assert expected_snoops("oracle", p) == 0.0  # never snoops
+
+
+# ----------------------------------------------------------------------
+# Table 3: Flexible Snooping algorithms
+
+
+def test_subset_matches_lazy_with_perfect_predictor():
+    p = params(fn=0.0)
+    assert expected_snoops("subset", p) == pytest.approx(
+        expected_snoops("lazy", p)
+    )
+
+
+def test_subset_false_negatives_add_snoops():
+    p_clean = params(fn=0.0)
+    p_noisy = params(fn=0.5)
+    assert expected_snoops("subset", p_noisy) > expected_snoops(
+        "subset", p_clean
+    )
+    # fn = 1 degenerates to Eager.
+    assert expected_snoops("subset", params(fn=1.0)) == pytest.approx(7.0)
+
+
+def test_superset_con_snoops_one_plus_false_positives():
+    assert expected_snoops("superset_con", params(fp=0.0)) == 1.0
+    p = params(fp=0.2)
+    assert expected_snoops("superset_con", p) == pytest.approx(
+        1.0 + 0.2 * 3.0
+    )
+
+
+def test_superset_agg_checks_all_nodes():
+    # With the same fp, Agg snoops more than Con: it checks the whole
+    # ring rather than stopping at the supplier.
+    p = params(fp=0.3)
+    assert expected_snoops("superset_agg", p) > expected_snoops(
+        "superset_con", p
+    )
+    assert expected_snoops("superset_agg", p) == pytest.approx(
+        1.0 + 0.3 * 6.0
+    )
+
+
+def test_exact_downgrades_divert_to_memory():
+    assert expected_snoops("exact", params()) == 1.0
+    assert expected_snoops(
+        "exact", params(downgrade_rate=0.25)
+    ) == pytest.approx(0.75)
+
+
+def test_messages_single_for_combined_algorithms():
+    p = params(fp=0.3, fn=0.1)
+    for name in ("superset_con", "exact", "oracle", "lazy"):
+        assert expected_messages(name, p) == 1.0
+
+
+def test_subset_messages_between_one_and_two():
+    p = params(fn=0.1)
+    messages = expected_messages("subset", p)
+    assert 1.0 < messages < 2.0
+    # All false negatives -> every message stays split: Eager traffic.
+    assert expected_messages("subset", params(fn=1.0)) == pytest.approx(
+        15 / 8
+    )
+
+
+def test_superset_agg_messages_between_one_and_two():
+    p = params(fp=0.2)
+    messages = expected_messages("superset_agg", p)
+    assert 1.0 < messages < 2.0
+    # No false positives: splits exactly at the supplier.
+    clean = expected_messages("superset_agg", params(fp=0.0))
+    noisy = expected_messages("superset_agg", params(fp=0.5))
+    assert noisy > clean
+
+
+def test_superset_con_latency_grows_with_fp():
+    clean = expected_latency("superset_con", params(fp=0.0))
+    noisy = expected_latency("superset_con", params(fp=0.4))
+    assert noisy > clean
+    # Every pre-supplier false positive costs one snoop time.
+    assert noisy - clean == pytest.approx(0.4 * 3.0 * 55)
+
+
+def test_table1_has_three_rows():
+    rows = table1(params())
+    assert set(rows) == {"lazy", "eager", "oracle"}
+    for row in rows.values():
+        assert set(row) == {"latency", "snoops", "messages"}
+
+
+def test_table3_has_four_rows():
+    rows = table3(params())
+    assert set(rows) == {"subset", "superset_con", "superset_agg", "exact"}
+
+
+def test_all_algorithms_have_all_models():
+    p = params(fp=0.1, fn=0.1, downgrade_rate=0.1)
+    for name in ALGORITHM_NAMES:
+        assert math.isfinite(expected_snoops(name, p))
+        assert math.isfinite(expected_messages(name, p))
+        assert math.isfinite(expected_latency(name, p))
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        AnalyticalParams(num_nodes=1)
+    with pytest.raises(ValueError):
+        AnalyticalParams(fp=1.5)
+    with pytest.raises(ValueError):
+        AnalyticalParams(p_supplier=-0.1)

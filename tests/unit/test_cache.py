@@ -1,0 +1,180 @@
+"""Unit tests for the set-associative LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.coherence.cache import SetAssociativeCache
+from repro.coherence.states import LineState
+
+
+def make_cache(num_lines=16, assoc=4, **kwargs):
+    return SetAssociativeCache(
+        CacheConfig(num_lines=num_lines, associativity=assoc), **kwargs
+    )
+
+
+def test_fill_and_lookup():
+    cache = make_cache()
+    cache.fill(100, LineState.S)
+    line = cache.lookup(100)
+    assert line is not None
+    assert line.state is LineState.S
+    assert 100 in cache
+
+
+def test_lookup_miss_returns_none():
+    cache = make_cache()
+    assert cache.lookup(5) is None
+    assert cache.state_of(5) is LineState.I
+
+
+def test_fill_rejects_invalid_state():
+    cache = make_cache()
+    with pytest.raises(ValueError):
+        cache.fill(1, LineState.I)
+
+
+def test_same_set_conflict_evicts_lru():
+    cache = make_cache(num_lines=8, assoc=2)  # 4 sets
+    # Addresses 0, 4, 8 all map to set 0.
+    cache.fill(0, LineState.S)
+    cache.fill(4, LineState.S)
+    victim = cache.fill(8, LineState.S)
+    assert victim is not None
+    assert victim.address == 0
+    assert 0 not in cache
+    assert 4 in cache and 8 in cache
+
+
+def test_lookup_refreshes_lru_order():
+    cache = make_cache(num_lines=8, assoc=2)
+    cache.fill(0, LineState.S)
+    cache.fill(4, LineState.S)
+    cache.lookup(0)  # 0 becomes MRU; 4 is now LRU
+    victim = cache.fill(8, LineState.S)
+    assert victim.address == 4
+    assert 0 in cache
+
+
+def test_state_of_does_not_touch_lru():
+    cache = make_cache(num_lines=8, assoc=2)
+    cache.fill(0, LineState.S)
+    cache.fill(4, LineState.S)
+    cache.state_of(0)  # must NOT refresh 0
+    victim = cache.fill(8, LineState.S)
+    assert victim.address == 0
+
+
+def test_dirty_eviction_flag():
+    cache = make_cache(num_lines=8, assoc=2)
+    cache.fill(0, LineState.D, version=3)
+    cache.fill(4, LineState.S)
+    victim = cache.fill(8, LineState.S)
+    assert victim.address == 0
+    assert victim.dirty
+    assert victim.version == 3
+    assert cache.dirty_evictions == 1
+
+
+def test_set_state_transitions():
+    cache = make_cache()
+    cache.fill(7, LineState.E)
+    cache.set_state(7, LineState.SG)
+    assert cache.state_of(7) is LineState.SG
+
+
+def test_set_state_to_invalid_removes_line():
+    cache = make_cache()
+    cache.fill(7, LineState.S)
+    cache.set_state(7, LineState.I)
+    assert 7 not in cache
+
+
+def test_set_state_on_absent_line_raises():
+    cache = make_cache()
+    with pytest.raises(KeyError):
+        cache.set_state(3, LineState.S)
+
+
+def test_invalidate_returns_line():
+    cache = make_cache()
+    cache.fill(9, LineState.T, version=2)
+    line = cache.invalidate(9)
+    assert line is not None and line.version == 2
+    assert cache.invalidate(9) is None
+
+
+def test_supplier_gain_and_loss_callbacks():
+    gained, lost = [], []
+    cache = make_cache(
+        on_state_gain=gained.append, on_state_loss=lost.append
+    )
+    cache.fill(1, LineState.E)  # supplier gain
+    cache.fill(2, LineState.S)  # not a supplier: no callback
+    assert gained == [1]
+    cache.set_state(1, LineState.SL)  # supplier -> non-supplier
+    assert lost == [1]
+    cache.set_state(1, LineState.S)  # non-supplier -> non-supplier
+    assert lost == [1]
+
+
+def test_eviction_of_supplier_fires_loss_callback():
+    lost = []
+    cache = SetAssociativeCache(
+        CacheConfig(num_lines=2, associativity=2), on_state_loss=lost.append
+    )
+    cache.fill(0, LineState.SG)
+    cache.fill(2, LineState.S)
+    cache.fill(4, LineState.S)  # evicts LRU = 0, a supplier
+    assert lost == [0]
+
+
+def test_invalidate_supplier_fires_loss_callback():
+    lost = []
+    cache = make_cache(on_state_loss=lost.append)
+    cache.fill(3, LineState.D)
+    cache.invalidate(3)
+    assert lost == [3]
+
+
+def test_refill_updates_state_in_place():
+    gained = []
+    cache = make_cache(on_state_gain=gained.append)
+    cache.fill(5, LineState.S, version=1)
+    victim = cache.fill(5, LineState.SG, version=2)
+    assert victim is None
+    assert cache.state_of(5) is LineState.SG
+    line = cache.lookup(5)
+    assert line.version == 2
+    assert gained == [5]  # S -> SG is a supplier gain
+
+
+def test_len_counts_resident_lines():
+    cache = make_cache()
+    for address in range(5):
+        cache.fill(address, LineState.S)
+    assert len(cache) == 5
+
+
+def test_capacity_never_exceeded():
+    cache = make_cache(num_lines=16, assoc=4)
+    for address in range(200):
+        cache.fill(address, LineState.S)
+    assert len(cache) <= 16
+    for set_index in range(cache.config.num_sets):
+        assert cache.occupancy_of_set(set_index) <= 4
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(num_lines=10, associativity=4)
+
+
+def test_fill_eviction_counters():
+    cache = make_cache(num_lines=4, assoc=2)
+    for address in range(8):
+        cache.fill(address, LineState.S)
+    assert cache.fills == 8
+    assert cache.evictions == 4

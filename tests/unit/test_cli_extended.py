@@ -1,0 +1,47 @@
+"""Tests for the report and trace CLI subcommands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.cli import main
+from repro.workloads.io import load_trace
+
+
+def test_cli_trace_writes_file(tmp_path):
+    out = tmp_path / "jbb.jsonl"
+    code = main(
+        [
+            "trace",
+            "--workload",
+            "specjbb",
+            "--scale",
+            "100",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    workload = load_trace(out)
+    assert workload.name == "SPECjbb"
+    assert workload.num_cores == 8
+
+
+def test_cli_report_to_file(tmp_path, capsys):
+    out_file = tmp_path / "report.md"
+    code = main(
+        [
+            "report",
+            "--scale",
+            "100",
+            "--figures",
+            "6,7",
+            "--out",
+            str(out_file),
+        ]
+    )
+    assert code == 0
+    text = out_file.read_text()
+    assert "Figure 6" in text and "Figure 7" in text
+    assert "Figure 8" not in text
+    assert "Headline" in text

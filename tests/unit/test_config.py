@@ -1,0 +1,101 @@
+"""Unit tests for configuration dataclasses and factories."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    MachineConfig,
+    NAMED_PREDICTORS,
+    PredictorConfig,
+    RingConfig,
+    default_machine,
+)
+
+
+def test_paper_defaults():
+    machine = MachineConfig()
+    assert machine.num_cmps == 8
+    assert machine.cores_per_cmp == 4
+    assert machine.num_cores == 32
+    assert machine.ring.hop_latency == 39
+    assert machine.ring.snoop_time == 55
+    assert machine.ring.num_rings == 2
+    assert machine.memory.local_round_trip == 350
+    assert machine.memory.remote_round_trip == 710
+    assert machine.memory.remote_round_trip_prefetched == 312
+    assert machine.cache.num_lines == 8192  # 512 KB / 64 B
+    assert machine.energy.ring_link_message == pytest.approx(3.17)
+    assert machine.energy.cmp_snoop == pytest.approx(0.69)
+    assert machine.energy.memory_line_access == pytest.approx(24.0)
+
+
+def test_machine_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(num_cmps=1)
+    with pytest.raises(ValueError):
+        MachineConfig(cores_per_cmp=0)
+    with pytest.raises(ValueError):
+        MachineConfig(num_cmps=16)  # default 4x2 torus too small
+
+
+def test_machine_replace():
+    machine = MachineConfig()
+    copy = machine.replace(cores_per_cmp=1)
+    assert copy.cores_per_cmp == 1
+    assert machine.cores_per_cmp == 4  # original untouched
+
+
+def test_named_predictors_match_paper_section_52():
+    assert NAMED_PREDICTORS["Sub512"].entries == 512
+    assert NAMED_PREDICTORS["Sub2k"].entries == 2048
+    assert NAMED_PREDICTORS["Sub8k"].entries == 8192
+    assert NAMED_PREDICTORS["Supy2k"].bloom_fields == (10, 4, 7)
+    assert NAMED_PREDICTORS["Supn2k"].bloom_fields == (9, 9, 6)
+    assert NAMED_PREDICTORS["Supy512"].exclude_entries == 512
+    assert NAMED_PREDICTORS["Exa8k"].kind == "exact"
+    assert NAMED_PREDICTORS["Perfect"].kind == "perfect"
+
+
+def test_default_machine_picks_algorithm_predictor():
+    assert default_machine(algorithm="subset").predictor.kind == "subset"
+    assert default_machine(
+        algorithm="superset_con"
+    ).predictor.kind == "superset"
+    assert default_machine(algorithm="exact").predictor.entries == 2048
+    assert default_machine(algorithm="oracle").predictor.kind == "perfect"
+    assert default_machine(algorithm="lazy").predictor.kind == "none"
+
+
+def test_default_machine_explicit_predictor_overrides():
+    machine = default_machine(algorithm="subset", predictor="Sub8k")
+    assert machine.predictor.entries == 8192
+
+
+def test_default_machine_rejects_unknown():
+    with pytest.raises(ValueError):
+        default_machine(algorithm="bogus")
+    with pytest.raises(ValueError):
+        default_machine(predictor="bogus")
+
+
+def test_predictor_with_entries():
+    base = PredictorConfig(kind="subset", entries=512)
+    grown = base.with_entries(4096)
+    assert grown.entries == 4096
+    assert grown.kind == "subset"
+    assert base.entries == 512
+
+
+def test_cache_config_sets():
+    cache = CacheConfig(num_lines=64, associativity=8)
+    assert cache.num_sets == 8
+
+
+def test_ring_config_frozen():
+    ring = RingConfig()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        ring.hop_latency = 10

@@ -1,0 +1,84 @@
+"""Unit tests for the energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import EnergyConfig
+from repro.energy.model import EnergyModel
+
+
+def model(kind="superset", **kwargs):
+    return EnergyModel(EnergyConfig(**kwargs), predictor_kind=kind)
+
+
+def test_ring_crossing_uses_paper_constant():
+    m = model()
+    m.charge_ring_crossing()
+    assert m.total == pytest.approx(3.17)
+    m.charge_ring_crossing(count=9)
+    assert m.breakdown.ring_links == pytest.approx(10 * 3.17)
+
+
+def test_snoop_energy_uses_paper_constant():
+    m = model()
+    m.charge_snoop(count=4)
+    assert m.breakdown.snoops == pytest.approx(4 * 0.69)
+
+
+def test_predictor_energy_depends_on_kind():
+    superset = model("superset")
+    superset.charge_predictor_lookup(10)
+    subset = model("subset")
+    subset.charge_predictor_lookup(10)
+    none = model("none")
+    none.charge_predictor_lookup(10)
+    assert superset.breakdown.predictor_lookups > (
+        subset.breakdown.predictor_lookups
+    )
+    assert none.breakdown.predictor_lookups == 0.0
+
+
+def test_perfect_predictor_costs_nothing():
+    m = model("perfect")
+    m.charge_predictor_lookup(100)
+    m.charge_predictor_update(100)
+    assert m.total == 0.0
+
+
+def test_downgrade_costs_memory_energy():
+    m = model("exact")
+    m.charge_downgrade()
+    m.charge_downgrade_writeback()
+    m.charge_downgrade_reread()
+    assert m.breakdown.downgrade_memory == pytest.approx(48.0)
+    assert m.breakdown.downgrade_ops == pytest.approx(0.30)
+
+
+def test_total_sums_all_categories():
+    m = model("exact")
+    m.charge_ring_crossing()
+    m.charge_snoop()
+    m.charge_predictor_lookup()
+    m.charge_predictor_update()
+    m.charge_downgrade()
+    m.charge_downgrade_writeback()
+    expected = 3.17 + 0.69 + 0.08 + 0.08 + 0.30 + 24.0
+    assert m.total == pytest.approx(expected)
+
+
+def test_as_dict_roundtrip():
+    m = model()
+    m.charge_ring_crossing()
+    data = m.breakdown.as_dict()
+    assert data["ring_links"] == pytest.approx(3.17)
+    assert data["total"] == pytest.approx(m.total)
+    assert set(data) == {
+        "ring_links",
+        "snoops",
+        "predictor_lookups",
+        "predictor_updates",
+        "downgrade_ops",
+        "downgrade_memory",
+        "total",
+    }

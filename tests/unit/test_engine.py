@@ -1,0 +1,137 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventEngine
+
+
+def test_events_fire_in_time_order():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(30, lambda: fired.append("c"))
+    engine.schedule(10, lambda: fired.append("a"))
+    engine.schedule(20, lambda: fired.append("b"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_fire_in_scheduling_order():
+    engine = EventEngine()
+    fired = []
+    for label in ("first", "second", "third"):
+        engine.schedule(5, lambda label=label: fired.append(label))
+    engine.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_clock_advances_to_event_time():
+    engine = EventEngine()
+    seen = []
+    engine.schedule(42, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [42]
+    assert engine.now == 42
+
+
+def test_schedule_at_absolute_time():
+    engine = EventEngine()
+    seen = []
+    engine.schedule_at(100, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [100]
+
+
+def test_schedule_in_past_rejected():
+    engine = EventEngine()
+    engine.schedule(10, lambda: None)
+    engine.step()
+    with pytest.raises(ValueError):
+        engine.schedule_at(5, lambda: None)
+    with pytest.raises(ValueError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_nested_scheduling_from_callback():
+    engine = EventEngine()
+    fired = []
+
+    def outer():
+        fired.append(("outer", engine.now))
+        engine.schedule(5, lambda: fired.append(("inner", engine.now)))
+
+    engine.schedule(10, outer)
+    engine.run()
+    assert fired == [("outer", 10), ("inner", 15)]
+
+
+def test_cancelled_events_do_not_fire():
+    engine = EventEngine()
+    fired = []
+    event = engine.schedule(10, lambda: fired.append("cancelled"))
+    engine.schedule(20, lambda: fired.append("kept"))
+    event.cancel()
+    engine.run()
+    assert fired == ["kept"]
+
+
+def test_run_until_stops_before_later_events():
+    engine = EventEngine()
+    fired = []
+    engine.schedule(10, lambda: fired.append(10))
+    engine.schedule(50, lambda: fired.append(50))
+    engine.run(until=20)
+    assert fired == [10]
+    assert engine.pending == 1
+    engine.run()
+    assert fired == [10, 50]
+
+
+def test_max_events_limit():
+    engine = EventEngine()
+    count = []
+    for _ in range(10):
+        engine.schedule(1, lambda: count.append(1))
+    processed = engine.run(max_events=3)
+    assert processed == 3
+    assert len(count) == 3
+
+
+def test_peek_time_skips_cancelled():
+    engine = EventEngine()
+    first = engine.schedule(5, lambda: None)
+    engine.schedule(9, lambda: None)
+    first.cancel()
+    assert engine.peek_time() == 9
+
+
+def test_events_processed_counter():
+    engine = EventEngine()
+    for delay in (1, 2, 3):
+        engine.schedule(delay, lambda: None)
+    engine.run()
+    assert engine.events_processed == 3
+
+
+def test_step_returns_false_when_empty():
+    engine = EventEngine()
+    assert engine.step() is False
+
+
+def test_deterministic_interleaving_with_nested_events():
+    def run_once():
+        engine = EventEngine()
+        order = []
+
+        def chain(n):
+            order.append(n)
+            if n < 5:
+                engine.schedule(n + 1, lambda: chain(n + 1))
+
+        engine.schedule(0, lambda: chain(0))
+        engine.schedule(3, lambda: order.append(100))
+        engine.run()
+        return order
+
+    assert run_once() == run_once()

@@ -1,0 +1,134 @@
+"""Unit tests for the experiment harness and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+from repro.harness.experiments import (
+    ExperimentMatrix,
+    MAIN_ALGORITHMS,
+    WORKLOADS,
+    format_accuracy_table,
+    format_by_workload,
+    run_experiment,
+)
+
+TINY = 150
+
+
+def test_run_experiment_returns_result():
+    result = run_experiment("lazy", "specjbb", accesses_per_core=TINY)
+    assert result.algorithm == "lazy"
+    assert result.workload == "SPECjbb"
+    assert result.exec_time > 0
+    assert result.stats.reads > 0
+
+
+def test_run_experiment_predictor_override():
+    result = run_experiment(
+        "subset", "specjbb", predictor="Sub512", accesses_per_core=TINY
+    )
+    assert result.config.predictor.entries == 512
+
+
+def test_matrix_caches_runs():
+    matrix = ExperimentMatrix(accesses_per_core=TINY)
+    first = matrix.result("lazy", "specjbb")
+    second = matrix.result("lazy", "specjbb")
+    assert first is second
+
+
+def test_matrix_constants():
+    assert "lazy" in MAIN_ALGORITHMS and "exact" in MAIN_ALGORITHMS
+    assert WORKLOADS == ("splash2", "specjbb", "specweb")
+
+
+def test_fig_extractors_tiny():
+    matrix = ExperimentMatrix(
+        accesses_per_core=TINY,
+        algorithms=("lazy", "eager"),
+        workloads=("specjbb",),
+    )
+    fig6 = matrix.fig6_snoops_per_request()
+    assert set(fig6) == {"specjbb"}
+    assert fig6["specjbb"]["eager"] == pytest.approx(7.0, abs=0.2)
+    fig7 = matrix.fig7_read_messages()
+    assert fig7["specjbb"]["lazy"] == 1.0
+    fig8 = matrix.fig8_execution_time()
+    assert fig8["specjbb"]["lazy"] == 1.0
+    fig9 = matrix.fig9_energy()
+    assert fig9["specjbb"]["eager"] > 1.2
+
+
+def test_format_by_workload():
+    table = {"specjbb": {"lazy": 1.0, "eager": 1.88}}
+    text = format_by_workload("Title", table)
+    assert "Title" in text
+    assert "lazy" in text and "eager" in text
+    assert "specjbb" in text
+
+
+def test_format_accuracy_table():
+    table = {
+        "Sub2k": {
+            "specjbb": {
+                "true_positive": 0.1,
+                "true_negative": 0.8,
+                "false_positive": 0.0,
+                "false_negative": 0.1,
+            }
+        }
+    }
+    text = format_accuracy_table(table)
+    assert "Sub2k" in text
+    assert "0.800" in text
+
+
+# ----------------------------------------------------------------------
+# CLI
+
+
+def test_cli_parser_commands():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["run", "--algorithm", "lazy", "--workload", "specjbb"]
+    )
+    assert args.algorithm == "lazy"
+    args = parser.parse_args(["figure", "6"])
+    assert args.number == 6
+    args = parser.parse_args(["table", "1", "--nodes", "12"])
+    assert args.nodes == 12
+
+
+def test_cli_run_command(capsys):
+    code = main(
+        [
+            "run",
+            "--algorithm",
+            "lazy",
+            "--workload",
+            "specjbb",
+            "--scale",
+            str(TINY),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "exec time" in out
+    assert "energy" in out
+
+
+def test_cli_table_command(capsys):
+    assert main(["table", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "lazy" in out and "oracle" in out
+    assert main(["table", "3"]) == 0
+
+
+def test_cli_table_unknown(capsys):
+    assert main(["table", "2"]) == 2
+
+
+def test_cli_figure_unknown(capsys):
+    assert main(["figure", "99", "--scale", str(TINY)]) == 2

@@ -1,0 +1,61 @@
+"""Unit tests for the main-memory model."""
+
+from __future__ import annotations
+
+from repro.config import MemoryConfig
+from repro.sim.memory import MainMemory
+
+
+def memory(**kwargs):
+    return MainMemory(MemoryConfig(**kwargs), num_nodes=8)
+
+
+def test_home_interleaving():
+    m = memory()
+    assert m.home_of(0) == 0
+    assert m.home_of(9) == 1
+    assert m.home_of(15) == 7
+
+
+def test_local_latency():
+    m = memory()
+    assert m.read_latency(requester=3, address=3, prefetched=False) == 350
+    # Prefetch flag is irrelevant for local accesses.
+    assert m.read_latency(requester=3, address=3, prefetched=True) == 350
+
+
+def test_remote_latency_with_and_without_prefetch():
+    m = memory()
+    assert m.read_latency(requester=0, address=3, prefetched=False) == 710
+    assert m.read_latency(requester=0, address=3, prefetched=True) == 312
+
+
+def test_prefetch_disabled_by_config():
+    m = memory(prefetch_on_snoop=False)
+    assert m.read_latency(requester=0, address=3, prefetched=True) == 710
+
+
+def test_versions_updated_by_writeback():
+    m = memory()
+    assert m.read(5) == 0
+    m.writeback(5, version=9)
+    assert m.read(5) == 9
+    assert m.version_of(5) == 9
+
+
+def test_stale_writeback_does_not_regress_version():
+    m = memory()
+    m.writeback(5, version=9)
+    m.writeback(5, version=4)  # late, older data
+    assert m.version_of(5) == 9
+
+
+def test_counters():
+    m = memory()
+    m.read(1)
+    m.read(2)
+    m.writeback(1, 1)
+    m.note_prefetch()
+    assert m.reads == 2
+    assert m.writebacks == 1
+    assert m.prefetches == 1

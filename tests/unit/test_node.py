@@ -1,0 +1,151 @@
+"""Unit tests for the CMP node: snoop queries, predictor wiring, and
+the registry callback chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, PredictorConfig
+from repro.coherence.states import LineState
+from repro.core.predictors import SubsetPredictor
+from repro.ring.node import CMPNode, LineRegistry
+
+
+def make_node(cores=4, predictor_kind="subset", registry=None):
+    return CMPNode(
+        cmp_id=2,
+        cores=cores,
+        cache_config=CacheConfig(num_lines=64, associativity=4),
+        predictor_config=PredictorConfig(kind=predictor_kind, entries=64),
+        registry=registry,
+    )
+
+
+class RecordingRegistry(LineRegistry):
+    def __init__(self):
+        self.events = []
+
+    def supplier_gain(self, cmp_id, core, address):
+        self.events.append(("gain", cmp_id, core, address))
+
+    def supplier_loss(self, cmp_id, core, address):
+        self.events.append(("loss", cmp_id, core, address))
+
+    def line_added(self, cmp_id, core, address):
+        self.events.append(("add", cmp_id, core, address))
+
+    def line_removed(self, cmp_id, core, address):
+        self.events.append(("remove", cmp_id, core, address))
+
+
+def test_supplier_core_lookup():
+    node = make_node()
+    assert node.supplier_core(0x10) is None
+    node.caches[2].fill(0x10, LineState.E)
+    assert node.supplier_core(0x10) == 2
+    assert node.has_supplier(0x10)
+
+
+def test_sl_is_local_master_but_not_supplier():
+    node = make_node()
+    node.caches[1].fill(0x10, LineState.SL)
+    assert node.supplier_core(0x10) is None
+    assert node.local_master_core(0x10) == 1
+
+
+def test_plain_shared_is_neither():
+    node = make_node()
+    node.caches[0].fill(0x10, LineState.S)
+    assert node.supplier_core(0x10) is None
+    assert node.local_master_core(0x10) is None
+    assert node.holders(0x10) == [0]
+
+
+def test_supplier_line_returns_core_and_line():
+    node = make_node()
+    node.caches[3].fill(0x20, LineState.T, version=9)
+    core, line = node.supplier_line(0x20)
+    assert core == 3
+    assert line.version == 9
+    assert node.supplier_line(0x21) is None
+
+
+def test_invalidate_all_counts_copies():
+    node = make_node()
+    node.caches[0].fill(0x30, LineState.S)
+    node.caches[1].fill(0x30, LineState.SL)
+    assert node.invalidate_all(0x30) == 2
+    assert node.holders(0x30) == []
+    assert node.invalidate_all(0x30) == 0
+
+
+def test_predictor_trained_by_cache_callbacks():
+    node = make_node()
+    predictor = node.predictor
+    assert isinstance(predictor, SubsetPredictor)
+    node.caches[0].fill(0x40, LineState.SG)
+    assert 0x40 in predictor
+    node.caches[0].fill(0x41, LineState.S)  # non-supplier: not tracked
+    assert 0x41 not in predictor
+    node.caches[0].invalidate(0x40)
+    assert 0x40 not in predictor
+
+
+def test_predictor_tracks_state_transitions():
+    node = make_node()
+    node.caches[1].fill(0x50, LineState.E)
+    assert 0x50 in node.predictor
+    node.caches[1].set_state(0x50, LineState.SL)  # downgrade
+    assert 0x50 not in node.predictor
+    node.caches[1].set_state(0x50, LineState.SG)  # regain
+    assert 0x50 in node.predictor
+
+
+def test_registry_receives_chained_events():
+    registry = RecordingRegistry()
+    node = make_node(registry=registry)
+    node.caches[1].fill(0x60, LineState.D)
+    assert ("add", 2, 1, 0x60) in registry.events
+    assert ("gain", 2, 1, 0x60) in registry.events
+    node.caches[1].invalidate(0x60)
+    assert ("loss", 2, 1, 0x60) in registry.events
+    assert ("remove", 2, 1, 0x60) in registry.events
+
+
+def test_registry_gain_ordered_before_predictor_insert():
+    """The registry must observe the gain before the predictor insert
+    runs (an Exact downgrade triggered by the insert must see a
+    consistent index)."""
+    observed = {}
+
+    class OrderRegistry(RecordingRegistry):
+        def __init__(self):
+            super().__init__()
+            self.node = None
+
+        def supplier_gain(self, cmp_id, core, address):
+            # At gain time the predictor must not have been trained
+            # yet (registry first, predictor second).
+            observed["in_predictor_at_gain"] = (
+                address in self.node.predictor
+            )
+            super().supplier_gain(cmp_id, core, address)
+
+    registry = OrderRegistry()
+    node = make_node(registry=registry)
+    registry.node = node
+    node.caches[0].fill(0x70, LineState.E)
+    assert observed["in_predictor_at_gain"] is False
+    assert 0x70 in node.predictor  # trained right after
+
+
+def test_perfect_predictor_truth_defaults_to_scan():
+    node = make_node(predictor_kind="perfect")
+    assert not node.predictor.lookup(0x80)
+    node.caches[0].fill(0x80, LineState.E)
+    assert node.predictor.lookup(0x80)
+
+
+def test_is_exact_flag():
+    assert make_node(predictor_kind="exact").is_exact
+    assert not make_node(predictor_kind="subset").is_exact

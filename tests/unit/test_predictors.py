@@ -1,0 +1,289 @@
+"""Unit tests for the Supplier Predictors (Section 4.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import PredictorConfig
+from repro.core.predictors import (
+    CountingBloomFilter,
+    ExactPredictor,
+    NullPredictor,
+    PerfectPredictor,
+    SubsetPredictor,
+    SupersetPredictor,
+    build_predictor,
+)
+
+
+# ----------------------------------------------------------------------
+# Factory / config
+
+
+def test_build_predictor_dispatch():
+    assert isinstance(
+        build_predictor(PredictorConfig(kind="none")), NullPredictor
+    )
+    assert isinstance(
+        build_predictor(PredictorConfig(kind="subset")), SubsetPredictor
+    )
+    assert isinstance(
+        build_predictor(PredictorConfig(kind="superset")), SupersetPredictor
+    )
+    assert isinstance(
+        build_predictor(PredictorConfig(kind="exact")), ExactPredictor
+    )
+    assert isinstance(
+        build_predictor(PredictorConfig(kind="perfect")), PerfectPredictor
+    )
+
+
+def test_invalid_predictor_kind_rejected():
+    with pytest.raises(ValueError):
+        PredictorConfig(kind="magic")
+
+
+# ----------------------------------------------------------------------
+# Null predictor
+
+
+def test_null_predictor_always_positive_and_free():
+    predictor = NullPredictor(PredictorConfig(kind="none"))
+    assert predictor.lookup(123)
+    assert predictor.latency == 0
+    predictor.insert(1)
+    predictor.remove(1)
+    assert predictor.lookup(1)
+
+
+# ----------------------------------------------------------------------
+# Subset predictor
+
+
+def subset(entries=64, assoc=8):
+    return SubsetPredictor(
+        PredictorConfig(kind="subset", entries=entries, associativity=assoc)
+    )
+
+
+def test_subset_tracks_inserted_lines():
+    predictor = subset()
+    predictor.insert(10)
+    assert predictor.lookup(10)
+    assert not predictor.lookup(11)
+
+
+def test_subset_remove_is_idempotent():
+    predictor = subset()
+    predictor.insert(10)
+    predictor.remove(10)
+    predictor.remove(10)  # no error
+    assert not predictor.lookup(10)
+
+
+def test_subset_no_false_positives_under_conflicts():
+    """Every positive lookup must correspond to a tracked line."""
+    predictor = subset(entries=16, assoc=2)
+    live = set()
+    for address in range(100):
+        predictor.insert(address)
+        live.add(address)
+    # Conflict drops create false negatives, never false positives:
+    for address in range(200):
+        if predictor.lookup(address):
+            assert address in live
+
+
+def test_subset_conflict_drop_creates_false_negative():
+    predictor = subset(entries=4, assoc=2)  # 2 sets, 2 ways
+    # Addresses 0, 2, 4 map to set 0 (address % 2 == 0).
+    predictor.insert(0)
+    predictor.insert(2)
+    predictor.insert(4)  # evicts 0 silently
+    assert predictor.conflict_drops == 1
+    assert not predictor.lookup(0)  # false negative
+    assert predictor.lookup(2) and predictor.lookup(4)
+
+
+def test_subset_lookup_counts():
+    predictor = subset()
+    predictor.lookup(1)
+    predictor.lookup(2)
+    assert predictor.lookups == 2
+    predictor.insert(1)
+    predictor.remove(1)
+    assert predictor.updates == 2
+
+
+# ----------------------------------------------------------------------
+# Counting Bloom filter
+
+
+def test_bloom_membership():
+    bloom = CountingBloomFilter((4, 4, 4))
+    bloom.add(0x123)
+    assert bloom.query(0x123)
+    bloom.discard(0x123)
+    assert not bloom.query(0x123)
+
+
+def test_bloom_no_false_negatives():
+    bloom = CountingBloomFilter((6, 6))
+    addresses = [i * 37 for i in range(200)]
+    for address in addresses:
+        bloom.add(address)
+    for address in addresses:
+        assert bloom.query(address)
+
+
+def test_bloom_counts_duplicates():
+    bloom = CountingBloomFilter((4,))
+    bloom.add(5)
+    bloom.add(5)
+    bloom.discard(5)
+    assert bloom.query(5)  # one reference remains
+    bloom.discard(5)
+    assert not bloom.query(5)
+
+
+def test_bloom_underflow_raises():
+    bloom = CountingBloomFilter((4,))
+    with pytest.raises(ValueError):
+        bloom.discard(1)
+
+
+def test_bloom_aliasing_false_positive():
+    # One 2-bit field: addresses 0 and 4 share counter index 0.
+    bloom = CountingBloomFilter((2,))
+    bloom.add(0)
+    assert bloom.query(4)  # alias - false positive by construction
+
+
+def test_bloom_field_geometry():
+    bloom = CountingBloomFilter((10, 4, 7))  # the paper's y filter
+    assert bloom.total_counters == 1024 + 16 + 128
+
+
+# ----------------------------------------------------------------------
+# Superset predictor
+
+
+def superset(exclude_entries=16, fields=(4, 4)):
+    return SupersetPredictor(
+        PredictorConfig(
+            kind="superset",
+            bloom_fields=fields,
+            exclude_entries=exclude_entries,
+            exclude_associativity=4,
+        )
+    )
+
+
+def test_superset_no_false_negatives():
+    predictor = superset()
+    addresses = [i * 13 for i in range(64)]
+    for address in addresses:
+        predictor.insert(address)
+    for address in addresses:
+        assert predictor.lookup(address), address
+
+
+def test_superset_remove_idempotent():
+    predictor = superset()
+    predictor.insert(7)
+    predictor.remove(7)
+    predictor.remove(7)  # must not underflow the Bloom counters
+    assert not predictor.lookup(7)
+
+
+def test_superset_exclude_cache_masks_false_positive():
+    predictor = superset(fields=(2,))
+    predictor.insert(0)  # counter index 0
+    assert predictor.lookup(4)  # alias -> false positive
+    predictor.observe_false_positive(4)
+    assert not predictor.lookup(4)  # Exclude cache hit masks it
+    assert predictor.exclude_hits == 1
+
+
+def test_superset_insert_invalidates_exclude_entry():
+    predictor = superset(fields=(2,))
+    predictor.insert(0)
+    predictor.observe_false_positive(4)
+    assert not predictor.lookup(4)
+    predictor.insert(4)  # 4 becomes a genuine supplier line
+    assert predictor.lookup(4)  # the stale Exclude entry must not hide it
+
+
+def test_superset_without_exclude_cache():
+    predictor = SupersetPredictor(
+        PredictorConfig(kind="superset", bloom_fields=(4,),
+                        exclude_entries=0)
+    )
+    predictor.insert(3)
+    assert predictor.lookup(3)
+    predictor.observe_false_positive(9)  # no-op without Exclude cache
+    assert predictor.exclude is None
+
+
+# ----------------------------------------------------------------------
+# Exact predictor
+
+
+def exact(entries=4, assoc=2, callback=None):
+    predictor = ExactPredictor(
+        PredictorConfig(kind="exact", entries=entries, associativity=assoc)
+    )
+    if callback is not None:
+        predictor.set_downgrade_callback(callback)
+    return predictor
+
+
+def test_exact_behaves_like_subset_without_conflicts():
+    predictor = exact(entries=64, assoc=8)
+    predictor.insert(5)
+    assert predictor.lookup(5)
+    predictor.remove(5)
+    assert not predictor.lookup(5)
+
+
+def test_exact_conflict_triggers_downgrade_callback():
+    downgraded = []
+    predictor = exact(entries=4, assoc=2, callback=downgraded.append)
+    predictor.insert(0)
+    predictor.insert(2)
+    predictor.insert(4)  # set 0 full -> victim 0 downgraded
+    assert downgraded == [0]
+    assert predictor.downgrades == 1
+    # The victim is gone: no false positive for it.
+    assert not predictor.lookup(0)
+
+
+def test_exact_downgrade_callback_may_reenter_remove():
+    predictor = exact(entries=4, assoc=2)
+    # Simulates the cache-state-loss callback chain: the downgrade
+    # removes the victim from the predictor again.
+    predictor.set_downgrade_callback(predictor.remove)
+    predictor.insert(0)
+    predictor.insert(2)
+    predictor.insert(4)
+    assert predictor.lookup(2) and predictor.lookup(4)
+    assert not predictor.lookup(0)
+
+
+# ----------------------------------------------------------------------
+# Perfect predictor
+
+
+def test_perfect_predictor_uses_truth():
+    predictor = PerfectPredictor(
+        PredictorConfig(kind="perfect"), truth=lambda a: a % 2 == 0
+    )
+    assert predictor.lookup(4)
+    assert not predictor.lookup(5)
+    assert predictor.latency == 0
+
+
+def test_perfect_predictor_requires_truth():
+    predictor = PerfectPredictor(PredictorConfig(kind="perfect"))
+    with pytest.raises(RuntimeError):
+        predictor.lookup(1)

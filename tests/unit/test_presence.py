@@ -1,0 +1,62 @@
+"""Unit tests for the presence predictor (write-snoop filtering
+extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.presence import PresencePredictor
+
+
+def test_absent_line_is_filtered():
+    predictor = PresencePredictor(fields=(6, 5))
+    assert not predictor.may_be_present(0x123)
+    assert predictor.filtered == 1
+
+
+def test_added_line_is_present():
+    predictor = PresencePredictor(fields=(6, 5))
+    predictor.line_added(0x123)
+    assert predictor.may_be_present(0x123)
+
+
+def test_reference_counting_across_cores():
+    """Two copies in the CMP: the line stays present until the second
+    copy leaves."""
+    predictor = PresencePredictor(fields=(6, 5))
+    predictor.line_added(0x55)
+    predictor.line_added(0x55)
+    predictor.line_removed(0x55)
+    assert predictor.may_be_present(0x55)
+    predictor.line_removed(0x55)
+    assert not predictor.may_be_present(0x55)
+
+
+def test_no_false_negatives_under_churn():
+    predictor = PresencePredictor(fields=(5, 4))
+    live = set()
+    for i in range(500):
+        address = (i * 37) % 200
+        if address in live:
+            predictor.line_removed(address)
+            live.discard(address)
+        else:
+            predictor.line_added(address)
+            live.add(address)
+        for check in list(live)[:10]:
+            assert predictor.may_be_present(check)
+
+
+def test_counters():
+    predictor = PresencePredictor(fields=(4,))
+    predictor.line_added(1)
+    predictor.may_be_present(1)
+    predictor.may_be_present(2)
+    assert predictor.updates == 1
+    assert predictor.lookups == 2
+
+
+def test_default_geometry():
+    predictor = PresencePredictor()
+    assert predictor.filter.total_counters == (1 << 15) + (1 << 11)
+    assert predictor.access_latency == 2

@@ -1,0 +1,183 @@
+"""Unit tests for the Table 2 primitive semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.primitives import Primitive, apply_primitive
+from repro.ring.messages import MessageMode, RingMessage, SnoopKind
+
+SNOOP = 55
+PRED = 2
+
+
+def make_message(mode=MessageMode.COMBINED, reply_time=None):
+    message = RingMessage(
+        transaction_id=1,
+        kind=SnoopKind.READ,
+        address=0x10,
+        requester=0,
+        mode=mode,
+        reply_time=reply_time,
+    )
+    return message
+
+
+def apply(message, primitive, now=100, supplier=False, pred=PRED):
+    return apply_primitive(
+        message,
+        primitive,
+        now=now,
+        snoop_time=SNOOP,
+        predictor_latency=pred,
+        node_is_supplier=supplier,
+        node=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# FORWARD
+
+
+def test_forward_combined_passes_through():
+    message = make_message()
+    outcome = apply(message, Primitive.FORWARD)
+    assert outcome.request_departure == 100 + PRED
+    assert outcome.reply_departure is None
+    assert not outcome.snooped
+    assert message.mode is MessageMode.COMBINED
+
+
+def test_forward_split_passes_both_forms():
+    message = make_message(MessageMode.SPLIT, reply_time=90)
+    outcome = apply(message, Primitive.FORWARD)
+    assert outcome.request_departure == 102
+    assert outcome.reply_departure == 90
+    assert message.mode is MessageMode.SPLIT
+
+
+def test_forward_never_supplies():
+    message = make_message()
+    outcome = apply(message, Primitive.FORWARD, supplier=True)
+    assert not outcome.supplied  # caller must prevent this combination
+
+
+# ----------------------------------------------------------------------
+# SNOOP_THEN_FORWARD
+
+
+def test_stf_combined_non_supplier_delays_request():
+    message = make_message()
+    outcome = apply(message, Primitive.SNOOP_THEN_FORWARD)
+    assert outcome.snooped
+    assert outcome.snoop_done == 100 + PRED + SNOOP
+    assert outcome.request_departure == outcome.snoop_done
+    assert outcome.reply_departure is None
+    assert message.mode is MessageMode.COMBINED
+    assert not message.satisfied
+
+
+def test_stf_supplier_marks_combined_satisfied():
+    message = make_message()
+    outcome = apply(message, Primitive.SNOOP_THEN_FORWARD, supplier=True)
+    assert outcome.supplied
+    assert message.satisfied
+    assert message.satisfied_reply
+    assert message.supplier == 3
+    assert message.mode is MessageMode.COMBINED
+    assert outcome.request_departure == 100 + PRED + SNOOP
+
+
+def test_stf_split_waits_for_trailing_reply():
+    # Reply arrives later than the snoop completes.
+    message = make_message(MessageMode.SPLIT, reply_time=400)
+    outcome = apply(message, Primitive.SNOOP_THEN_FORWARD)
+    assert outcome.request_departure == 400  # max(157, 400)
+    assert message.mode is MessageMode.COMBINED  # recombined
+
+
+def test_stf_split_snoop_slower_than_reply():
+    message = make_message(MessageMode.SPLIT, reply_time=110)
+    outcome = apply(message, Primitive.SNOOP_THEN_FORWARD)
+    assert outcome.request_departure == 100 + PRED + SNOOP
+
+
+def test_stf_split_discards_reply_when_supplying():
+    message = make_message(MessageMode.SPLIT, reply_time=500)
+    outcome = apply(message, Primitive.SNOOP_THEN_FORWARD, supplier=True)
+    # The supplier does not wait for the trailing reply: it sends the
+    # satisfied combined R/R at snoop completion and discards the
+    # reply when it shows up.
+    assert outcome.request_departure == 100 + PRED + SNOOP
+    assert message.mode is MessageMode.COMBINED
+    assert message.satisfied
+
+
+def test_stf_merging_satisfied_trailing_reply():
+    # An upstream FTS supplier put the positive outcome in the
+    # trailing reply; an STF node downstream recombines and the result
+    # must be a satisfied (reply) message.
+    message = make_message(MessageMode.SPLIT, reply_time=120)
+    message.satisfied_reply = True
+    message.supplier = 1
+    apply(message, Primitive.SNOOP_THEN_FORWARD)
+    assert message.satisfied
+    assert message.mode is MessageMode.COMBINED
+
+
+# ----------------------------------------------------------------------
+# FORWARD_THEN_SNOOP
+
+
+def test_fts_combined_splits_message():
+    message = make_message()
+    outcome = apply(message, Primitive.FORWARD_THEN_SNOOP)
+    assert outcome.request_departure == 100 + PRED  # not delayed by snoop
+    assert outcome.reply_departure == 100 + PRED + SNOOP
+    assert message.mode is MessageMode.SPLIT
+    assert message.reply_time == outcome.reply_departure
+
+
+def test_fts_split_merges_replies():
+    message = make_message(MessageMode.SPLIT, reply_time=300)
+    outcome = apply(message, Primitive.FORWARD_THEN_SNOOP)
+    assert outcome.request_departure == 102
+    assert outcome.reply_departure == 300  # max(157, 300)
+
+
+def test_fts_supplier_satisfies_reply_only():
+    message = make_message()
+    outcome = apply(message, Primitive.FORWARD_THEN_SNOOP, supplier=True)
+    assert outcome.supplied
+    # The request racing ahead must stay live so downstream nodes keep
+    # acting on it (this is why Eager snoops all N-1 nodes).
+    assert not message.satisfied
+    assert message.satisfied_reply
+    assert message.supplier == 3
+    assert message.mode is MessageMode.SPLIT
+
+
+def test_fts_preserves_upstream_positive_outcome():
+    message = make_message(MessageMode.SPLIT, reply_time=120)
+    message.satisfied_reply = True
+    message.supplier = 1
+    apply(message, Primitive.FORWARD_THEN_SNOOP)
+    assert message.satisfied_reply
+    assert message.supplier == 1
+    assert not message.satisfied
+
+
+# ----------------------------------------------------------------------
+# Primitive properties
+
+
+def test_primitive_snoop_property():
+    assert Primitive.FORWARD_THEN_SNOOP.snoops
+    assert Primitive.SNOOP_THEN_FORWARD.snoops
+    assert not Primitive.FORWARD.snoops
+
+
+def test_zero_predictor_latency():
+    message = make_message()
+    outcome = apply(message, Primitive.SNOOP_THEN_FORWARD, pred=0)
+    assert outcome.request_departure == 100 + SNOOP

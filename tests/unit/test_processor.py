@@ -1,0 +1,49 @@
+"""Unit tests for the core replay model."""
+
+from __future__ import annotations
+
+from repro.sim.processor import Core, build_cores
+from repro.workloads.trace import Access
+
+
+def make_trace(n=3):
+    return [Access(address=i, is_write=False, think_time=5) for i in
+            range(n)]
+
+
+def test_build_cores_assigns_cmp_and_local_ids():
+    cores = build_cores([make_trace() for _ in range(8)],
+                        cores_per_cmp=4)
+    assert len(cores) == 8
+    assert cores[0].cmp_id == 0 and cores[0].local_id == 0
+    assert cores[3].cmp_id == 0 and cores[3].local_id == 3
+    assert cores[4].cmp_id == 1 and cores[4].local_id == 0
+    assert cores[7].cmp_id == 1 and cores[7].local_id == 3
+
+
+def test_core_advance_and_done():
+    core = Core(core_id=0, cmp_id=0, local_id=0, trace=make_trace(2))
+    assert not core.done
+    assert core.current_access.address == 0
+    core.advance()
+    assert core.current_access.address == 1
+    core.advance()
+    assert core.done
+
+
+def test_core_empty_trace_is_done():
+    core = Core(core_id=0, cmp_id=0, local_id=0, trace=[])
+    assert core.done
+
+
+def test_stall_accounting():
+    core = Core(core_id=0, cmp_id=0, local_id=0, trace=make_trace())
+    core.block(100)
+    core.unblock(160)
+    assert core.stall_cycles == 60
+    core.block(200)
+    core.unblock(230)
+    assert core.stall_cycles == 90
+    # Unblock without block is a no-op.
+    core.unblock(500)
+    assert core.stall_cycles == 90

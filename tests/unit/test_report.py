@@ -1,0 +1,68 @@
+"""Unit tests for the report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import ExperimentMatrix
+from repro.harness.report import ascii_bar, bar_chart, render_report
+
+
+def test_ascii_bar_scaling():
+    assert ascii_bar(0.0, 1.0, width=10) == ""
+    assert ascii_bar(1.0, 1.0, width=10) == "#" * 10
+    assert ascii_bar(0.5, 1.0, width=10) == "#" * 5
+    assert ascii_bar(2.0, 1.0, width=10) == "#" * 10  # clamped
+
+
+def test_ascii_bar_zero_max():
+    assert ascii_bar(1.0, 0.0) == ""
+
+
+def test_bar_chart_layout():
+    table = {
+        "specjbb": {"lazy": 1.0, "eager": 2.0},
+        "specweb": {"lazy": 1.0, "eager": 1.8},
+    }
+    text = bar_chart("demo", table)
+    assert "demo" in text
+    assert "[specjbb]" in text and "[specweb]" in text
+    lines = text.splitlines()
+    eager_line = next(
+        line for line in lines if "eager" in line and "2.00" in line
+    )
+    lazy_line = next(
+        line for line in lines if "lazy" in line and "[specjbb]" not in line
+    )
+    assert eager_line.count("#") > lazy_line.count("#")
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix():
+    return ExperimentMatrix(
+        accesses_per_core=150,
+        algorithms=("lazy", "eager", "superset_con", "superset_agg"),
+        workloads=("specjbb",),
+    )
+
+
+def test_render_report_contains_all_sections(tiny_matrix):
+    text = render_report(tiny_matrix, figures=[6, 7, 8, 9])
+    assert "Figure 6" in text
+    assert "Figure 7" in text
+    assert "Figure 8" in text
+    assert "Figure 9" in text
+    assert "Headline" in text
+    assert "Figure 10" not in text
+
+
+def test_render_report_figure_selection(tiny_matrix):
+    text = render_report(tiny_matrix, figures=[6])
+    assert "Figure 6" in text
+    assert "Figure 7" not in text
+
+
+def test_report_is_cached_and_cheap(tiny_matrix):
+    first = render_report(tiny_matrix, figures=[6])
+    second = render_report(tiny_matrix, figures=[6])
+    assert first == second

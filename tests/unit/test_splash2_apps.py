@@ -1,0 +1,92 @@
+"""Unit tests for the per-application SPLASH-2 profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.splash2_apps import (
+    SPLASH2_APPS,
+    build_app_workload,
+    geometric_mean,
+)
+
+
+def test_eleven_applications():
+    # The paper runs all SPLASH-2 applications except Volrend: 11.
+    assert len(SPLASH2_APPS) == 11
+    assert "volrend" not in SPLASH2_APPS
+
+
+def test_all_profiles_use_paper_configuration():
+    for name, factory in SPLASH2_APPS.items():
+        profile = factory()
+        assert profile.num_cores == 32, name
+        assert profile.cores_per_cmp == 4, name
+        assert profile.name == "splash2/%s" % name
+
+
+def test_profiles_are_distinct():
+    knob_sets = set()
+    for factory in SPLASH2_APPS.values():
+        profile = factory()
+        knob_sets.add(
+            (
+                profile.p_shared,
+                profile.migratory_fraction,
+                profile.producer_consumer_fraction,
+                profile.write_fraction_shared,
+                profile.zipf_exponent,
+            )
+        )
+    assert len(knob_sets) == len(SPLASH2_APPS)
+
+
+def test_characterizations_hold():
+    # Raytrace is read-mostly; radix is write-heavy.
+    assert (
+        SPLASH2_APPS["raytrace"]().write_fraction_shared
+        < SPLASH2_APPS["radix"]().write_fraction_shared
+    )
+    # Water-nsquared is the migratory archetype; fft has none.
+    assert SPLASH2_APPS["water-nsquared"]().migratory_fraction > 0.2
+    assert SPLASH2_APPS["fft"]().migratory_fraction == 0.0
+    # FFT and radix are producer-consumer transposes.
+    assert SPLASH2_APPS["fft"]().producer_consumer_fraction >= 0.3
+    # Ocean has the big, DRAM-bound working set.
+    assert SPLASH2_APPS["ocean"]().p_cold >= 0.1
+
+
+def test_build_app_workload():
+    workload = build_app_workload("lu", accesses_per_core=50)
+    assert workload.num_cores == 32
+    assert workload.name == "splash2/lu"
+    assert workload.total_accesses >= 32 * 50
+
+
+def test_build_unknown_app_rejected():
+    with pytest.raises(ValueError):
+        build_app_workload("volrend")
+
+
+def test_geometric_mean():
+    assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([1.0, 1.0, 1.0]) == 1.0
+    with pytest.raises(ValueError):
+        geometric_mean([])
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, 0.0])
+
+
+@pytest.mark.parametrize("app", ["barnes", "fft", "radix"])
+def test_app_simulates(app):
+    from repro.config import default_machine
+    from repro.core.algorithms import build_algorithm
+    from repro.sim.system import RingMultiprocessor
+
+    workload = build_app_workload(app, accesses_per_core=60)
+    machine = default_machine(algorithm="lazy", cores_per_cmp=4)
+    result = RingMultiprocessor(
+        machine, build_algorithm("lazy"), workload
+    ).run()
+    assert result.stats.reads > 0
+    assert result.exec_time > 0

@@ -1,0 +1,108 @@
+"""Unit tests for coherence line states and the compatibility matrix
+(Figure 2(b) of the paper)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.coherence.states import (
+    CACHED_STATES,
+    LOCAL_MASTER_STATES,
+    SUPPLIER_STATES,
+    LineState,
+    compatible,
+    is_dirty,
+    is_local_master,
+    is_supplier,
+)
+
+ALL_STATES = list(LineState)
+
+
+def test_supplier_states_are_sg_e_d_t():
+    assert SUPPLIER_STATES == {
+        LineState.SG,
+        LineState.E,
+        LineState.D,
+        LineState.T,
+    }
+
+
+def test_local_master_states_include_suppliers_and_sl():
+    assert LOCAL_MASTER_STATES == SUPPLIER_STATES | {LineState.SL}
+
+
+def test_plain_shared_is_not_master():
+    assert not is_supplier(LineState.S)
+    assert not is_local_master(LineState.S)
+    assert not is_supplier(LineState.SL)
+    assert is_local_master(LineState.SL)
+
+
+def test_dirty_states():
+    assert is_dirty(LineState.D)
+    assert is_dirty(LineState.T)
+    for state in (LineState.I, LineState.S, LineState.SL, LineState.SG,
+                  LineState.E):
+        assert not is_dirty(state)
+
+
+@pytest.mark.parametrize("same_cmp", [True, False])
+def test_compatibility_is_symmetric(same_cmp):
+    for a, b in itertools.product(ALL_STATES, ALL_STATES):
+        assert compatible(a, b, same_cmp) == compatible(b, a, same_cmp), (
+            a,
+            b,
+            same_cmp,
+        )
+
+
+@pytest.mark.parametrize("same_cmp", [True, False])
+def test_invalid_compatible_with_everything(same_cmp):
+    for state in ALL_STATES:
+        assert compatible(LineState.I, state, same_cmp)
+
+
+@pytest.mark.parametrize("state", [LineState.E, LineState.D])
+def test_exclusive_states_tolerate_nothing(state):
+    for other in CACHED_STATES:
+        assert not compatible(state, other, same_cmp=True)
+        assert not compatible(state, other, same_cmp=False)
+
+
+def test_single_global_supplier():
+    # No two supplier states may coexist anywhere.
+    for a, b in itertools.product(SUPPLIER_STATES, SUPPLIER_STATES):
+        assert not compatible(a, b, same_cmp=False), (a, b)
+        assert not compatible(a, b, same_cmp=True), (a, b)
+
+
+def test_tagged_coexists_with_shared_copies():
+    assert compatible(LineState.T, LineState.S, same_cmp=False)
+    assert compatible(LineState.T, LineState.S, same_cmp=True)
+    assert compatible(LineState.T, LineState.SL, same_cmp=False)
+
+
+def test_local_masters_exclusive_within_cmp():
+    # The "*" entries of Figure 2(b): compatible only across CMPs.
+    pairs = [
+        (LineState.SL, LineState.SL),
+        (LineState.SL, LineState.SG),
+        (LineState.SL, LineState.T),
+        (LineState.SG, LineState.SL),
+    ]
+    for a, b in pairs:
+        assert compatible(a, b, same_cmp=False), (a, b)
+        assert not compatible(a, b, same_cmp=True), (a, b)
+
+
+def test_sg_incompatible_with_t_everywhere():
+    assert not compatible(LineState.SG, LineState.T, same_cmp=False)
+    assert not compatible(LineState.SG, LineState.T, same_cmp=True)
+
+
+def test_plain_shared_compatible_with_masters():
+    for master in (LineState.S, LineState.SL, LineState.SG, LineState.T):
+        assert compatible(LineState.S, master, same_cmp=False)

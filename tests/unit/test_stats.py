@@ -1,0 +1,95 @@
+"""Unit tests for the statistics containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.stats import PredictorAccuracy, RunStats
+
+
+def test_accuracy_classification():
+    accuracy = PredictorAccuracy()
+    accuracy.record(prediction=True, truth=True)
+    accuracy.record(prediction=True, truth=False)
+    accuracy.record(prediction=False, truth=True)
+    accuracy.record(prediction=False, truth=False)
+    assert accuracy.true_positive == 1
+    assert accuracy.false_positive == 1
+    assert accuracy.false_negative == 1
+    assert accuracy.true_negative == 1
+    assert accuracy.total == 4
+
+
+def test_accuracy_fractions_sum_to_one():
+    accuracy = PredictorAccuracy()
+    for prediction, truth in [(True, True)] * 3 + [(False, False)] * 5 + [
+        (True, False)
+    ] * 2:
+        accuracy.record(prediction, truth)
+    fractions = accuracy.fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+    assert fractions["true_positive"] == pytest.approx(0.3)
+    assert fractions["false_positive"] == pytest.approx(0.2)
+
+
+def test_accuracy_empty_fractions():
+    fractions = PredictorAccuracy().fractions()
+    assert all(value == 0.0 for value in fractions.values())
+
+
+def test_accuracy_rates():
+    accuracy = PredictorAccuracy(
+        true_positive=8,
+        false_negative=2,
+        true_negative=6,
+        false_positive=4,
+    )
+    assert accuracy.false_negative_rate == pytest.approx(0.2)
+    assert accuracy.false_positive_rate == pytest.approx(0.4)
+
+
+def test_accuracy_rates_empty():
+    empty = PredictorAccuracy()
+    assert empty.false_negative_rate == 0.0
+    assert empty.false_positive_rate == 0.0
+
+
+def test_snoops_per_read_request():
+    stats = RunStats()
+    assert stats.snoops_per_read_request == 0.0
+    stats.read_ring_transactions = 10
+    stats.read_snoops = 45
+    assert stats.snoops_per_read_request == 4.5
+
+
+def test_supplier_found_fraction():
+    stats = RunStats()
+    assert stats.supplier_found_fraction == 0.0
+    stats.reads_supplied_by_cache = 3
+    stats.reads_supplied_by_memory = 1
+    assert stats.supplier_found_fraction == 0.75
+
+
+def test_mean_latencies():
+    stats = RunStats()
+    assert stats.mean_read_miss_latency == 0.0
+    assert stats.mean_supplier_latency == 0.0
+    stats.read_miss_latency_sum = 1200
+    stats.read_miss_count = 4
+    stats.supplier_latency_sum = 600
+    stats.supplier_latency_count = 3
+    assert stats.mean_read_miss_latency == 300.0
+    assert stats.mean_supplier_latency == 200.0
+
+
+def test_summary_keys():
+    summary = RunStats().summary()
+    for key in (
+        "reads",
+        "writes",
+        "snoops_per_read_request",
+        "supplier_found_fraction",
+        "exec_time",
+        "memory_reads",
+    ):
+        assert key in summary

@@ -1,0 +1,83 @@
+"""Unit tests for the parameter-sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.sweep import (
+    Sweep,
+    SweepPoint,
+    run_sweep,
+    sweep_memory_field,
+    sweep_predictor_entries,
+    sweep_ring_field,
+)
+
+FAST = dict(workload="specjbb", accesses_per_core=150,
+            warmup_fraction=0.0)
+
+
+def test_sweep_ring_snoop_time_changes_latency():
+    sweep = sweep_ring_field(
+        "snoop_time", [10, 110], algorithm="lazy", **FAST
+    )
+    latency = sweep.series("mean_read_miss_latency")
+    assert latency[110] > latency[10]
+    assert sweep.name == "ring.snoop_time"
+    # The config actually carried the swept value.
+    assert sweep.points[0].result.config.ring.snoop_time == 10
+
+
+def test_sweep_series_reads_result_attributes():
+    sweep = sweep_ring_field(
+        "hop_latency", [20, 80], algorithm="lazy", **FAST
+    )
+    exec_series = sweep.series("exec_time")
+    assert exec_series[80] > exec_series[20]
+
+
+def test_normalized_series():
+    sweep = Sweep(name="demo")
+
+    class FakeResult:
+        def __init__(self, exec_time):
+            self.exec_time = exec_time
+
+    sweep.points = [
+        SweepPoint(1, FakeResult(100.0)),
+        SweepPoint(2, FakeResult(150.0)),
+    ]
+    normalized = sweep.normalized_series("exec_time", baseline=1)
+    assert normalized == {1: 1.0, 2: 1.5}
+    with pytest.raises(KeyError):
+        sweep.normalized_series("exec_time", baseline=99)
+
+
+def test_sweep_memory_prefetch_toggle():
+    sweep = sweep_memory_field(
+        "prefetch_on_snoop", [True, False], algorithm="lazy", **FAST
+    )
+    latency = sweep.series("mean_read_miss_latency")
+    assert latency[False] >= latency[True]
+
+
+def test_sweep_predictor_entries():
+    sweep = sweep_predictor_entries(
+        [512, 2048], algorithm="subset", **FAST
+    )
+    assert [p.value for p in sweep.points] == [512, 2048]
+    assert sweep.points[0].result.config.predictor.entries == 512
+    assert sweep.points[1].result.config.predictor.entries == 2048
+
+
+def test_custom_mutator():
+    calls = []
+
+    def mutate(config, value):
+        calls.append(value)
+        return config.replace(squash_backoff=value)
+
+    sweep = run_sweep("backoff", [100, 300], mutate,
+                      algorithm="lazy", **FAST)
+    assert calls == [100, 300]
+    assert sweep.points[1].result.config.squash_backoff == 300

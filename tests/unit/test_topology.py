@@ -1,0 +1,102 @@
+"""Unit tests for ring and torus topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DataNetworkConfig, RingConfig
+from repro.ring.topology import RingTopology, TorusTopology
+
+
+def ring(n=8, rings=2):
+    return RingTopology(n, RingConfig(num_rings=rings))
+
+
+def test_next_node_wraps():
+    topology = ring(4)
+    assert topology.next_node(0) == 1
+    assert topology.next_node(3) == 0
+
+
+def test_ring_distance():
+    topology = ring(8)
+    assert topology.ring_distance(0, 1) == 1
+    assert topology.ring_distance(1, 0) == 7
+    assert topology.ring_distance(5, 5) == 0
+    assert topology.ring_distance(6, 2) == 4
+
+
+def test_walk_order_visits_everyone_once():
+    topology = ring(8)
+    order = topology.walk_order(3)
+    assert order == [4, 5, 6, 7, 0, 1, 2]
+    assert len(set(order)) == 7
+    assert 3 not in order
+
+
+def test_ring_of_interleaves_addresses():
+    topology = ring(8, rings=2)
+    assert topology.ring_of(10) == 0
+    assert topology.ring_of(11) == 1
+
+
+def test_ring_requires_two_nodes():
+    with pytest.raises(ValueError):
+        RingTopology(1, RingConfig())
+
+
+def test_ring_node_range_checked():
+    topology = ring(4)
+    with pytest.raises(ValueError):
+        topology.next_node(4)
+    with pytest.raises(ValueError):
+        topology.ring_distance(0, -1)
+
+
+def torus(n=8, shape=(4, 2)):
+    return TorusTopology(n, DataNetworkConfig(torus_shape=shape))
+
+
+def test_torus_coordinates():
+    topology = torus()
+    assert topology.coordinates(0) == (0, 0)
+    assert topology.coordinates(1) == (0, 1)
+    assert topology.coordinates(2) == (1, 0)
+    assert topology.coordinates(7) == (3, 1)
+
+
+def test_torus_hop_distance_wraps_around():
+    topology = torus()
+    assert topology.hop_distance(0, 0) == 0
+    assert topology.hop_distance(0, 1) == 1
+    # Rows 0 and 3 are adjacent through the wrap-around link.
+    assert topology.hop_distance(0, 6) == 1
+    assert topology.hop_distance(0, 7) == 2
+
+
+def test_torus_distance_symmetric():
+    topology = torus()
+    for a in range(8):
+        for b in range(8):
+            assert topology.hop_distance(a, b) == topology.hop_distance(b, a)
+
+
+def test_torus_transfer_latency():
+    config = DataNetworkConfig(
+        per_hop_latency=20, overhead=40, torus_shape=(4, 2)
+    )
+    topology = TorusTopology(8, config)
+    assert topology.transfer_latency(0, 0) == 40
+    assert topology.transfer_latency(0, 1) == 60
+    assert topology.transfer_latency(0, 7) == 80
+
+
+def test_torus_too_small_rejected():
+    with pytest.raises(ValueError):
+        TorusTopology(9, DataNetworkConfig(torus_shape=(4, 2)))
+
+
+def test_torus_node_range_checked():
+    topology = torus()
+    with pytest.raises(ValueError):
+        topology.coordinates(8)

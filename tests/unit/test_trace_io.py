@@ -1,0 +1,136 @@
+"""Unit tests for trace file I/O."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.workloads.io import (
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
+from repro.workloads.profiles import build_workload
+from repro.workloads.synthetic import SharingProfile, generate_workload
+from repro.workloads.trace import Access, WorkloadTrace
+
+
+def small_workload():
+    return generate_workload(
+        SharingProfile(
+            name="io-test",
+            num_cores=4,
+            cores_per_cmp=2,
+            accesses_per_core=100,
+            p_shared=0.5,
+            shared_lines=32,
+            private_lines=32,
+            prewarm_fraction=0.5,
+            seed=3,
+        )
+    )
+
+
+def test_roundtrip(tmp_path):
+    workload = small_workload()
+    path = tmp_path / "trace.jsonl"
+    save_trace(workload, path)
+    loaded = load_trace(path)
+    assert loaded.name == workload.name
+    assert loaded.cores_per_cmp == workload.cores_per_cmp
+    assert loaded.traces == workload.traces
+    assert loaded.prewarm == workload.prewarm
+
+
+def test_roundtrip_without_prewarm(tmp_path):
+    workload = WorkloadTrace(
+        name="bare",
+        cores_per_cmp=1,
+        traces=[[Access(1, False, 2)], [Access(2, True, 0)]],
+    )
+    path = tmp_path / "bare.jsonl"
+    save_trace(workload, path)
+    loaded = load_trace(path)
+    assert loaded.prewarm == []
+    assert loaded.traces == workload.traces
+
+
+def test_loaded_trace_simulates_identically(tmp_path):
+    from repro.config import CacheConfig, default_machine
+    from repro.core.algorithms import build_algorithm
+    from repro.sim.system import RingMultiprocessor
+
+    workload = small_workload()
+    path = tmp_path / "trace.jsonl"
+    save_trace(workload, path)
+    loaded = load_trace(path)
+
+    def run(trace):
+        machine = default_machine(
+            algorithm="lazy",
+            num_cmps=trace.num_cmps,
+            cores_per_cmp=trace.cores_per_cmp,
+            cache=CacheConfig(num_lines=128, associativity=4),
+        )
+        return RingMultiprocessor(
+            machine, build_algorithm("lazy"), trace
+        ).run()
+
+    original = run(workload)
+    replayed = run(loaded)
+    assert original.exec_time == replayed.exec_time
+    assert original.stats.read_snoops == replayed.stats.read_snoops
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_wrong_format_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(json.dumps({"format": "something-else"}) + "\n")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_wrong_version_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        json.dumps({"format": "flexsnoop-trace", "version": 99,
+                    "name": "x", "cores_per_cmp": 1, "num_cores": 1})
+        + "\n"
+    )
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_garbage_header_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_core_out_of_range_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    lines = [
+        json.dumps({"format": "flexsnoop-trace", "version": 1,
+                    "name": "x", "cores_per_cmp": 1, "num_cores": 1}),
+        json.dumps({"core": 5, "accesses": []}),
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(TraceFormatError):
+        load_trace(path)
+
+
+def test_named_workload_roundtrip(tmp_path):
+    workload = build_workload("specjbb", accesses_per_core=100)
+    path = tmp_path / "jbb.jsonl"
+    save_trace(workload, path)
+    loaded = load_trace(path)
+    assert loaded.total_accesses == workload.total_accesses
+    assert loaded.name == "SPECjbb"
