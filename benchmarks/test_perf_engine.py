@@ -8,8 +8,11 @@ a small system run.
 
 from __future__ import annotations
 
+import time
+
 from repro.config import CacheConfig, default_machine
 from repro.core.algorithms import build_algorithm
+from repro.harness.parallel import RunSpec, run_specs
 from repro.sim.engine import EventEngine
 from repro.sim.system import RingMultiprocessor
 from repro.workloads.synthetic import SharingProfile, generate_workload
@@ -51,6 +54,74 @@ def test_engine_nested_scheduling(benchmark):
         return engine.events_processed
 
     assert benchmark(run) == 5_001
+
+
+def test_engine_cancel_churn(benchmark):
+    """Schedule/cancel churn: most events die before firing.
+
+    Exercises the lazy compaction path - without it, the heap fills
+    with cancelled entries and every pop pays for the corpses.
+    """
+
+    def run():
+        engine = EventEngine()
+        fired = [0]
+
+        def tick():
+            fired[0] += 1
+
+        handles = []
+        for i in range(10_000):
+            handles.append(engine.schedule(1 + i % 211, tick))
+            if i % 5:  # cancel 80% of everything scheduled
+                handles[-1].cancel()
+        engine.run()
+        assert engine.pending == 0
+        return fired[0]
+
+    assert benchmark(run) == 2_000
+
+
+def test_engine_pending_polling(benchmark):
+    """pending is polled per iteration - it must be O(1), not a heap
+    scan (a 5k-event queue polled 5k times would be 25M touches)."""
+
+    def run():
+        engine = EventEngine()
+        for i in range(5_000):
+            engine.schedule(i, lambda: None)
+        observed = 0
+        while engine.pending:
+            observed += engine.pending
+            engine.step()
+        return observed
+
+    assert benchmark(run) > 0
+
+
+def test_matrix_end_to_end_events_per_second(benchmark):
+    """End-to-end simulation throughput of a small harness matrix.
+
+    The recorded ``events_per_second`` is the trajectory metric future
+    PRs compare against (see also benchmarks/test_perf_matrix.py for
+    the serial-vs-parallel wall-time comparison).
+    """
+    specs = [
+        RunSpec(algorithm, "specjbb", accesses_per_core=150,
+                warmup_fraction=0.35)
+        for algorithm in ("lazy", "eager", "superset_agg")
+    ]
+
+    def run():
+        start = time.perf_counter()
+        results = run_specs(specs, jobs=1)
+        elapsed = time.perf_counter() - start
+        return sum(result.events for result in results), elapsed
+
+    events, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert events > 1_000
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_second"] = round(events / elapsed)
 
 
 def _small_workload():

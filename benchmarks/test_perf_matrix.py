@@ -1,0 +1,115 @@
+"""Matrix-level performance benchmarks: wall time, events/sec, and
+the serial-vs-parallel speedup of the experiment fan-out.
+
+These are the numbers future PRs track to keep the perf trajectory
+honest:
+
+* ``matrix_seconds`` / ``events_per_second`` - end-to-end harness
+  throughput over a benchmark matrix (trace generation, simulation,
+  result assembly).
+* ``parallel_seconds`` / ``speedup`` - the same matrix through the
+  ``--jobs 4`` process pool.  On a multi-core host the pool must beat
+  serial by >= 2x; on starved CI boxes (cpu_count < 4) the speedup
+  assertion is skipped but the equality check still runs, because
+  determinism is not allowed to depend on the host.
+
+Scale is kept small (the figure benches cover paper scale); what
+matters here is the *ratio*, which is stable across scales because
+every cell is embarrassingly parallel.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.harness.experiments import MAIN_ALGORITHMS
+from repro.harness.parallel import RunSpec, run_specs
+from repro.harness.result_cache import ResultCache
+
+#: The benchmark matrix: all seven algorithms on the two 8-core
+#: workloads (splash2's 32 cores would dominate the wall time without
+#: changing the parallelism story).
+BENCH_SPECS = [
+    RunSpec(algorithm, workload, accesses_per_core=150,
+            warmup_fraction=0.35)
+    for workload in ("specjbb", "specweb")
+    for algorithm in MAIN_ALGORITHMS
+]
+
+
+def _timed(jobs):
+    start = time.perf_counter()
+    results = run_specs(BENCH_SPECS, jobs=jobs)
+    return results, time.perf_counter() - start
+
+
+def test_matrix_serial_walltime(benchmark):
+    def run():
+        return _timed(jobs=1)
+
+    results, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    events = sum(result.events for result in results)
+    assert events > 10_000
+    benchmark.extra_info["matrix_cells"] = len(BENCH_SPECS)
+    benchmark.extra_info["matrix_seconds"] = round(elapsed, 3)
+    benchmark.extra_info["events_per_second"] = round(events / elapsed)
+
+
+def test_matrix_parallel_speedup(benchmark):
+    serial_results, serial_seconds = _timed(jobs=1)
+
+    def run():
+        return _timed(jobs=4)
+
+    parallel_results, parallel_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Identical results, always - parallelism must only buy time.
+    for expected, actual in zip(serial_results, parallel_results):
+        assert actual.stats == expected.stats
+        assert actual.exec_time == expected.exec_time
+        assert actual.energy == expected.energy
+
+    speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 3)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_seconds, 3)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip(
+            "host has %s CPU(s); speedup x%.2f recorded but not "
+            "asserted" % (os.cpu_count(), speedup)
+        )
+    assert speedup >= 2.0, (
+        "jobs=4 speedup x%.2f below the 2x floor "
+        "(serial %.2fs, parallel %.2fs)"
+        % (speedup, serial_seconds, parallel_seconds)
+    )
+
+
+def test_matrix_warm_cache_walltime(benchmark, tmp_path):
+    """A warm persistent cache turns the matrix into pure I/O: zero
+    simulations, and at least an order of magnitude faster."""
+    cache = ResultCache(root=tmp_path / "cache")
+    start = time.perf_counter()
+    run_specs(BENCH_SPECS, jobs=1, cache=cache)
+    cold_seconds = time.perf_counter() - start
+    assert cache.stores == len(BENCH_SPECS)
+
+    warm_cache = ResultCache(root=tmp_path / "cache")
+
+    def run():
+        start = time.perf_counter()
+        run_specs(BENCH_SPECS, jobs=1, cache=warm_cache)
+        return time.perf_counter() - start
+
+    warm_seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert warm_cache.misses == 0
+    benchmark.extra_info["cold_seconds"] = round(cold_seconds, 3)
+    benchmark.extra_info["warm_seconds"] = round(warm_seconds, 3)
+    assert warm_seconds < cold_seconds / 10

@@ -7,7 +7,9 @@ from repro.harness.experiments import (
     WORKLOADS,
     run_experiment,
 )
+from repro.harness.parallel import RunSpec, execute_spec, run_specs
 from repro.harness.report import render_report
+from repro.harness.result_cache import ResultCache
 from repro.harness.sweep import (
     Sweep,
     run_sweep,
@@ -21,7 +23,11 @@ __all__ = [
     "MAIN_ALGORITHMS",
     "WORKLOADS",
     "run_experiment",
+    "RunSpec",
+    "execute_spec",
+    "run_specs",
     "render_report",
+    "ResultCache",
     "Sweep",
     "run_sweep",
     "sweep_memory_field",

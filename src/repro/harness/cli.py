@@ -3,11 +3,19 @@
 Examples::
 
     flexsnoop run --algorithm superset_agg --workload splash2
-    flexsnoop figure 6
+    flexsnoop figure 6 --jobs 4
     flexsnoop figure 9 --scale 1000
     flexsnoop table 1
     flexsnoop report --scale 1000 --out report.md
     flexsnoop trace --workload specjbb --out jbb.jsonl
+    flexsnoop cache info
+    flexsnoop cache clear
+
+Matrix commands (``figure``, ``report``) fan independent simulations
+out over worker processes (``--jobs``, default: one per CPU) and
+memoize completed runs in a persistent cache under
+``$FLEXSNOOP_CACHE_DIR`` (default ``~/.cache/flexsnoop``); pass
+``--no-cache`` to bypass it.
 """
 
 from __future__ import annotations
@@ -25,6 +33,26 @@ from repro.harness.experiments import (
     format_by_workload,
     run_experiment,
 )
+from repro.harness.result_cache import ResultCache
+
+
+def _make_cache(args: argparse.Namespace) -> ResultCache:
+    return ResultCache(enabled=not getattr(args, "no_cache", False))
+
+
+def _add_matrix_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker processes for the simulation matrix "
+        "(0 = one per CPU, 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the persistent result cache",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -45,7 +73,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    matrix = ExperimentMatrix(accesses_per_core=args.scale, seed=args.seed)
+    matrix = ExperimentMatrix(
+        accesses_per_core=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        result_cache=_make_cache(args),
+    )
     number = args.number
     if number == 6:
         print(
@@ -124,8 +157,12 @@ def _cmd_table(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.harness.report import render_report
 
-    matrix = ExperimentMatrix(accesses_per_core=args.scale,
-                              seed=args.seed)
+    matrix = ExperimentMatrix(
+        accesses_per_core=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        result_cache=_make_cache(args),
+    )
     figures = (
         [int(f) for f in args.figures.split(",")]
         if args.figures
@@ -156,6 +193,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache()
+    if args.action == "info":
+        info = cache.info()
+        print("location : %s" % info["root"])
+        print("entries  : %d" % info["entries"])
+        print("size     : %.1f KiB" % (info["size_bytes"] / 1024.0))
+        print("schema   : v%d (code %s)" % (
+            info["schema"], info["code_version"],
+        ))
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print("removed %d cached result(s) from %s" % (removed, cache.root))
+        return 0
+    print("unknown cache action %r" % args.action, file=sys.stderr)
+    return 2
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="flexsnoop",
@@ -183,6 +239,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("number", type=int)
     figure_parser.add_argument("--scale", type=int, default=2000)
     figure_parser.add_argument("--seed", type=int, default=0)
+    _add_matrix_options(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
 
     table_parser = sub.add_parser(
@@ -203,7 +260,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated figure numbers (default: 6,7,8,9,11)",
     )
     report_parser.add_argument("--out", default="")
+    _add_matrix_options(report_parser)
     report_parser.set_defaults(func=_cmd_report)
+
+    cache_parser = sub.add_parser(
+        "cache", help="inspect or clear the persistent result cache"
+    )
+    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.set_defaults(func=_cmd_cache)
 
     trace_parser = sub.add_parser(
         "trace", help="generate a workload trace file"

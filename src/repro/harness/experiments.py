@@ -15,10 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.config import MachineConfig, NAMED_PREDICTORS, default_machine
-from repro.core.algorithms import build_algorithm
-from repro.sim.system import RingMultiprocessor, SimulationResult
-from repro.workloads.profiles import build_workload
+from repro.config import MachineConfig
+from repro.harness.parallel import RunSpec, execute_spec, run_specs
+from repro.harness.result_cache import ResultCache
+from repro.sim.system import SimulationResult
 
 #: Algorithms of the main comparison (Section 6.1), in paper order.
 MAIN_ALGORITHMS: Tuple[str, ...] = (
@@ -75,41 +75,74 @@ def run_experiment(
             predictor field is still replaced when ``predictor`` or
             the algorithm default says so).
     """
-    trace = build_workload(workload, accesses_per_core, seed)
-    if config is None:
-        machine = default_machine(
+    return execute_spec(
+        RunSpec(
             algorithm=algorithm,
+            workload=workload,
             predictor=predictor,
-            cores_per_cmp=trace.cores_per_cmp,
+            accesses_per_core=accesses_per_core,
+            seed=seed,
+            warmup_fraction=warmup_fraction,
+            config=config,
         )
-    else:
-        machine = config
-        if predictor is not None:
-            machine = machine.replace(
-                predictor=NAMED_PREDICTORS[predictor]
-            )
-    algo = build_algorithm(algorithm)
-    system = RingMultiprocessor(
-        machine, algo, trace, warmup_fraction=warmup_fraction
     )
-    return system.run()
+
+
+#: One (algorithm, workload, predictor) cell of the matrix.
+MatrixCell = Tuple[str, str, Optional[str]]
 
 
 @dataclass
 class ExperimentMatrix:
     """Runs and caches the full evaluation matrix.
 
-    All figure extractors pull from the shared cache, so the matrix is
-    simulated at most once per configuration.
+    All figure extractors pull from the shared in-memory cache, so the
+    matrix is simulated at most once per configuration per process.
+    Two optional layers accelerate it further:
+
+    * ``jobs``: cells that are not yet simulated are fanned out over a
+      process pool (see :mod:`repro.harness.parallel`).  Results are
+      bit-identical to a serial run; ``jobs=1`` forces serial.
+    * ``result_cache``: a persistent on-disk cache shared across
+      processes and invocations, so ``flexsnoop figure 8`` after a
+      figure-6 run at the same scale performs zero new simulations.
     """
 
     accesses_per_core: int = DEFAULT_SCALE
     seed: int = 0
     algorithms: Sequence[str] = MAIN_ALGORITHMS
     workloads: Sequence[str] = WORKLOADS
-    _cache: Dict[Tuple[str, str, Optional[str]], SimulationResult] = field(
+    jobs: Optional[int] = 1
+    result_cache: Optional[ResultCache] = None
+    _cache: Dict[MatrixCell, SimulationResult] = field(
         default_factory=dict
     )
+
+    def _spec(self, cell: MatrixCell) -> RunSpec:
+        algorithm, workload, predictor = cell
+        return RunSpec(
+            algorithm=algorithm,
+            workload=workload,
+            predictor=predictor,
+            accesses_per_core=self.accesses_per_core,
+            seed=self.seed,
+            warmup_fraction=DEFAULT_WARMUP,
+        )
+
+    def ensure(self, cells: Sequence[MatrixCell]) -> None:
+        """Simulate every not-yet-known cell, fanning out when a pool
+        is allowed.  Figure extractors bulk-ensure their whole plan up
+        front so the expensive part parallelizes."""
+        todo = [cell for cell in cells if cell not in self._cache]
+        if not todo:
+            return
+        results = run_specs(
+            [self._spec(cell) for cell in todo],
+            jobs=self.jobs,
+            cache=self.result_cache,
+        )
+        for cell, result in zip(todo, results):
+            self._cache[cell] = result
 
     def result(
         self,
@@ -119,26 +152,50 @@ class ExperimentMatrix:
     ) -> SimulationResult:
         key = (algorithm, workload, predictor)
         if key not in self._cache:
-            self._cache[key] = run_experiment(
-                algorithm,
-                workload,
-                predictor,
-                accesses_per_core=self.accesses_per_core,
-                seed=self.seed,
-            )
+            self.ensure([key])
         return self._cache[key]
+
+    def main_cells(self) -> List[MatrixCell]:
+        """Cells of the main comparison (Figures 6-9)."""
+        return [
+            (algorithm, workload, None)
+            for workload in self.workloads
+            for algorithm in self.algorithms
+        ]
+
+    def sensitivity_cells(self) -> List[MatrixCell]:
+        """Extra cells of the predictor sensitivity study (Figures
+        10/11): every named predictor variant, plus the Lazy baseline
+        runs fig11 reads the Perfect reference from."""
+        cells: List[MatrixCell] = []
+        for workload in self.workloads:
+            cells.append(("lazy", workload, None))
+            for algorithm, predictors in SENSITIVITY_PREDICTORS.items():
+                cells.append((algorithm, workload, None))
+                for predictor in predictors:
+                    cells.append((algorithm, workload, predictor))
+        return cells
+
+    def _normalized_cells(self) -> List[MatrixCell]:
+        """Main cells plus the Lazy baselines the normalized figures
+        divide by (Lazy may be absent from a restricted matrix)."""
+        cells = self.main_cells()
+        for workload in self.workloads:
+            cell: MatrixCell = ("lazy", workload, None)
+            if cell not in cells:
+                cells.append(cell)
+        return cells
 
     def run_main_matrix(self) -> None:
         """Eagerly run every (algorithm, workload) cell."""
-        for workload in self.workloads:
-            for algorithm in self.algorithms:
-                self.result(algorithm, workload)
+        self.ensure(self.main_cells())
 
     # ------------------------------------------------------------------
     # Figure 6: snoop operations per read snoop request
 
     def fig6_snoops_per_request(self) -> Dict[str, Dict[str, float]]:
         """{workload: {algorithm: snoops/request}} (absolute values)."""
+        self.ensure(self.main_cells())
         return {
             workload: {
                 algorithm: self.result(
@@ -154,6 +211,7 @@ class ExperimentMatrix:
 
     def fig7_read_messages(self) -> Dict[str, Dict[str, float]]:
         """{workload: {algorithm: crossings normalized to Lazy}}."""
+        self.ensure(self._normalized_cells())
         table: Dict[str, Dict[str, float]] = {}
         for workload in self.workloads:
             lazy = self.result("lazy", workload).stats.read_ring_crossings
@@ -172,6 +230,7 @@ class ExperimentMatrix:
     # Figure 8: execution time, normalized to Lazy
 
     def fig8_execution_time(self) -> Dict[str, Dict[str, float]]:
+        self.ensure(self._normalized_cells())
         table: Dict[str, Dict[str, float]] = {}
         for workload in self.workloads:
             lazy = self.result("lazy", workload).exec_time
@@ -189,6 +248,7 @@ class ExperimentMatrix:
     # Figure 9: snoop-traffic energy, normalized to Lazy
 
     def fig9_energy(self) -> Dict[str, Dict[str, float]]:
+        self.ensure(self._normalized_cells())
         table: Dict[str, Dict[str, float]] = {}
         for workload in self.workloads:
             lazy = self.result("lazy", workload).total_energy
@@ -208,6 +268,14 @@ class ExperimentMatrix:
     def fig10_sensitivity(self) -> Dict[str, Dict[str, Dict[str, float]]]:
         """{workload: {algorithm: {predictor: exec time normalized to
         the main-comparison predictor}}}."""
+        self.ensure(
+            [
+                (algorithm, workload, predictor)
+                for workload in self.workloads
+                for algorithm, predictors in SENSITIVITY_PREDICTORS.items()
+                for predictor in (None,) + predictors
+            ]
+        )
         table: Dict[str, Dict[str, Dict[str, float]]] = {}
         for workload in self.workloads:
             table[workload] = {}
@@ -233,13 +301,6 @@ class ExperimentMatrix:
         Includes the ``Perfect`` reference collected on the Lazy runs
         (checked at every node until the supplier is found).
         """
-        table: Dict[str, Dict[str, Dict[str, float]]] = {}
-        table["Perfect"] = {
-            workload: self.result(
-                "lazy", workload
-            ).stats.perfect_accuracy.fractions()
-            for workload in self.workloads
-        }
         plan = [
             ("Sub512", "subset", "Sub512"),
             ("Sub2k", "subset", "Sub2k"),
@@ -251,6 +312,21 @@ class ExperimentMatrix:
             ("Exa2k", "exact", "Exa2k"),
             ("Exa8k", "exact", "Exa8k"),
         ]
+        self.ensure(
+            [("lazy", workload, None) for workload in self.workloads]
+            + [
+                (algorithm, workload, predictor)
+                for _, algorithm, predictor in plan
+                for workload in self.workloads
+            ]
+        )
+        table: Dict[str, Dict[str, Dict[str, float]]] = {}
+        table["Perfect"] = {
+            workload: self.result(
+                "lazy", workload
+            ).stats.perfect_accuracy.fractions()
+            for workload in self.workloads
+        }
         for label, algorithm, predictor in plan:
             table[label] = {
                 workload: self.result(

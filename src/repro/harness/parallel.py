@@ -1,0 +1,217 @@
+"""Parallel fan-out of independent simulation points.
+
+Every cell of the paper's evaluation matrix - and every point of a
+parameter sweep - is an independent simulation: same code, different
+(algorithm, workload, predictor, scale, seed, config) tuple.  This
+module turns such a tuple into a picklable :class:`RunSpec`, executes
+batches of them across a spawn-based :class:`ProcessPoolExecutor`, and
+memoizes completed results through
+:class:`~repro.harness.result_cache.ResultCache`.
+
+Determinism contract: :func:`execute_spec` derives everything from the
+spec (workload generation is seeded, the event engine is sequential),
+so a parallel run returns *bit-identical* ``SimulationResult``s to a
+serial run of the same specs, in the same order.  The integration
+suite asserts this over the full main matrix.
+
+The spawn start method is used deliberately: it is the only start
+method that behaves identically across platforms and it guarantees
+workers import a pristine ``repro`` rather than inheriting arbitrary
+parent state through fork.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.config import MachineConfig, NAMED_PREDICTORS, default_machine
+from repro.core.algorithms import build_algorithm
+from repro.harness.result_cache import (
+    ResultCache,
+    config_fingerprint,
+    fingerprint_key,
+)
+from repro.sim.system import RingMultiprocessor, SimulationResult
+from repro.workloads.profiles import build_workload, resolve_profile
+from repro.workloads.trace import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified simulation point.
+
+    Frozen and built only from picklable values, so it can cross a
+    process boundary and serve as a dictionary key.  ``config`` is an
+    optional full machine override (used by sweeps, whose mutators run
+    in the parent so that non-picklable mutator callables never need
+    to travel); when present, ``predictor`` still replaces the
+    config's predictor field, mirroring
+    :func:`repro.harness.experiments.run_experiment`.
+    """
+
+    algorithm: str
+    workload: str
+    predictor: Optional[str] = None
+    accesses_per_core: int = 0
+    seed: int = 0
+    warmup_fraction: float = 0.0
+    config: Optional[MachineConfig] = None
+
+    def resolve_config(self, cores_per_cmp: int) -> MachineConfig:
+        """The machine this spec simulates."""
+        if self.config is None:
+            return default_machine(
+                algorithm=self.algorithm,
+                predictor=self.predictor,
+                cores_per_cmp=cores_per_cmp,
+            )
+        machine = self.config
+        if self.predictor is not None:
+            machine = machine.replace(
+                predictor=NAMED_PREDICTORS[self.predictor]
+            )
+        return machine
+
+    def fingerprint(self, cores_per_cmp: int) -> Dict[str, Any]:
+        """JSON-able payload that uniquely identifies the result."""
+        return {
+            "algorithm": self.algorithm,
+            "workload": self.workload,
+            "predictor": self.predictor,
+            "accesses_per_core": self.accesses_per_core,
+            "seed": self.seed,
+            "warmup_fraction": self.warmup_fraction,
+            "machine": config_fingerprint(
+                self.resolve_config(cores_per_cmp)
+            ),
+        }
+
+    def cache_key(self) -> str:
+        """Stable cache key; includes the resolved machine config.
+
+        Only the workload *profile* is resolved (to learn its CMP
+        population), not the trace, so key computation stays cheap on
+        the warm-cache path.
+        """
+        profile = resolve_profile(
+            self.workload, self.accesses_per_core, self.seed
+        )
+        return fingerprint_key(self.fingerprint(profile.cores_per_cmp))
+
+
+@lru_cache(maxsize=8)
+def _cached_trace(
+    workload: str, accesses_per_core: int, seed: int
+) -> WorkloadTrace:
+    """Build (or reuse) a workload trace.
+
+    Traces are immutable during simulation (cores advance private
+    indices; the access lists are never written), so one trace can be
+    shared by every run of the same (workload, scale, seed) within a
+    process - a sweep over N values builds its trace once, and a
+    7-algorithm matrix builds one trace per workload instead of seven.
+    """
+    return build_workload(workload, accesses_per_core, seed)
+
+
+def execute_spec(spec: RunSpec) -> SimulationResult:
+    """Run one simulation point to completion.
+
+    Top-level and driven purely by ``spec`` so it can be shipped to a
+    spawn worker.  This is the single execution path shared by the
+    serial and parallel harnesses, which is what makes their results
+    identical by construction.
+    """
+    trace = _cached_trace(spec.workload, spec.accesses_per_core, spec.seed)
+    machine = spec.resolve_config(trace.cores_per_cmp)
+    system = RingMultiprocessor(
+        machine,
+        build_algorithm(spec.algorithm),
+        trace,
+        warmup_fraction=spec.warmup_fraction,
+    )
+    return system.run()
+
+
+def default_jobs() -> int:
+    """Worker count used when the caller passes ``jobs=None``/``0``."""
+    return max(os.cpu_count() or 1, 1)
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> List[SimulationResult]:
+    """Run every spec, in order, with caching and process fan-out.
+
+    Args:
+        specs: simulation points; duplicates are simulated once.
+        jobs: worker processes (None/0 = one per CPU; 1 = in-process
+            serial execution, no pool).
+        cache: optional persistent result cache consulted before and
+            populated after execution.
+
+    Returns results positionally aligned with ``specs``.
+    """
+    specs = list(specs)
+    if jobs is None or jobs <= 0:
+        jobs = default_jobs()
+
+    results: Dict[RunSpec, SimulationResult] = {}
+    missing: List[RunSpec] = []
+    keys: Dict[RunSpec, str] = {}
+    for spec in specs:
+        if spec in results or spec in keys:
+            continue
+        if cache is not None:
+            key = spec.cache_key()
+            keys[spec] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[spec] = hit
+                continue
+        else:
+            keys[spec] = ""
+        missing.append(spec)
+
+    if missing:
+        for spec, result in zip(missing, _execute_batch(missing, jobs)):
+            results[spec] = result
+            if cache is not None:
+                cache.put(keys[spec], result)
+
+    return [results[spec] for spec in specs]
+
+
+def _execute_batch(
+    specs: List[RunSpec], jobs: int
+) -> List[SimulationResult]:
+    """Execute uncached specs, preferring a spawn pool."""
+    workers = min(jobs, len(specs))
+    if workers <= 1:
+        return [execute_spec(spec) for spec in specs]
+    try:
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            return list(pool.map(execute_spec, specs))
+    except (BrokenProcessPool, OSError, RuntimeError) as exc:
+        # Sandboxes without process spawning, __main__-less embedders,
+        # fd limits: degrade to the serial path rather than failing -
+        # the results are identical either way.
+        warnings.warn(
+            "parallel execution unavailable (%s); running %d point(s) "
+            "serially" % (exc, len(specs)),
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return [execute_spec(spec) for spec in specs]

@@ -1,0 +1,218 @@
+"""Persistent on-disk cache of simulation results.
+
+The paper derives every figure (6-11) and both analytical tables from
+*one* matrix of simulations.  This module gives the harness the same
+economics: a completed :class:`~repro.sim.system.SimulationResult` is
+written to disk keyed by a stable fingerprint of everything that
+determines it - the full :class:`~repro.config.MachineConfig`, the
+algorithm, the workload, the predictor override, the trace scale and
+seed, the warmup fraction, and the code version.  Re-running
+``flexsnoop figure 8`` after a figure-6 run then costs zero
+simulations.
+
+Layout::
+
+    <root>/v<schema>/<key[:2]>/<key>.pkl
+
+where ``key`` is a SHA-256 over the canonical JSON fingerprint.  Each
+entry is an independent pickle file, so concurrent writers (parallel
+workers, multiple harness processes) never contend on shared state;
+writes go through a temp file plus :func:`os.replace`, so readers
+never observe a torn entry.
+
+The cache root defaults to ``$FLEXSNOOP_CACHE_DIR`` when set, else
+``~/.cache/flexsnoop``.  Corrupt or unreadable entries are treated as
+misses and deleted.  Bumping :data:`CACHE_SCHEMA_VERSION` (or the
+package version) invalidates every old entry, since both are folded
+into the key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro import __version__
+from repro.config import MachineConfig
+from repro.sim.system import SimulationResult
+
+#: Bump when the semantics of cached results change (new counters,
+#: changed simulator behaviour that is not reflected in the package
+#: version, ...).  Folded into every cache key.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "FLEXSNOOP_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """Resolve the cache directory: env override, else XDG-ish home."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "flexsnoop"
+
+
+def config_fingerprint(config: MachineConfig) -> Dict[str, Any]:
+    """A JSON-serializable snapshot of a machine configuration.
+
+    ``dataclasses.asdict`` recurses through the nested frozen config
+    dataclasses; tuples become lists, which is fine because the JSON
+    canonicalization below is only ever compared against itself.
+    """
+    return dataclasses.asdict(config)
+
+
+def fingerprint_key(payload: Dict[str, Any]) -> str:
+    """Stable SHA-256 hex digest of a fingerprint payload.
+
+    The payload is extended with the code version and cache schema so
+    results computed by different code never collide.
+    """
+    versioned = dict(payload)
+    versioned["__code_version__"] = __version__
+    versioned["__cache_schema__"] = CACHE_SCHEMA_VERSION
+    canonical = json.dumps(versioned, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Disk-backed result store with hit/miss/store accounting.
+
+    Args:
+        root: cache directory (default: :func:`default_cache_root`).
+        enabled: when False, every lookup misses and nothing is
+            written - callers can thread one object through
+            unconditionally and flip this off for ``--no-cache``.
+    """
+
+    def __init__(
+        self, root: Optional[Path] = None, enabled: bool = True
+    ) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+    # Key/path plumbing
+
+    @property
+    def _bucket_root(self) -> Path:
+        return self.root / ("v%d" % CACHE_SCHEMA_VERSION)
+
+    def _path_for(self, key: str) -> Path:
+        return self._bucket_root / key[:2] / (key + ".pkl")
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Return the cached result for ``key``, or None on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        path = self._path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Unpickling untrusted bytes can raise nearly anything
+            # (UnpicklingError, EOFError, ValueError, stale class
+            # layouts...).  Torn write or plain corruption either way:
+            # drop the entry and treat it as a miss.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        if not isinstance(result, SimulationResult):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Persist ``result`` under ``key`` (atomic replace)."""
+        if not self.enabled:
+            return
+        path = self._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(
+            path.name + ".tmp.%d" % os.getpid()
+        )
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # A full or read-only disk must not kill the simulation
+            # that produced the result; the cache is best-effort.
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            return
+        self.stores += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance
+
+    def _entry_paths(self):
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.rglob("*.pkl")):
+            yield path
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                os.remove(path)
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def info(self) -> Dict[str, Any]:
+        """Summary used by ``flexsnoop cache info`` and tests."""
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "entries": self.entry_count(),
+            "size_bytes": self.size_bytes(),
+            "schema": CACHE_SCHEMA_VERSION,
+            "code_version": __version__,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def __repr__(self) -> str:
+        return "ResultCache(root=%r, enabled=%r)" % (
+            str(self.root),
+            self.enabled,
+        )

@@ -26,9 +26,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.config import MachineConfig, default_machine
-from repro.core.algorithms import build_algorithm
-from repro.sim.system import RingMultiprocessor, SimulationResult
-from repro.workloads.profiles import build_workload
+from repro.harness.parallel import RunSpec, run_specs
+from repro.harness.result_cache import ResultCache
+from repro.sim.system import SimulationResult
+from repro.workloads.profiles import resolve_profile
 
 ConfigMutator = Callable[[MachineConfig, Any], MachineConfig]
 
@@ -87,24 +88,41 @@ def run_sweep(
     seed: int = 0,
     warmup_fraction: float = 0.3,
     base_config: Optional[MachineConfig] = None,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
 ) -> Sweep:
-    """Run one simulation per swept value and collect the results."""
-    sweep = Sweep(name=name)
-    for value in values:
-        trace = build_workload(workload, accesses_per_core, seed)
-        base = base_config or default_machine(
-            algorithm=algorithm, cores_per_cmp=trace.cores_per_cmp
-        )
-        machine = mutate(base, value)
-        system = RingMultiprocessor(
-            machine,
-            build_algorithm(algorithm),
-            trace,
+    """Run one simulation per swept value and collect the results.
+
+    The workload trace does not vary across swept values, so it is
+    built once per process and shared by every point (the execution
+    layer memoizes it).  The mutator runs here, in the calling
+    process, so it may be any callable - only the resulting
+    (picklable) ``MachineConfig`` is shipped to pool workers when
+    ``jobs`` enables fan-out.
+    """
+    profile = resolve_profile(workload, accesses_per_core, seed)
+    base = base_config or default_machine(
+        algorithm=algorithm, cores_per_cmp=profile.cores_per_cmp
+    )
+    specs = [
+        RunSpec(
+            algorithm=algorithm,
+            workload=workload,
+            accesses_per_core=accesses_per_core,
+            seed=seed,
             warmup_fraction=warmup_fraction,
+            config=mutate(base, value),
         )
-        sweep.points.append(SweepPoint(value=value,
-                                       result=system.run()))
-    return sweep
+        for value in values
+    ]
+    results = run_specs(specs, jobs=jobs, cache=cache)
+    return Sweep(
+        name=name,
+        points=[
+            SweepPoint(value=value, result=result)
+            for value, result in zip(values, results)
+        ],
+    )
 
 
 def _nested_replace(config: MachineConfig, section: str, field_name: str,

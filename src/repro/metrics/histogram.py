@@ -109,6 +109,26 @@ class LatencyHistogram:
                 rows.append((label, count))
         return rows
 
+    def __eq__(self, other: object) -> bool:
+        """Value equality: same geometry and same recorded samples.
+
+        Needed so results that cross a process boundary (the parallel
+        harness pickles them back to the parent) compare equal to
+        locally computed ones.
+        """
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return (
+            self.edges == other.edges
+            and self.counts == other.counts
+            and self.total == other.total
+            and self.sum == other.sum
+            and self.max_value == other.max_value
+            and self.min_value == other.min_value
+        )
+
+    __hash__ = None  # mutable container
+
     def render(self, width: int = 40) -> str:
         """Compact text rendering (one line per populated bucket)."""
         rows = self.nonzero_buckets()

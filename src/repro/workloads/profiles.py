@@ -128,15 +128,14 @@ WORKLOAD_PROFILES: Dict[str, Callable[..., SharingProfile]] = {
 }
 
 
-def build_workload(
+def resolve_profile(
     name: str, accesses_per_core: int = 0, seed: int = 0
-) -> WorkloadTrace:
-    """Generate the named workload's trace.
+) -> SharingProfile:
+    """Resolve a workload name (with aliases) to its profile.
 
-    Args:
-        name: one of ``splash2``, ``specjbb``, ``specweb``.
-        accesses_per_core: trace length override (0 = profile default).
-        seed: RNG seed override (0 = profile default).
+    Cheap - no trace is generated - so callers that only need profile
+    metadata (e.g. ``cores_per_cmp`` for a cache key) can use this
+    without paying for trace synthesis.
     """
     key = name.lower().replace("-", "").replace("_", "")
     aliases = {"splash": "splash2", "jbb": "specjbb", "web": "specweb"}
@@ -151,5 +150,19 @@ def build_workload(
         kwargs["accesses_per_core"] = accesses_per_core
     if seed:
         kwargs["seed"] = seed
-    profile = WORKLOAD_PROFILES[key](**kwargs)
-    return generate_workload(profile)
+    return WORKLOAD_PROFILES[key](**kwargs)
+
+
+def build_workload(
+    name: str, accesses_per_core: int = 0, seed: int = 0
+) -> WorkloadTrace:
+    """Generate the named workload's trace.
+
+    Args:
+        name: one of ``splash2``, ``specjbb``, ``specweb``.
+        accesses_per_core: trace length override (0 = profile default).
+        seed: RNG seed override (0 = profile default).
+    """
+    return generate_workload(
+        resolve_profile(name, accesses_per_core, seed)
+    )

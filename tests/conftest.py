@@ -11,6 +11,24 @@ The suite is organized as:
   coherence/version checking, calibration contracts, and
   cross-validation of the simulator against the analytical models.
 
-Individual test modules build their own fixtures; nothing needs to be
-shared globally.
+One piece of global state is shared: the persistent result cache is
+redirected away from the user's real ``~/.cache/flexsnoop`` into a
+per-session temporary directory, so tests that exercise the cached
+CLI/harness paths never read or pollute real cached results.
 """
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.result_cache import CACHE_DIR_ENV
+
+
+@pytest.fixture(scope="session")
+def _session_cache_root(tmp_path_factory):
+    return tmp_path_factory.mktemp("flexsnoop-cache")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(_session_cache_root, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(_session_cache_root))

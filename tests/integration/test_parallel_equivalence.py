@@ -1,0 +1,68 @@
+"""Serial-vs-parallel equivalence of the harness.
+
+The whole point of the parallel layer is that it changes *wall-clock
+time only*: a pool run must return bit-identical
+``SimulationResult``s to an in-process serial run.  This suite runs
+the paper's full MAIN_ALGORITHMS x WORKLOADS matrix at small scale
+both ways and compares every observable field.
+"""
+
+from __future__ import annotations
+
+from repro.harness.experiments import MAIN_ALGORITHMS, WORKLOADS
+from repro.harness.parallel import RunSpec, run_specs
+from repro.harness.result_cache import ResultCache
+
+#: Small but non-degenerate: every algorithm still issues ring
+#: transactions on every workload at this trace length.
+SCALE = 50
+
+FULL_MATRIX = [
+    RunSpec(
+        algorithm,
+        workload,
+        accesses_per_core=SCALE,
+        warmup_fraction=0.35,
+    )
+    for workload in WORKLOADS
+    for algorithm in MAIN_ALGORITHMS
+]
+
+
+def assert_results_identical(serial, parallel):
+    assert len(serial) == len(parallel)
+    for expected, actual in zip(serial, parallel):
+        label = (expected.algorithm, expected.workload)
+        assert actual.algorithm == expected.algorithm, label
+        assert actual.workload == expected.workload, label
+        assert actual.exec_time == expected.exec_time, label
+        assert actual.events == expected.events, label
+        assert actual.stats == expected.stats, label
+        assert actual.energy == expected.energy, label
+        assert actual.config == expected.config, label
+
+
+def test_full_matrix_parallel_matches_serial():
+    serial = run_specs(FULL_MATRIX, jobs=1)
+    parallel = run_specs(FULL_MATRIX, jobs=4)
+    assert_results_identical(serial, parallel)
+
+
+def test_parallel_results_cache_and_replay(tmp_path):
+    """A parallel run populates the cache; a later serial run at the
+    same points simulates nothing and reproduces the results."""
+    subset = [
+        spec for spec in FULL_MATRIX
+        if spec.workload == "specjbb" and spec.algorithm in (
+            "lazy", "eager", "subset"
+        )
+    ]
+    cache = ResultCache(root=tmp_path / "cache")
+    parallel = run_specs(subset, jobs=2, cache=cache)
+    assert cache.stores == len(subset)
+
+    replay_cache = ResultCache(root=tmp_path / "cache")
+    replayed = run_specs(subset, jobs=1, cache=replay_cache)
+    assert replay_cache.misses == 0
+    assert replay_cache.hits == len(subset)
+    assert_results_identical(parallel, replayed)

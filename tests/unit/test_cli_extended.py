@@ -1,10 +1,12 @@
-"""Tests for the report and trace CLI subcommands."""
+"""Tests for the report, trace and cache CLI subcommands, and the
+parallel/caching options of the matrix commands."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.harness.cli import main
+from repro.harness.cli import build_parser, main
+from repro.harness.result_cache import CACHE_DIR_ENV, ResultCache
 from repro.workloads.io import load_trace
 
 
@@ -45,3 +47,53 @@ def test_cli_report_to_file(tmp_path, capsys):
     assert "Figure 6" in text and "Figure 7" in text
     assert "Figure 8" not in text
     assert "Headline" in text
+
+
+# ----------------------------------------------------------------------
+# Parallel / cache options
+
+
+def test_cli_matrix_options_parse():
+    parser = build_parser()
+    args = parser.parse_args(["figure", "6", "--jobs", "4", "--no-cache"])
+    assert args.jobs == 4 and args.no_cache is True
+    args = parser.parse_args(["figure", "6"])
+    assert args.jobs == 0 and args.no_cache is False
+    args = parser.parse_args(["report", "--jobs", "2"])
+    assert args.jobs == 2
+    args = parser.parse_args(["cache", "clear"])
+    assert args.action == "clear"
+
+
+def test_cli_figure_cache_lifecycle(tmp_path, monkeypatch, capsys):
+    """One flow through the cached CLI: cold run populates the cache,
+    warm run reproduces the output from it, ``cache info``/``clear``
+    manage it, ``--no-cache`` bypasses it."""
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cli-cache"))
+    args = ["figure", "6", "--scale", "50", "--jobs", "1"]
+
+    assert main(args) == 0
+    cold = capsys.readouterr().out
+    assert "Figure 6" in cold
+    entries = ResultCache().entry_count()
+    assert entries > 0  # the run populated the persistent cache
+
+    # Warm invocation: served entirely from the cache, same output.
+    assert main(args) == 0
+    warm = capsys.readouterr().out
+    assert warm == cold
+    assert ResultCache().entry_count() == entries
+
+    assert main(["cache", "info"]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and str(tmp_path / "cli-cache") in out
+
+    assert main(["cache", "clear"]) == 0
+    out = capsys.readouterr().out
+    assert "removed %d" % entries in out
+    assert ResultCache().entry_count() == 0
+
+    # --no-cache leaves the (now empty) cache untouched.
+    assert main(args + ["--no-cache"]) == 0
+    assert capsys.readouterr().out == cold
+    assert ResultCache().entry_count() == 0

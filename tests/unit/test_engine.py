@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
-from repro.sim.engine import EventEngine
+from repro.sim.engine import Event, EventEngine
 
 
 def test_events_fire_in_time_order():
@@ -117,6 +119,102 @@ def test_events_processed_counter():
 def test_step_returns_false_when_empty():
     engine = EventEngine()
     assert engine.step() is False
+
+
+def test_event_uses_slots():
+    engine = EventEngine()
+    event = engine.schedule(1, lambda: None)
+    assert not hasattr(event, "__dict__")
+    with pytest.raises(AttributeError):
+        event.arbitrary_attribute = 1
+
+
+def test_pending_counts_live_events():
+    engine = EventEngine()
+    events = [engine.schedule(i + 1, lambda: None) for i in range(10)]
+    assert engine.pending == 10
+    events[3].cancel()
+    events[7].cancel()
+    assert engine.pending == 8
+    # Double-cancel must not double-count.
+    events[3].cancel()
+    assert engine.pending == 8
+    engine.step()  # fires event 0
+    assert engine.pending == 7
+    engine.run()
+    assert engine.pending == 0
+
+
+def test_pending_consistent_under_random_cancellation():
+    """The live counter must match a brute-force scan at every step,
+    including across lazy pops and heap compactions."""
+    rng = random.Random(7)
+    engine = EventEngine()
+    handles = []
+
+    def scan():
+        return sum(
+            1 for entry in engine._heap if not entry[2].cancelled
+        )
+
+    for round_number in range(300):
+        handles.append(engine.schedule(rng.randrange(50), lambda: None))
+        if handles and rng.random() < 0.6:
+            rng.choice(handles).cancel()
+        if rng.random() < 0.3:
+            engine.step()
+        assert engine.pending == scan(), "round %d" % round_number
+    engine.run()
+    assert engine.pending == scan() == 0
+
+
+def test_compaction_preserves_order_and_counts():
+    engine = EventEngine()
+    fired = []
+    keep = []
+    cancel = []
+    for i in range(400):
+        handle = engine.schedule(
+            1000 - i, lambda i=i: fired.append(1000 - i)
+        )
+        (cancel if i % 3 else keep).append(handle)
+    for handle in cancel:
+        handle.cancel()
+    # Enough cancellations to have forced at least one compaction.
+    assert engine.pending == len(keep)
+    assert len(engine._heap) < 400
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(keep)
+    assert engine.pending == 0
+
+
+def test_compaction_during_run_callback():
+    """A callback that mass-cancels (triggering in-place compaction)
+    must not derail the drain loop's view of the heap."""
+    engine = EventEngine()
+    fired = []
+    victims = [
+        engine.schedule(10 + i, lambda: fired.append("victim"))
+        for i in range(200)
+    ]
+
+    def slaughter():
+        for victim in victims:
+            victim.cancel()
+
+    engine.schedule(5, slaughter)
+    survivor = engine.schedule(500, lambda: fired.append("survivor"))
+    engine.run()
+    assert fired == ["survivor"]
+    assert engine.pending == 0
+    assert survivor.cancelled is False
+
+
+def test_cancelled_event_repr():
+    event = Event(5, 0, lambda: None)
+    event.cancel()
+    assert "cancelled=True" in repr(event)
 
 
 def test_deterministic_interleaving_with_nested_events():

@@ -1,0 +1,167 @@
+"""Unit tests for the persistent result cache."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.harness import result_cache as rc_module
+from repro.harness.parallel import RunSpec, run_specs
+from repro.harness.result_cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    default_cache_root,
+    fingerprint_key,
+)
+
+TINY = 100
+
+SPEC = RunSpec(
+    "lazy", "specjbb", accesses_per_core=TINY, warmup_fraction=0.35
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(root=tmp_path / "cache")
+
+
+def test_default_root_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "elsewhere"))
+    assert default_cache_root() == tmp_path / "elsewhere"
+    monkeypatch.delenv(CACHE_DIR_ENV)
+    assert default_cache_root().name == "flexsnoop"
+
+
+def test_miss_then_hit_roundtrip(cache):
+    key = SPEC.cache_key()
+    assert cache.get(key) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+
+    result = run_specs([SPEC], jobs=1)[0]
+    cache.put(key, result)
+    assert cache.stores == 1
+
+    cached = cache.get(key)
+    assert cached is not None
+    assert cache.hits == 1
+    assert cached.stats == result.stats
+    assert cached.exec_time == result.exec_time
+    assert cached.energy == result.energy
+    assert cached.config == result.config
+
+
+def test_key_distinguishes_every_spec_dimension():
+    base = SPEC.cache_key()
+    variants = [
+        RunSpec("eager", "specjbb", accesses_per_core=TINY,
+                warmup_fraction=0.35),
+        RunSpec("lazy", "specweb", accesses_per_core=TINY,
+                warmup_fraction=0.35),
+        RunSpec("subset", "specjbb", predictor="Sub512",
+                accesses_per_core=TINY, warmup_fraction=0.35),
+        RunSpec("lazy", "specjbb", accesses_per_core=TINY + 1,
+                warmup_fraction=0.35),
+        RunSpec("lazy", "specjbb", accesses_per_core=TINY, seed=9,
+                warmup_fraction=0.35),
+        RunSpec("lazy", "specjbb", accesses_per_core=TINY,
+                warmup_fraction=0.2),
+    ]
+    keys = {base} | {variant.cache_key() for variant in variants}
+    assert len(keys) == len(variants) + 1
+
+
+def test_key_distinguishes_machine_config():
+    from repro.config import default_machine
+
+    profile_cores = 1  # specjbb is 1 core per CMP
+    tweaked = default_machine(
+        algorithm="lazy", cores_per_cmp=profile_cores
+    ).replace(squash_backoff=999)
+    spec = RunSpec(
+        "lazy",
+        "specjbb",
+        accesses_per_core=TINY,
+        warmup_fraction=0.35,
+        config=tweaked,
+    )
+    assert spec.cache_key() != SPEC.cache_key()
+
+
+def test_key_includes_code_version(monkeypatch):
+    before = SPEC.cache_key()
+    monkeypatch.setattr(rc_module, "CACHE_SCHEMA_VERSION", 2)
+    assert SPEC.cache_key() != before
+
+
+def test_fingerprint_key_is_stable_across_dict_order():
+    assert fingerprint_key({"a": 1, "b": 2}) == fingerprint_key(
+        {"b": 2, "a": 1}
+    )
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [
+        b"not a pickle",  # bad opcode -> UnpicklingError
+        b"garbage\n",  # 'g' is the GET opcode -> ValueError
+        b"",  # truncated -> EOFError
+    ],
+)
+def test_corrupt_entry_is_a_miss_and_removed(cache, garbage):
+    key = "deadbeef" * 8
+    path = cache._path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(garbage)
+    assert cache.get(key) is None
+    assert not path.exists()
+    assert cache.misses == 1
+
+
+def test_wrong_type_entry_is_a_miss(cache):
+    key = "cafebabe" * 8
+    path = cache._path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(pickle.dumps({"not": "a result"}))
+    assert cache.get(key) is None
+
+
+def test_disabled_cache_never_stores(cache, tmp_path):
+    disabled = ResultCache(root=tmp_path / "cache", enabled=False)
+    result = run_specs([SPEC], jobs=1)[0]
+    key = SPEC.cache_key()
+    disabled.put(key, result)
+    assert disabled.get(key) is None
+    assert disabled.entry_count() == 0
+    assert disabled.stores == 0
+
+
+def test_clear_and_info(cache):
+    result = run_specs([SPEC], jobs=1)[0]
+    cache.put(SPEC.cache_key(), result)
+    info = cache.info()
+    assert info["entries"] == 1
+    assert info["size_bytes"] > 0
+    assert cache.clear() == 1
+    assert cache.entry_count() == 0
+    # Clearing an empty (or missing) cache is fine.
+    assert cache.clear() == 0
+    assert ResultCache(root=cache.root / "missing").clear() == 0
+
+
+def test_run_specs_populates_and_reuses_cache(cache):
+    first = run_specs([SPEC], jobs=1, cache=cache)
+    assert (cache.misses, cache.stores) == (1, 1)
+    second = run_specs([SPEC], jobs=1, cache=cache)
+    assert cache.hits == 1
+    assert cache.stores == 1  # nothing re-simulated, nothing re-stored
+    assert second[0].stats == first[0].stats
+    assert second[0].exec_time == first[0].exec_time
+
+
+def test_run_specs_deduplicates_identical_specs(cache):
+    results = run_specs([SPEC, SPEC, SPEC], jobs=1, cache=cache)
+    assert len(results) == 3
+    assert cache.stores == 1
+    assert results[0].stats == results[1].stats == results[2].stats

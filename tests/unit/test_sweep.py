@@ -53,6 +53,55 @@ def test_normalized_series():
         sweep.normalized_series("exec_time", baseline=99)
 
 
+def test_normalized_series_missing_baseline_message():
+    sweep = Sweep(name="demo")
+
+    class FakeResult:
+        exec_time = 10.0
+
+    sweep.points = [SweepPoint(1, FakeResult())]
+    with pytest.raises(KeyError, match="not swept"):
+        sweep.normalized_series("exec_time", baseline=2)
+
+
+def test_normalized_series_zero_reference():
+    sweep = Sweep(name="demo")
+
+    class FakeResult:
+        def __init__(self, exec_time):
+            self.exec_time = exec_time
+
+    sweep.points = [
+        SweepPoint(1, FakeResult(0.0)),
+        SweepPoint(2, FakeResult(5.0)),
+    ]
+    with pytest.raises(ZeroDivisionError, match="baseline metric"):
+        sweep.normalized_series("exec_time", baseline=1)
+
+
+def test_normalized_series_empty_sweep():
+    sweep = Sweep(name="empty")
+    with pytest.raises(KeyError):
+        sweep.normalized_series("exec_time", baseline=1)
+
+
+def test_sweep_results_cached(tmp_path):
+    from repro.harness.result_cache import ResultCache
+
+    cache = ResultCache(root=tmp_path / "cache")
+    first = sweep_ring_field(
+        "snoop_time", [10, 110], algorithm="lazy", cache=cache, **FAST
+    )
+    assert cache.stores == 2
+    second = sweep_ring_field(
+        "snoop_time", [10, 110], algorithm="lazy", cache=cache, **FAST
+    )
+    assert cache.hits == 2 and cache.stores == 2
+    assert (
+        second.series("exec_time") == first.series("exec_time")
+    )
+
+
 def test_sweep_memory_prefetch_toggle():
     sweep = sweep_memory_field(
         "prefetch_on_snoop", [True, False], algorithm="lazy", **FAST
