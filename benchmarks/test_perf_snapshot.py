@@ -1,0 +1,61 @@
+"""Refresh the committed ``BENCH_<pr>.json`` perf snapshot.
+
+This is the benchmark behind the repo-root perf trajectory files::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_snapshot.py
+
+measures the serial fig8 matrix with :mod:`repro.harness.bench` (the
+same code ``flexsnoop bench`` runs) and rewrites ``BENCH_02.json`` in
+place.  ``git diff BENCH_02.json`` then shows exactly how the change
+under test moved accesses/sec - commit the refreshed file with the
+optimization, or investigate if the number went the wrong way.  Set
+``FLEXSNOOP_BENCH_OUT`` to write the snapshot somewhere else (CI's
+perf-smoke job does this to avoid dirtying the checkout).
+
+The previous committed snapshot, when present, is loaded *before* the
+rewrite and the new/old accesses-per-second ratio is recorded in
+``extra_info`` - so the benchmark log preserves the comparison even
+though the file on disk no longer does.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.harness.bench import (
+    SNAPSHOT_PR,
+    load_snapshot,
+    measure_matrix,
+    write_snapshot,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SNAPSHOT_PATH = os.path.join(
+    REPO_ROOT, "BENCH_%02d.json" % SNAPSHOT_PR
+)
+
+
+def test_perf_snapshot_emits_bench_json(benchmark):
+    out_path = os.environ.get("FLEXSNOOP_BENCH_OUT", SNAPSHOT_PATH)
+    previous = (
+        load_snapshot(SNAPSHOT_PATH)
+        if os.path.exists(SNAPSHOT_PATH)
+        else None
+    )
+
+    snapshot = benchmark.pedantic(measure_matrix, rounds=1, iterations=1)
+
+    assert snapshot.pr == SNAPSHOT_PR
+    assert snapshot.accesses_per_sec > 0
+    assert snapshot.events_per_sec > snapshot.accesses_per_sec
+    write_snapshot(snapshot, out_path)
+
+    benchmark.extra_info["pr"] = snapshot.pr
+    benchmark.extra_info["accesses_per_sec"] = snapshot.accesses_per_sec
+    benchmark.extra_info["events_per_sec"] = snapshot.events_per_sec
+    benchmark.extra_info["matrix_wall_s"] = snapshot.matrix_wall_s
+    benchmark.extra_info["snapshot_path"] = out_path
+    if previous is not None:
+        benchmark.extra_info["vs_committed"] = round(
+            snapshot.accesses_per_sec / previous.accesses_per_sec, 3
+        )

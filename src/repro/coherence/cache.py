@@ -9,14 +9,12 @@ most recent completed write (see ``MachineConfig.track_versions``).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from repro.config import CacheConfig
-from repro.coherence.states import LineState, is_dirty, is_supplier
+from repro.coherence.states import LineState
 
 
-@dataclass
 class CacheLine:
     """One resident cache line.
 
@@ -26,24 +24,49 @@ class CacheLine:
             lines are simply absent from the cache).
         version: monotonically increasing data version, used by the
             optional coherence-correctness checker.
+
+    A plain ``__slots__`` class rather than a dataclass: one instance
+    is allocated per fill and simulations perform millions of fills,
+    so the per-instance ``__dict__`` would dominate the allocation
+    profile.
     """
 
-    address: int
-    state: LineState
-    version: int = 0
+    __slots__ = ("address", "state", "version")
+
+    def __init__(
+        self, address: int, state: LineState, version: int = 0
+    ) -> None:
+        self.address = address
+        self.state = state
+        self.version = version
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "CacheLine(address=%#x, state=%s, version=%d)" % (
+            self.address,
+            self.state,
+            self.version,
+        )
 
 
-@dataclass
 class EvictionRecord:
     """Describes a line evicted to make room for a fill."""
 
-    address: int
-    state: LineState
-    version: int
-    dirty: bool = field(init=False)
+    __slots__ = ("address", "state", "version", "dirty")
 
-    def __post_init__(self) -> None:
-        self.dirty = is_dirty(self.state)
+    def __init__(
+        self, address: int, state: LineState, version: int
+    ) -> None:
+        self.address = address
+        self.state = state
+        self.version = version
+        self.dirty = state.dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "EvictionRecord(address=%#x, state=%s, dirty=%r)" % (
+            self.address,
+            self.state,
+            self.dirty,
+        )
 
 
 class SetAssociativeCache:
@@ -65,8 +88,13 @@ class SetAssociativeCache:
         on_line_removed: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.config = config
+        # num_sets/associativity are dataclass properties; hoisting them
+        # to plain ints keeps the per-access set-index computation free
+        # of descriptor lookups.
+        self._num_sets = config.num_sets
+        self._associativity = config.associativity
         self._sets: List["OrderedDict[int, CacheLine]"] = [
-            OrderedDict() for _ in range(config.num_sets)
+            OrderedDict() for _ in range(self._num_sets)
         ]
         self._on_state_loss = on_state_loss
         self._on_state_gain = on_state_gain
@@ -80,11 +108,11 @@ class SetAssociativeCache:
     # Lookup
 
     def _set_for(self, address: int) -> "OrderedDict[int, CacheLine]":
-        return self._sets[address % self.config.num_sets]
+        return self._sets[address % self._num_sets]
 
     def lookup(self, address: int, touch: bool = True) -> Optional[CacheLine]:
         """Return the resident line, updating LRU order on a hit."""
-        cache_set = self._set_for(address)
+        cache_set = self._sets[address % self._num_sets]
         line = cache_set.get(address)
         if line is not None and touch:
             cache_set.move_to_end(address)
@@ -119,9 +147,9 @@ class SetAssociativeCache:
         its state in place (callers should normally use
         ``set_state`` for that, but fill is tolerant).
         """
-        if state == LineState.I:
+        if state is LineState.I:
             raise ValueError("cannot fill a line in state I")
-        cache_set = self._set_for(address)
+        cache_set = self._sets[address % self._num_sets]
         existing = cache_set.get(address)
         if existing is not None:
             self._change_state(existing, state)
@@ -130,7 +158,7 @@ class SetAssociativeCache:
             return None
 
         victim_record: Optional[EvictionRecord] = None
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._associativity:
             victim_address, victim = cache_set.popitem(last=False)
             victim_record = EvictionRecord(
                 victim_address, victim.state, victim.version
@@ -138,17 +166,16 @@ class SetAssociativeCache:
             self.evictions += 1
             if victim_record.dirty:
                 self.dirty_evictions += 1
-            if is_supplier(victim.state) and self._on_state_loss:
+            if victim.state.supplier and self._on_state_loss:
                 self._on_state_loss(victim_address)
             if self._on_line_removed:
                 self._on_line_removed(victim_address)
 
-        line = CacheLine(address=address, state=state, version=version)
-        cache_set[address] = line
+        cache_set[address] = CacheLine(address, state, version)
         self.fills += 1
         if self._on_line_added:
             self._on_line_added(address)
-        if is_supplier(state) and self._on_state_gain:
+        if state.supplier and self._on_state_gain:
             self._on_state_gain(address)
         return victim_record
 
@@ -158,13 +185,13 @@ class SetAssociativeCache:
         Transitioning to ``I`` removes the line.  Supplier-state gains
         and losses fire the predictor-synchronization callbacks.
         """
-        cache_set = self._set_for(address)
+        cache_set = self._sets[address % self._num_sets]
         line = cache_set.get(address)
         if line is None:
             raise KeyError("line %#x not resident" % address)
-        if state == LineState.I:
+        if state is LineState.I:
             del cache_set[address]
-            if is_supplier(line.state) and self._on_state_loss:
+            if line.state.supplier and self._on_state_loss:
                 self._on_state_loss(address)
             if self._on_line_removed:
                 self._on_line_removed(address)
@@ -172,8 +199,8 @@ class SetAssociativeCache:
         self._change_state(line, state)
 
     def _change_state(self, line: CacheLine, state: LineState) -> None:
-        was_supplier = is_supplier(line.state)
-        now_supplier = is_supplier(state)
+        was_supplier = line.state.supplier
+        now_supplier = state.supplier
         line.state = state
         if was_supplier and not now_supplier and self._on_state_loss:
             self._on_state_loss(line.address)
@@ -182,10 +209,10 @@ class SetAssociativeCache:
 
     def invalidate(self, address: int) -> Optional[CacheLine]:
         """Remove the line if resident; return the removed line."""
-        cache_set = self._set_for(address)
+        cache_set = self._sets[address % self._num_sets]
         line = cache_set.pop(address, None)
         if line is not None:
-            if is_supplier(line.state) and self._on_state_loss:
+            if line.state.supplier and self._on_state_loss:
                 self._on_state_loss(address)
             if self._on_line_removed:
                 self._on_line_removed(address)
@@ -193,7 +220,7 @@ class SetAssociativeCache:
 
     def touch(self, address: int) -> None:
         """Mark a line most-recently-used without changing it."""
-        cache_set = self._set_for(address)
+        cache_set = self._sets[address % self._num_sets]
         if address in cache_set:
             cache_set.move_to_end(address)
 

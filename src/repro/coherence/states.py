@@ -62,19 +62,32 @@ CACHED_STATES: FrozenSet[LineState] = frozenset(
 DIRTY_STATES: FrozenSet[LineState] = frozenset({LineState.D, LineState.T})
 
 
+# Precomputed classification flags, attached directly to the enum
+# members.  ``state in SUPPLIER_STATES`` hashes the enum member through
+# ``Enum.__hash__`` (a Python-level call) on every membership test; the
+# cache fill/eviction path performs millions of these per simulation,
+# so the hot code reads ``state.supplier`` (a plain attribute) instead.
+for _state in LineState:
+    _state.supplier = _state in SUPPLIER_STATES
+    _state.local_master = _state in LOCAL_MASTER_STATES
+    _state.dirty = _state in DIRTY_STATES
+    _state.cached = _state in CACHED_STATES
+del _state
+
+
 def is_supplier(state: LineState) -> bool:
     """True if a cache in ``state`` answers ring read snoop requests."""
-    return state in SUPPLIER_STATES
+    return state.supplier
 
 
 def is_local_master(state: LineState) -> bool:
     """True if a cache in ``state`` supplies reads within its CMP."""
-    return state in LOCAL_MASTER_STATES
+    return state.local_master
 
 
 def is_dirty(state: LineState) -> bool:
     """True if the line's data is newer than memory's copy."""
-    return state in DIRTY_STATES
+    return state.dirty
 
 
 # Compatibility matrix of Figure 2(b).  ``_COMPATIBLE_ANY[a]`` is the

@@ -24,7 +24,6 @@ line enters a supplier state in the CMP, ``remove`` when it leaves
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import PredictorConfig
@@ -69,6 +68,24 @@ class SupplierPredictor:
         """Feedback: a snoop triggered by a positive prediction found
         no supplier.  Used by the Exclude cache; default no-op."""
 
+    def prewarm_snapshot(self) -> Optional[object]:
+        """Capture the predictor's complete state for later restore.
+
+        Used by the system's prewarm memo: training a predictor with a
+        workload's prewarm stream is deterministic, so the resulting
+        state can be captured once and copied into every later
+        predictor built for the same trace.  Returns ``None`` when the
+        predictor does not support snapshotting (then callers must
+        replay the training stream instead).
+        """
+        return None
+
+    def prewarm_restore(self, snapshot: object) -> None:
+        """Restore state captured by :meth:`prewarm_snapshot`."""
+        raise NotImplementedError(
+            "%s does not support prewarm snapshots" % type(self).__name__
+        )
+
     @property
     def latency(self) -> int:
         return self.config.access_latency
@@ -102,7 +119,14 @@ class _AddressCache:
     and of the Exclude cache.  ``insert`` returns the victim address
     when a valid entry had to be overwritten (the conflict-eviction
     hook the Exact predictor needs).
+
+    Each set is a plain list ordered LRU-first (victim at index 0, MRU
+    at the end).  At predictor-scale associativities (a handful of
+    ways) a linear scan of a small list beats an ``OrderedDict``'s
+    hashing and node shuffling, and there is no per-set dict overhead.
     """
+
+    __slots__ = ("entries", "associativity", "num_sets", "_sets")
 
     def __init__(self, entries: int, associativity: int) -> None:
         if entries % associativity != 0:
@@ -113,39 +137,44 @@ class _AddressCache:
         self.entries = entries
         self.associativity = associativity
         self.num_sets = entries // associativity
-        self._sets: List["OrderedDict[int, None]"] = [
-            OrderedDict() for _ in range(self.num_sets)
-        ]
-
-    def _set_for(self, address: int) -> "OrderedDict[int, None]":
-        return self._sets[address % self.num_sets]
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
 
     def contains(self, address: int, touch: bool = True) -> bool:
-        cache_set = self._set_for(address)
+        cache_set = self._sets[address % self.num_sets]
         if address in cache_set:
-            if touch:
-                cache_set.move_to_end(address)
+            if touch and cache_set[-1] != address:
+                cache_set.remove(address)
+                cache_set.append(address)
             return True
         return False
 
     def insert(self, address: int) -> Optional[int]:
         """Insert; return the evicted victim address, if any."""
-        cache_set = self._set_for(address)
+        cache_set = self._sets[address % self.num_sets]
         if address in cache_set:
-            cache_set.move_to_end(address)
+            if cache_set[-1] != address:
+                cache_set.remove(address)
+                cache_set.append(address)
             return None
         victim = None
         if len(cache_set) >= self.associativity:
-            victim, _ = cache_set.popitem(last=False)
-        cache_set[address] = None
+            victim = cache_set.pop(0)
+        cache_set.append(address)
         return victim
 
     def remove(self, address: int) -> bool:
-        cache_set = self._set_for(address)
+        cache_set = self._sets[address % self.num_sets]
         if address in cache_set:
-            del cache_set[address]
+            cache_set.remove(address)
             return True
         return False
+
+    def snapshot(self) -> List[List[int]]:
+        """Copy of every set, preserving LRU order."""
+        return [list(s) for s in self._sets]
+
+    def restore(self, sets: List[List[int]]) -> None:
+        self._sets = [list(s) for s in sets]
 
     def __len__(self) -> int:
         return sum(len(s) for s in self._sets)
@@ -182,6 +211,21 @@ class SubsetPredictor(SupplierPredictor):
     def remove(self, address: int) -> None:
         self.updates += 1
         self._table.remove(address)
+
+    def prewarm_snapshot(self) -> Optional[object]:
+        return (
+            self.lookups,
+            self.updates,
+            self.conflict_drops,
+            self._table.snapshot(),
+        )
+
+    def prewarm_restore(self, snapshot: object) -> None:
+        lookups, updates, conflict_drops, sets = snapshot  # type: ignore[misc]
+        self.lookups = lookups
+        self.updates = updates
+        self.conflict_drops = conflict_drops
+        self._table.restore(sets)
 
     def __contains__(self, address: int) -> bool:
         return self._table.contains(address, touch=False)
@@ -256,32 +300,89 @@ class CountingBloomFilter:
         for bits in self.field_bits:
             self._shifts.append(shift)
             shift += bits
+        self._fields = tuple(
+            (shift, (1 << bits) - 1)
+            for shift, bits in zip(self._shifts, self.field_bits)
+        )
+        # One "any counter non-zero?" bitmask int per table: bit i is
+        # set iff table[i] > 0.  ``query`` then needs one shift+AND per
+        # field instead of a list index and comparison.
+        self._nonzero: List[int] = [0] * len(self._tables)
+        # Both of the paper's filter shapes (y and n) use exactly three
+        # fields; add/discard/query unroll that case because the
+        # generic loop's per-field iteration overhead dominates the
+        # actual arithmetic (prewarm alone performs hundreds of
+        # thousands of adds).
+        self._three = len(self.field_bits) == 3
 
     def _indices(self, address: int) -> List[int]:
-        return [
-            (address >> shift) & ((1 << bits) - 1)
-            for shift, bits in zip(self._shifts, self.field_bits)
-        ]
+        return [(address >> shift) & mask for shift, mask in self._fields]
 
     def add(self, address: int) -> None:
-        for table, index in zip(self._tables, self._indices(address)):
+        tables = self._tables
+        nonzero = self._nonzero
+        if self._three:
+            (s0, m0), (s1, m1), (s2, m2) = self._fields
+            i0 = (address >> s0) & m0
+            i1 = (address >> s1) & m1
+            i2 = (address >> s2) & m2
+            t0, t1, t2 = tables
+            if t0[i0] == 0:
+                nonzero[0] |= 1 << i0
+            t0[i0] += 1
+            if t1[i1] == 0:
+                nonzero[1] |= 1 << i1
+            t1[i1] += 1
+            if t2[i2] == 0:
+                nonzero[2] |= 1 << i2
+            t2[i2] += 1
+            return
+        for i, index in enumerate(self._indices(address)):
+            table = tables[i]
+            if table[index] == 0:
+                nonzero[i] |= 1 << index
             table[index] += 1
 
     def discard(self, address: int) -> None:
-        for table, index in zip(self._tables, self._indices(address)):
-            if table[index] <= 0:
+        tables = self._tables
+        nonzero = self._nonzero
+        for i, (shift, mask) in enumerate(self._fields):
+            index = (address >> shift) & mask
+            table = tables[i]
+            count = table[index]
+            if count <= 0:
                 raise ValueError(
                     "bloom counter underflow for address %#x" % address
                 )
-            table[index] -= 1
+            table[index] = count - 1
+            if count == 1:
+                nonzero[i] &= ~(1 << index)
 
     def query(self, address: int) -> bool:
         """True when the address *may* be present (no false negatives
         for addresses added and not discarded)."""
-        return all(
-            table[index] > 0
-            for table, index in zip(self._tables, self._indices(address))
-        )
+        nonzero = self._nonzero
+        if self._three:
+            (s0, m0), (s1, m1), (s2, m2) = self._fields
+            return bool(
+                (nonzero[0] >> ((address >> s0) & m0))
+                & (nonzero[1] >> ((address >> s1) & m1))
+                & (nonzero[2] >> ((address >> s2) & m2))
+                & 1
+            )
+        for i, (shift, mask) in enumerate(self._fields):
+            if not (nonzero[i] >> ((address >> shift) & mask)) & 1:
+                return False
+        return True
+
+    def snapshot(self) -> Tuple[List[List[int]], List[int]]:
+        """Copy of the counter tables and their non-zero bitmasks."""
+        return [list(t) for t in self._tables], list(self._nonzero)
+
+    def restore(self, snapshot: Tuple[List[List[int]], List[int]]) -> None:
+        tables, nonzero = snapshot
+        self._tables = [list(t) for t in tables]
+        self._nonzero = list(nonzero)
 
     @property
     def total_counters(self) -> int:
@@ -347,6 +448,32 @@ class SupersetPredictor(SupplierPredictor):
             self.exclude.insert(address)
             self.exclude_inserts += 1
             self.updates += 1
+
+    def prewarm_snapshot(self) -> Optional[object]:
+        return (
+            self.lookups,
+            self.updates,
+            self.exclude_hits,
+            self.exclude_inserts,
+            self.filter.snapshot(),
+            self.exclude.snapshot() if self.exclude is not None else None,
+            dict(self._present),
+        )
+
+    def prewarm_restore(self, snapshot: object) -> None:
+        (
+            self.lookups,
+            self.updates,
+            self.exclude_hits,
+            self.exclude_inserts,
+            filter_snapshot,
+            exclude_snapshot,
+            present,
+        ) = snapshot  # type: ignore[misc]
+        self.filter.restore(filter_snapshot)
+        if self.exclude is not None and exclude_snapshot is not None:
+            self.exclude.restore(exclude_snapshot)
+        self._present = dict(present)
 
     def __contains__(self, address: int) -> bool:
         return self._present.get(address, 0) > 0

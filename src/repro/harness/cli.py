@@ -10,6 +10,9 @@ Examples::
     flexsnoop trace --workload specjbb --out jbb.jsonl
     flexsnoop cache info
     flexsnoop cache clear
+    flexsnoop profile --algorithm exact --workload specweb --top 20
+    flexsnoop bench --out BENCH_02.json
+    flexsnoop bench --check BENCH_02.json
 
 Matrix commands (``figure``, ``report``) fan independent simulations
 out over worker processes (``--jobs``, default: one per CPU) and
@@ -212,6 +215,78 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_experiment(
+        args.algorithm,
+        args.workload,
+        predictor=args.predictor,
+        accesses_per_core=args.scale,
+        seed=args.seed,
+    )
+    profiler.disable()
+    print(
+        "profiled %s/%s: %d accesses, %d events"
+        % (
+            result.algorithm,
+            result.workload,
+            result.stats.reads + result.stats.writes,
+            result.events,
+        )
+    )
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print("wrote %s (open with pstats or snakeviz)" % args.out)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import (
+        DEFAULT_BENCH_SCALE,
+        DEFAULT_TOLERANCE,
+        check_regression,
+        load_snapshot,
+        run_snapshot,
+        write_snapshot,
+    )
+
+    scale = args.scale if args.scale is not None else DEFAULT_BENCH_SCALE
+    tolerance = (
+        args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
+    )
+    snapshot = run_snapshot(
+        trials=args.trials,
+        accesses_per_core=scale,
+        seed=args.seed,
+    )
+    print("matrix wall   : %.3f s" % snapshot.matrix_wall_s)
+    print("accesses/sec  : %.1f" % snapshot.accesses_per_sec)
+    print("events/sec    : %.1f" % snapshot.events_per_sec)
+    if args.out:
+        write_snapshot(snapshot, args.out)
+        print("wrote %s" % args.out)
+    if args.check:
+        import os
+
+        if not os.path.exists(args.check):
+            print("no baseline at %s; skipping regression check"
+                  % args.check)
+            return 0
+        baseline = load_snapshot(args.check)
+        try:
+            print(check_regression(snapshot, baseline, tolerance))
+        except RuntimeError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="flexsnoop",
@@ -268,6 +343,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cache_parser.add_argument("action", choices=("info", "clear"))
     cache_parser.set_defaults(func=_cmd_cache)
+
+    profile_parser = sub.add_parser(
+        "profile",
+        help="run one simulation under cProfile and print hot spots",
+    )
+    profile_parser.add_argument(
+        "--algorithm", default="exact", choices=sorted(MAIN_ALGORITHMS) + [
+            "superset_hybrid"
+        ]
+    )
+    profile_parser.add_argument("--workload", default="specweb",
+                                choices=WORKLOADS)
+    profile_parser.add_argument("--predictor", default=None)
+    profile_parser.add_argument("--scale", type=int, default=2000,
+                                help="accesses per core")
+    profile_parser.add_argument("--seed", type=int, default=0)
+    profile_parser.add_argument("--top", type=int, default=25,
+                                help="number of pstats rows to print")
+    profile_parser.add_argument(
+        "--sort",
+        default="cumulative",
+        choices=("cumulative", "tottime", "calls", "ncalls"),
+    )
+    profile_parser.add_argument(
+        "--out", default="", help="also dump raw pstats data here"
+    )
+    profile_parser.set_defaults(func=_cmd_profile)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="measure serial matrix throughput (the BENCH_*.json "
+        "snapshot) and optionally check it against a baseline",
+    )
+    bench_parser.add_argument(
+        "--scale", type=int, default=None,
+        help="accesses per core (default: the committed snapshot scale)",
+    )
+    bench_parser.add_argument("--seed", type=int, default=0)
+    bench_parser.add_argument("--trials", type=int, default=3,
+                              help="keep the best of this many runs")
+    bench_parser.add_argument("--out", default="",
+                              help="write the snapshot JSON here")
+    bench_parser.add_argument(
+        "--check", default="",
+        help="compare against this committed snapshot; exits 1 on a "
+        "regression beyond --tolerance, 0 if the file is absent",
+    )
+    bench_parser.add_argument("--tolerance", type=float, default=None)
+    bench_parser.set_defaults(func=_cmd_bench)
 
     trace_parser = sub.add_parser(
         "trace", help="generate a workload trace file"

@@ -22,7 +22,6 @@ when split, the time the trailing reply will arrive there.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from typing import Optional
 
 
@@ -40,7 +39,6 @@ class SnoopKind(enum.Enum):
     WRITE = "write"
 
 
-@dataclass
 class RingMessage:
     """Walk state of one transaction's snoop message.
 
@@ -66,21 +64,106 @@ class RingMessage:
         hops_reply: ring segments crossed by trailing replies.
         squashed: the message lost a collision and performs no snoops;
             it circulates for serialization only and is retried.
+
+    A hand-rolled ``__slots__`` class (not a dataclass): one message
+    exists per ring transaction and the system pools and re-initializes
+    them across transactions, so construction and field access are on
+    the hot path.
     """
 
-    transaction_id: int
-    kind: SnoopKind
-    address: int
-    requester: int
-    mode: MessageMode = MessageMode.COMBINED
-    request_time: int = 0
-    reply_time: Optional[int] = None
-    satisfied: bool = False
-    satisfied_reply: bool = False
-    supplier: Optional[int] = None
-    hops_request: int = 0
-    hops_reply: int = 0
-    squashed: bool = False
+    __slots__ = (
+        "transaction_id",
+        "kind",
+        "address",
+        "requester",
+        "mode",
+        "request_time",
+        "reply_time",
+        "satisfied",
+        "satisfied_reply",
+        "supplier",
+        "hops_request",
+        "hops_reply",
+        "squashed",
+    )
+
+    def __init__(
+        self,
+        transaction_id: int,
+        kind: SnoopKind,
+        address: int,
+        requester: int,
+        mode: MessageMode = MessageMode.COMBINED,
+        request_time: int = 0,
+        reply_time: Optional[int] = None,
+        satisfied: bool = False,
+        satisfied_reply: bool = False,
+        supplier: Optional[int] = None,
+        hops_request: int = 0,
+        hops_reply: int = 0,
+        squashed: bool = False,
+    ) -> None:
+        self.reinit(
+            transaction_id,
+            kind,
+            address,
+            requester,
+            mode,
+            request_time,
+            reply_time,
+            satisfied,
+            satisfied_reply,
+            supplier,
+            hops_request,
+            hops_reply,
+            squashed,
+        )
+
+    def reinit(
+        self,
+        transaction_id: int,
+        kind: SnoopKind,
+        address: int,
+        requester: int,
+        mode: MessageMode = MessageMode.COMBINED,
+        request_time: int = 0,
+        reply_time: Optional[int] = None,
+        satisfied: bool = False,
+        satisfied_reply: bool = False,
+        supplier: Optional[int] = None,
+        hops_request: int = 0,
+        hops_reply: int = 0,
+        squashed: bool = False,
+    ) -> None:
+        """Reset every field, so pooled instances start fresh."""
+        self.transaction_id = transaction_id
+        self.kind = kind
+        self.address = address
+        self.requester = requester
+        self.mode = mode
+        self.request_time = request_time
+        self.reply_time = reply_time
+        self.satisfied = satisfied
+        self.satisfied_reply = satisfied_reply
+        self.supplier = supplier
+        self.hops_request = hops_request
+        self.hops_reply = hops_reply
+        self.squashed = squashed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            "RingMessage(transaction_id=%r, kind=%r, address=%#x, "
+            "requester=%r, mode=%r, satisfied=%r, squashed=%r)"
+            % (
+                self.transaction_id,
+                self.kind,
+                self.address,
+                self.requester,
+                self.mode,
+                self.satisfied,
+                self.squashed,
+            )
+        )
 
     @property
     def total_hops(self) -> int:

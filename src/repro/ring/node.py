@@ -14,11 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.config import CacheConfig, PredictorConfig
 from repro.coherence.cache import CacheLine, SetAssociativeCache
-from repro.coherence.states import (
-    LineState,
-    SUPPLIER_STATES,
-    LOCAL_MASTER_STATES,
-)
+from repro.coherence.states import LineState  # noqa: F401 - re-export
 from repro.core.predictors import (
     ExactPredictor,
     PerfectPredictor,
@@ -128,7 +124,8 @@ class CMPNode:
     def supplier_core(self, address: int) -> Optional[int]:
         """Core whose cache holds ``address`` in a supplier state."""
         for core, cache in enumerate(self.caches):
-            if cache.state_of(address) in SUPPLIER_STATES:
+            line = cache.lookup(address, touch=False)
+            if line is not None and line.state.supplier:
                 return core
         return None
 
@@ -138,7 +135,8 @@ class CMPNode:
     def local_master_core(self, address: int) -> Optional[int]:
         """Core whose cache can supply ``address`` within this CMP."""
         for core, cache in enumerate(self.caches):
-            if cache.state_of(address) in LOCAL_MASTER_STATES:
+            line = cache.lookup(address, touch=False)
+            if line is not None and line.state.local_master:
                 return core
         return None
 
@@ -147,7 +145,7 @@ class CMPNode:
         return [
             core
             for core, cache in enumerate(self.caches)
-            if cache.state_of(address) != LineState.I
+            if address in cache
         ]
 
     def supplier_line(self, address: int) -> Optional[Tuple[int, CacheLine]]:

@@ -1,16 +1,21 @@
 """A minimal deterministic discrete-event engine.
 
-Events are ``(time, sequence, callback)`` triples kept in a binary
-heap.  The sequence number breaks ties so that events scheduled first
-fire first, which makes every simulation fully deterministic for a
-given seed and input trace.
+Events are ``(time, sequence, handle, callback)`` tuples kept in a
+binary heap.  The sequence number breaks ties so that events scheduled
+first fire first, which makes every simulation fully deterministic for
+a given seed and input trace.
 
 The engine sits on the hot path of every simulation (a full-matrix
 harness run drains tens of millions of events), so the implementation
 leans on a few deliberate micro-optimizations:
 
-* :class:`Event` uses ``__slots__`` - handles are allocated once per
-  scheduled callback and never need a ``__dict__``.
+* :meth:`EventEngine.call_at` / :meth:`EventEngine.call_after` push a
+  bare callback with no :class:`Event` handle at all (the heap entry's
+  handle slot is ``None``).  Simulators that never cancel use these
+  and skip one object allocation per event.
+* :class:`Event` (returned by the cancellable :meth:`schedule` /
+  :meth:`schedule_at`) uses ``__slots__`` - handles never need a
+  ``__dict__``.
 * :meth:`EventEngine.run` walks the heap directly instead of going
   through :meth:`peek_time`/:meth:`step`, saving two method calls and
   a tuple unpack per event.
@@ -35,8 +40,8 @@ _COMPACT_MIN_CANCELLED = 64
 class Event:
     """Handle to one scheduled callback.
 
-    The heap itself stores ``(time, seq, event)`` tuples so ordering
-    comparisons run at C speed and never touch this object.
+    The heap itself stores ``(time, seq, event, callback)`` tuples so
+    ordering comparisons run at C speed and never touch this object.
     """
 
     __slots__ = ("time", "seq", "callback", "cancelled", "_engine")
@@ -102,9 +107,29 @@ class EventEngine:
             )
         return self._push(time, callback)
 
+    def call_after(self, delay: int, callback: Callable[[], None]) -> None:
+        """Like :meth:`schedule`, without allocating a cancellation
+        handle.  The hot-path variant for callers that never cancel."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        seq = self._seq
+        heapq.heappush(self._heap, (self.now + delay, seq, None, callback))
+        self._seq = seq + 1
+
+    def call_at(self, time: int, callback: Callable[[], None]) -> None:
+        """Like :meth:`schedule_at`, without allocating a cancellation
+        handle.  The hot-path variant for callers that never cancel."""
+        if time < self.now:
+            raise ValueError(
+                "cannot schedule at %d, current time is %d" % (time, self.now)
+            )
+        seq = self._seq
+        heapq.heappush(self._heap, (time, seq, None, callback))
+        self._seq = seq + 1
+
     def _push(self, time: int, callback: Callable[[], None]) -> Event:
         event = Event(time, self._seq, callback, self)
-        heapq.heappush(self._heap, (time, self._seq, event))
+        heapq.heappush(self._heap, (time, self._seq, event, callback))
         self._seq += 1
         return event
 
@@ -127,7 +152,9 @@ class EventEngine:
         this compaction mid-drain.
         """
         self._heap[:] = [
-            entry for entry in self._heap if not entry[2].cancelled
+            entry
+            for entry in self._heap
+            if entry[2] is None or not entry[2].cancelled
         ]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
@@ -135,7 +162,7 @@ class EventEngine:
     def peek_time(self) -> Optional[int]:
         """Time of the next pending event, or None when empty."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
+        while heap and heap[0][2] is not None and heap[0][2].cancelled:
             heapq.heappop(heap)
             self._cancelled_in_heap -= 1
         return heap[0][0] if heap else None
@@ -144,14 +171,15 @@ class EventEngine:
         """Run the next event; return False when the queue is empty."""
         heap = self._heap
         while heap:
-            time, _, event = heapq.heappop(heap)
-            if event.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            event._engine = None
+            time, _, event, callback = heapq.heappop(heap)
+            if event is not None:
+                if event.cancelled:
+                    self._cancelled_in_heap -= 1
+                    continue
+                event._engine = None
             self.now = time
             self.events_processed += 1
-            event.callback()
+            callback()
             return True
         return False
 
@@ -173,22 +201,28 @@ class EventEngine:
         while heap:
             if max_events is not None and processed >= max_events:
                 break
-            time, _, event = heap[0]
-            if event.cancelled:
+            time, _, event, callback = heap[0]
+            if event is not None and event.cancelled:
                 pop(heap)
                 self._cancelled_in_heap -= 1
                 continue
             if until is not None and time > until:
                 break
             pop(heap)
-            event._engine = None
+            if event is not None:
+                event._engine = None
             self.now = time
             self.events_processed += 1
             processed += 1
-            event.callback()
+            callback()
         return processed
 
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued; O(1)."""
         return len(self._heap) - self._cancelled_in_heap
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled (fired, pending or cancelled)."""
+        return self._seq

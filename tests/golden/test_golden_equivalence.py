@@ -1,0 +1,95 @@
+"""Golden-equivalence tests for the hot-path optimizations.
+
+``summaries.json`` pins the full ``SimulationResult.summary()`` (plus
+the engine event count) of every algorithm x workload x warmup cell,
+captured on the pre-optimization engine (commit ``b43532b``, one
+event per ring hop, no prewarm memo, no FORWARD fast path).  Two
+claims are checked against it:
+
+* **Results are unchanged.**  With all optimizations on (the
+  default), every summary - exec time, crossings, energy, squashes,
+  latencies - is bit-identical to the golden capture.  Hop batching
+  fires *fewer engine events* for the same simulated behaviour, so
+  this pass compares summaries only.
+* **Batching is purely mechanical.**  With ``hop_batching=False`` the
+  walk degenerates to exactly the original one-event-per-hop
+  schedule, and the *event count* must also match the golden capture
+  - demonstrating that batching changed how the walk is driven, not
+  what it does.
+
+Regenerating ``summaries.json`` after an intentional semantic change:
+run any cell below at ``GOLDEN_SCALE`` with batching off and dump
+``{algorithm, workload, warmup_fraction, summary, events}`` per cell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.config import default_machine
+from repro.harness.parallel import RunSpec, execute_spec
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "summaries.json")
+
+#: Accesses per core the golden cells were captured at.
+GOLDEN_SCALE = 200
+
+with open(GOLDEN_PATH, "r", encoding="utf-8") as _handle:
+    GOLDEN_CELLS = json.load(_handle)
+
+
+def _cell_id(cell) -> str:
+    return "%s-%s-warmup%s" % (
+        cell["algorithm"],
+        cell["workload"],
+        cell["warmup_fraction"],
+    )
+
+
+def _golden_spec(cell, config=None) -> RunSpec:
+    return RunSpec(
+        algorithm=cell["algorithm"],
+        workload=cell["workload"],
+        accesses_per_core=GOLDEN_SCALE,
+        seed=0,
+        warmup_fraction=cell["warmup_fraction"],
+        config=config,
+    )
+
+
+def test_golden_matrix_covers_acceptance_surface():
+    """The golden file must span all seven algorithms on >=2 workloads
+    (the equivalence claim is only as strong as its coverage)."""
+    algorithms = {cell["algorithm"] for cell in GOLDEN_CELLS}
+    workloads = {cell["workload"] for cell in GOLDEN_CELLS}
+    assert algorithms == {
+        "lazy",
+        "eager",
+        "oracle",
+        "subset",
+        "superset_con",
+        "superset_agg",
+        "exact",
+    }
+    assert len(workloads) >= 2
+
+
+@pytest.mark.parametrize("cell", GOLDEN_CELLS, ids=_cell_id)
+def test_summary_matches_pre_optimization_golden(cell):
+    result = execute_spec(_golden_spec(cell))
+    assert result.summary() == cell["summary"]
+
+
+@pytest.mark.parametrize("cell", GOLDEN_CELLS, ids=_cell_id)
+def test_unbatched_walk_replays_golden_event_for_event(cell):
+    config = default_machine(algorithm=cell["algorithm"], cores_per_cmp=1)
+    config = config.replace(
+        ring=dataclasses.replace(config.ring, hop_batching=False)
+    )
+    result = execute_spec(_golden_spec(cell, config=config))
+    assert result.summary() == cell["summary"]
+    assert result.events == cell["events"]

@@ -3,11 +3,14 @@ warmup and cache prewarm."""
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.config import CacheConfig, default_machine
 from repro.coherence.states import LineState
 from repro.core.algorithms import build_algorithm
+from repro.sim import system as system_module
 from repro.sim.system import RingMultiprocessor
 from repro.workloads.synthetic import SharingProfile, generate_workload
 
@@ -163,3 +166,133 @@ def test_prewarm_mismatched_length_rejected():
     workload.prewarm.pop()
     with pytest.raises(ValueError):
         workload.validate()
+
+
+# ----------------------------------------------------------------------
+# Prewarm fast path and memo (referenced from
+# RingMultiprocessor._apply_prewarm's docstring)
+
+
+def overflow_profile(seed=11):
+    """Private pool at 2x cache capacity, so prewarm exercises the
+    conflict-eviction branch as well as plain fills."""
+    return SharingProfile(
+        name="overflow",
+        num_cores=4,
+        cores_per_cmp=1,
+        accesses_per_core=100,
+        p_shared=0.2,
+        p_cold=0.05,
+        shared_lines=32,
+        private_lines=512,
+        prewarm_fraction=1.0,
+        seed=seed,
+    )
+
+
+def build_for(algorithm, workload):
+    machine = default_machine(
+        algorithm=algorithm,
+        num_cmps=4,
+        cores_per_cmp=1,
+        cache=CacheConfig(num_lines=256, associativity=8),
+    )
+    return RingMultiprocessor(
+        machine, build_algorithm(algorithm), workload
+    )
+
+
+def machine_state(system):
+    """Everything prewarm touches, in comparable form: per-core cache
+    contents in LRU order, fill/eviction counters, the line registry,
+    and per-node predictor state."""
+    caches = []
+    for core in system.cores:
+        cache = system.nodes[core.cmp_id].caches[core.local_id]
+        caches.append(
+            (
+                [
+                    [
+                        (address, line.state, line.version)
+                        for address, line in cache_set.items()
+                    ]
+                    for cache_set in cache._sets
+                ],
+                cache.fills,
+                cache.evictions,
+                cache.dirty_evictions,
+            )
+        )
+    predictors = [
+        node.predictor.prewarm_snapshot() for node in system.nodes
+    ]
+    return (
+        caches,
+        dict(system._supplier_of),
+        dict(system._holder_count),
+        predictors,
+    )
+
+
+def test_prewarm_fast_path_matches_generic_fill():
+    """The inlined prewarm walk must be observably identical to
+    filling every line through the generic (callback-driven)
+    ``cache.fill`` path."""
+    workload = generate_workload(overflow_profile())
+    assert workload.prewarm
+    fast = build_for("subset", workload)
+
+    bare = dataclasses.replace(workload, prewarm=[])
+    generic = build_for("subset", bare)
+    for core, lines in zip(generic.cores, workload.prewarm):
+        cache = generic.nodes[core.cmp_id].caches[core.local_id]
+        for address in reversed(lines):
+            cache.fill(address, LineState.E, 0)
+
+    assert machine_state(fast) == machine_state(generic)
+    # The overflow pool must actually have exercised evictions, or the
+    # comparison above proves less than it claims.
+    assert any(state[2] > 0 for state in machine_state(fast)[0])
+
+
+@pytest.mark.parametrize("algorithm", ["oracle", "subset", "superset_con"])
+def test_prewarm_memo_matches_full_walk(algorithm, monkeypatch):
+    """Restoring a recorded prewarm memo must leave the machine in
+    exactly the state a full walk produces, and the run built on top
+    of it must be bit-identical."""
+    system_module._PREWARM_MEMOS.clear()
+    workload = generate_workload(overflow_profile())
+
+    restored = []
+    original = RingMultiprocessor._restore_prewarm
+
+    def spy(self, memo):
+        restored.append(memo)
+        return original(self, memo)
+
+    monkeypatch.setattr(RingMultiprocessor, "_restore_prewarm", spy)
+
+    first = build_for(algorithm, workload)  # records the memo
+    assert not restored
+    assert len(system_module._PREWARM_MEMOS) == 1
+
+    memoized = build_for(algorithm, workload)  # must hit the memo
+    assert len(restored) == 1
+
+    # An equal-but-distinct trace object misses the identity-keyed
+    # memo and takes the full walk again: the reference state.
+    walked = build_for(algorithm, generate_workload(overflow_profile()))
+    assert len(restored) == 1
+
+    assert machine_state(memoized) == machine_state(walked)
+    assert machine_state(memoized) == machine_state(first)
+    assert memoized.run().summary() == walked.run().summary()
+
+
+def test_prewarm_memo_skipped_for_exact_predictor():
+    """Exact's conflict downgrades let predictor training feed back
+    into cache state, so its prewarm is never memoized."""
+    system_module._PREWARM_MEMOS.clear()
+    workload = generate_workload(overflow_profile())
+    build_for("exact", workload)
+    assert not system_module._PREWARM_MEMOS
