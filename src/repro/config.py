@@ -180,6 +180,23 @@ NAMED_PREDICTORS = {
 }
 
 
+def _register_predictors() -> None:
+    """Expose the named predictor configs through the component
+    registry (the unified name-resolution path)."""
+    from repro.registry import REGISTRY
+
+    for name, config in NAMED_PREDICTORS.items():
+        REGISTRY.register(
+            "predictor",
+            name,
+            (lambda _config=config: _config),
+            metadata={"kind": config.kind, "entries": config.entries},
+        )
+
+
+_register_predictors()
+
+
 @dataclass(frozen=True)
 class EnergyConfig:
     """Per-event energies in nanojoules (Section 6.1.4 of the paper).
@@ -280,24 +297,15 @@ def default_machine(
         predictor: optional named predictor from ``NAMED_PREDICTORS``.
         **overrides: additional ``MachineConfig`` field overrides.
     """
-    default_for_algorithm = {
-        "lazy": "None",
-        "eager": "None",
-        "oracle": "Perfect",
-        "subset": "Sub2k",
-        "superset_con": "Supy2k",
-        "superset_agg": "Supy2k",
-        "superset_hybrid": "Supy2k",
-        "exact": "Exa2k",
-    }
+    from repro.registry import REGISTRY
+
     if predictor is None and algorithm is not None:
-        key = algorithm.lower()
-        if key not in default_for_algorithm:
-            raise ValueError("unknown algorithm %r" % (algorithm,))
-        predictor = default_for_algorithm[key]
-    if predictor is not None and predictor not in NAMED_PREDICTORS:
-        raise ValueError("unknown predictor %r" % (predictor,))
+        predictor = REGISTRY.metadata("algorithm", algorithm).get(
+            "default_predictor"
+        )
     predictor_config = (
-        NAMED_PREDICTORS[predictor] if predictor else PredictorConfig()
+        REGISTRY.create("predictor", predictor)
+        if predictor
+        else PredictorConfig()
     )
     return MachineConfig(predictor=predictor_config, **overrides)

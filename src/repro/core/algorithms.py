@@ -16,10 +16,11 @@ decouple write snoops, enabling parallel invalidation; the others
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Type
+from typing import Callable, Dict, Optional, Tuple, Type
 
 from repro.config import PredictorConfig
 from repro.core.primitives import Primitive
+from repro.registry import REGISTRY
 
 
 class SnoopingAlgorithm:
@@ -213,7 +214,8 @@ class SupersetHybrid(SnoopingAlgorithm):
         return Primitive.FORWARD_THEN_SNOOP
 
 
-#: Registry of all algorithms by canonical name.
+#: All algorithms by canonical name (kept for direct class access;
+#: name resolution goes through :data:`repro.registry.REGISTRY`).
 ALGORITHMS: Dict[str, Type[SnoopingAlgorithm]] = {
     cls.name: cls
     for cls in (
@@ -228,24 +230,34 @@ ALGORITHMS: Dict[str, Type[SnoopingAlgorithm]] = {
     )
 }
 
+#: The paper's per-algorithm default predictor (Section 6.1's main
+#: comparison), recorded as registry metadata below.
+_DEFAULT_PREDICTORS: Dict[str, str] = {
+    "lazy": "None",
+    "eager": "None",
+    "oracle": "Perfect",
+    "subset": "Sub2k",
+    "superset_con": "Supy2k",
+    "superset_agg": "Supy2k",
+    "superset_hybrid": "Supy2k",
+    "exact": "Exa2k",
+}
+
+_ALGORITHM_ALIASES: Dict[str, Tuple[str, ...]] = {
+    "superset_con": ("supersetcon", "supcon"),
+    "superset_agg": ("supersetagg", "supagg"),
+    "superset_hybrid": ("supersethybrid",),
+}
+
 
 def build_algorithm(name: str) -> SnoopingAlgorithm:
-    """Instantiate an algorithm by canonical (or display) name."""
-    key = name.lower()
-    aliases = {
-        "supersetcon": "superset_con",
-        "supersetagg": "superset_agg",
-        "supersethybrid": "superset_hybrid",
-        "supcon": "superset_con",
-        "supagg": "superset_agg",
-    }
-    key = aliases.get(key, key)
-    if key not in ALGORITHMS:
-        raise ValueError(
-            "unknown algorithm %r; known: %s"
-            % (name, ", ".join(sorted(ALGORITHMS)))
-        )
-    return ALGORITHMS[key]()
+    """Instantiate an algorithm by canonical (or alias) name.
+
+    Resolution goes through the component registry, so unknown names
+    raise :class:`repro.registry.UnknownComponentError` (a
+    ``ValueError`` listing the valid choices).
+    """
+    return REGISTRY.create("algorithm", name)
 
 
 def compatible_predictor(
@@ -267,3 +279,34 @@ def compatible_predictor(
     if not forwards_on_negative:
         return True
     return predictor_config.kind in ("superset", "exact", "perfect")
+
+
+#: Predictor kinds safe for an algorithm that forwards on a negative
+#: prediction: no false negatives allowed (see compatible_predictor).
+_NO_FALSE_NEGATIVE_KINDS: Tuple[str, ...] = ("superset", "exact", "perfect")
+_ANY_KIND: Tuple[str, ...] = PredictorConfig.VALID_KINDS
+
+for _cls in ALGORITHMS.values():
+    _forwards_on_negative = (
+        True
+        if _cls is SupersetHybrid
+        else _cls().choose(False) is Primitive.FORWARD
+    )
+    REGISTRY.register(
+        "algorithm",
+        _cls.name,
+        _cls,
+        aliases=_ALGORITHM_ALIASES.get(_cls.name, ()),
+        metadata={
+            "display_name": _cls.display_name,
+            "default_predictor": _DEFAULT_PREDICTORS[_cls.name],
+            "default_predictor_kind": _cls.default_predictor_kind,
+            "decouple_writes": _cls.decouple_writes,
+            "compatible_predictor_kinds": (
+                _NO_FALSE_NEGATIVE_KINDS
+                if _forwards_on_negative
+                else _ANY_KIND
+            ),
+        },
+    )
+del _cls, _forwards_on_negative

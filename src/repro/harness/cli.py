@@ -30,17 +30,49 @@ from typing import List, Optional
 from repro.core.analytical import AnalyticalParams, table1, table3
 from repro.harness.experiments import (
     ExperimentMatrix,
-    MAIN_ALGORITHMS,
-    WORKLOADS,
     format_accuracy_table,
     format_by_workload,
     run_experiment,
 )
 from repro.harness.result_cache import ResultCache
+from repro.registry import REGISTRY, UnknownComponentError
 
 
 def _make_cache(args: argparse.Namespace) -> ResultCache:
     return ResultCache(enabled=not getattr(args, "no_cache", False))
+
+
+def _add_component_options(
+    parser: argparse.ArgumentParser,
+    default_algorithm: str,
+    default_workload: str,
+) -> None:
+    """Algorithm/workload/predictor selection flags.
+
+    Names are NOT constrained with argparse ``choices``: they resolve
+    through the component registry at execution time (which also sees
+    entry-point plugins), and an unknown name produces the registry's
+    uniform "unknown <kind> ...; known: ..." error via main()'s
+    handler, exit status 2.
+    """
+    parser.add_argument(
+        "--algorithm",
+        default=default_algorithm,
+        help="algorithm name (known: %s)"
+        % ", ".join(REGISTRY.names("algorithm")),
+    )
+    parser.add_argument(
+        "--workload",
+        default=default_workload,
+        help="workload name (known: %s)"
+        % ", ".join(REGISTRY.names("workload")),
+    )
+    parser.add_argument(
+        "--predictor",
+        default=None,
+        help="named predictor config (known: %s; default: the "
+        "algorithm's paper default)" % ", ".join(REGISTRY.names("predictor")),
+    )
 
 
 def _add_matrix_options(parser: argparse.ArgumentParser) -> None:
@@ -278,7 +310,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print("no baseline at %s; skipping regression check"
                   % args.check)
             return 0
-        baseline = load_snapshot(args.check)
+        try:
+            baseline = load_snapshot(args.check)
+        except (ValueError, KeyError, TypeError) as exc:
+            print(
+                "corrupt baseline snapshot %s: %s" % (args.check, exc),
+                file=sys.stderr,
+            )
+            return 1
         try:
             print(check_regression(snapshot, baseline, tolerance))
         except RuntimeError as exc:
@@ -295,14 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_parser = sub.add_parser("run", help="run one simulation")
-    run_parser.add_argument(
-        "--algorithm", default="lazy", choices=sorted(MAIN_ALGORITHMS) + [
-            "superset_hybrid"
-        ]
-    )
-    run_parser.add_argument("--workload", default="splash2",
-                            choices=WORKLOADS)
-    run_parser.add_argument("--predictor", default=None)
+    _add_component_options(run_parser, "lazy", "splash2")
     run_parser.add_argument("--scale", type=int, default=2000,
                             help="accesses per core")
     run_parser.add_argument("--seed", type=int, default=0)
@@ -348,14 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
         "profile",
         help="run one simulation under cProfile and print hot spots",
     )
-    profile_parser.add_argument(
-        "--algorithm", default="exact", choices=sorted(MAIN_ALGORITHMS) + [
-            "superset_hybrid"
-        ]
-    )
-    profile_parser.add_argument("--workload", default="specweb",
-                                choices=WORKLOADS)
-    profile_parser.add_argument("--predictor", default=None)
+    _add_component_options(profile_parser, "exact", "specweb")
     profile_parser.add_argument("--scale", type=int, default=2000,
                                 help="accesses per core")
     profile_parser.add_argument("--seed", type=int, default=0)
@@ -396,8 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser = sub.add_parser(
         "trace", help="generate a workload trace file"
     )
-    trace_parser.add_argument("--workload", default="splash2",
-                              choices=WORKLOADS)
+    trace_parser.add_argument(
+        "--workload",
+        default="splash2",
+        help="workload name (known: %s)"
+        % ", ".join(REGISTRY.names("workload")),
+    )
     trace_parser.add_argument("--scale", type=int, default=2000)
     trace_parser.add_argument("--seed", type=int, default=0)
     trace_parser.add_argument("--out", required=True)
@@ -409,7 +438,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except UnknownComponentError as exc:
+        print("flexsnoop: %s" % exc, file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -31,7 +31,8 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.config import MachineConfig, NAMED_PREDICTORS, default_machine
+from repro.config import MachineConfig, default_machine
+from repro.registry import REGISTRY
 from repro.core.algorithms import build_algorithm
 from repro.harness.result_cache import (
     ResultCache,
@@ -75,7 +76,7 @@ class RunSpec:
         machine = self.config
         if self.predictor is not None:
             machine = machine.replace(
-                predictor=NAMED_PREDICTORS[self.predictor]
+                predictor=REGISTRY.create("predictor", self.predictor)
             )
         return machine
 

@@ -1,0 +1,290 @@
+"""Unified component registry: one name-resolution path for the repo.
+
+Interface contract
+==================
+
+Every pluggable component family of the simulator - snooping
+*algorithms*, named supplier-*predictor* configurations, and
+*workload* profiles - is resolved through the process-global
+:data:`REGISTRY` instance of :class:`ComponentRegistry`.  Before this
+module existed the same resolution logic lived in four places with
+four different error messages: ``core/algorithms.py`` (the
+``ALGORITHMS`` dict plus ``build_algorithm`` aliases), ``config.py``
+(``default_machine``'s algorithm-to-predictor mapping and
+``NAMED_PREDICTORS``), ``workloads/profiles.py``
+(``resolve_profile``'s alias table, used by the harness trace
+construction), and the CLI's hand-maintained ``choices`` lists.  All
+four now delegate here.
+
+A component is a :class:`ComponentEntry`: a factory callable plus a
+metadata mapping (for algorithms: the paper's default predictor and
+the predictor guarantees the algorithm is compatible with; for
+workloads: the profile summary).  Lookup is kind-aware and
+normalizes names per kind (algorithms and workloads are
+case/punctuation-insensitive with aliases; predictor names such as
+``Sub2k`` are exact).  Unknown names raise
+:class:`UnknownComponentError` - a ``ValueError`` whose message always
+lists the valid choices, so every caller (library or CLI) reports the
+same actionable error.
+
+Third-party plugins
+===================
+
+Packages can add components without touching this repo by declaring
+``entry_points`` in the groups of :data:`ENTRY_POINT_GROUPS`::
+
+    [project.entry-points."flexsnoop.algorithms"]
+    my_algo = "my_pkg.algos:MyAlgorithm"
+
+The entry point must load to the component's factory (for algorithms:
+the ``SnoopingAlgorithm`` subclass or a zero-argument callable
+returning an instance).  An optional ``registry_metadata`` attribute
+on the loaded object supplies the entry's metadata dict, and an
+optional ``registry_aliases`` attribute supplies alias names.  Plugins
+are loaded lazily on the first resolution of their kind and never
+shadow builtins.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+#: Kind -> ``entry_points`` group third-party packages register under.
+ENTRY_POINT_GROUPS: Dict[str, str] = {
+    "algorithm": "flexsnoop.algorithms",
+    "predictor": "flexsnoop.predictors",
+    "workload": "flexsnoop.workloads",
+}
+
+#: Kind -> module whose import registers the built-in components.
+#: Imported lazily on first lookup so that this module has no
+#: repro-internal imports at module level (the registered modules
+#: import *us*, not the other way around).
+_BUILTIN_MODULES: Dict[str, str] = {
+    "algorithm": "repro.core.algorithms",
+    "predictor": "repro.config",
+    "workload": "repro.workloads.profiles",
+}
+
+
+def _normalize_algorithm(name: str) -> str:
+    return name.lower()
+
+
+def _normalize_workload(name: str) -> str:
+    return name.lower().replace("-", "").replace("_", "")
+
+
+def _normalize_exact(name: str) -> str:
+    return name
+
+
+#: Kind -> name normalizer applied to both registration and lookup.
+_NORMALIZERS: Dict[str, Callable[[str], str]] = {
+    "algorithm": _normalize_algorithm,
+    "predictor": _normalize_exact,
+    "workload": _normalize_workload,
+}
+
+
+class UnknownComponentError(ValueError):
+    """Raised when a name does not resolve; message lists choices."""
+
+    def __init__(self, kind: str, name: str, known: Iterable[str]) -> None:
+        self.kind = kind
+        self.requested = name
+        self.known: Tuple[str, ...] = tuple(sorted(known))
+        super().__init__(
+            "unknown %s %r; known: %s"
+            % (kind, name, ", ".join(self.known))
+        )
+
+
+@dataclass(frozen=True)
+class ComponentEntry:
+    """One registered component.
+
+    ``factory`` is invoked by :meth:`ComponentRegistry.create` with
+    the caller's arguments; ``metadata`` is a read-only mapping of
+    component facts (e.g. an algorithm's ``default_predictor`` and
+    ``compatible_predictor_kinds``).
+    """
+
+    kind: str
+    name: str
+    factory: Callable[..., Any]
+    aliases: Tuple[str, ...] = ()
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+    source: str = "builtin"
+
+
+def _iter_entry_points(group: str) -> List[Any]:
+    """All installed entry points of ``group`` (test seam: tests
+    monkeypatch this to simulate installed plugins)."""
+    try:
+        from importlib import metadata as importlib_metadata
+    except ImportError:  # pragma: no cover - py<3.8
+        return []
+    try:
+        entry_points = importlib_metadata.entry_points()
+    except Exception:  # pragma: no cover - defensive
+        return []
+    if hasattr(entry_points, "select"):  # py3.10+
+        return list(entry_points.select(group=group))
+    return list(entry_points.get(group, []))  # pragma: no cover - py3.9
+
+
+class ComponentRegistry:
+    """Name -> factory registry for one process.
+
+    Resolution order: built-in components (registered at import of the
+    kind's home module), then lazily-loaded ``entry_points`` plugins.
+    Builtins win name clashes; a plugin that fails to import is
+    skipped rather than breaking resolution of everything else.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], ComponentEntry] = {}
+        self._aliases: Dict[Tuple[str, str], str] = {}
+        self._builtins_loaded: set = set()
+        self._plugins_loaded: set = set()
+
+    # ------------------------------------------------------------------
+    # Registration
+
+    def register(
+        self,
+        kind: str,
+        name: str,
+        factory: Callable[..., Any],
+        aliases: Iterable[str] = (),
+        metadata: Optional[Mapping[str, Any]] = None,
+        source: str = "builtin",
+        replace: bool = False,
+    ) -> ComponentEntry:
+        """Register ``factory`` under ``name`` (and ``aliases``).
+
+        Raises ``ValueError`` on a name clash unless ``replace`` is
+        true; plugins never replace builtins regardless.
+        """
+        normalize = _NORMALIZERS.get(kind, _normalize_exact)
+        canonical = normalize(name)
+        key = (kind, canonical)
+        existing = self._entries.get(key)
+        if existing is not None:
+            if source == "plugin" or not replace:
+                raise ValueError(
+                    "%s %r is already registered (source: %s)"
+                    % (kind, name, existing.source)
+                )
+        entry = ComponentEntry(
+            kind=kind,
+            name=canonical,
+            factory=factory,
+            aliases=tuple(normalize(alias) for alias in aliases),
+            metadata=dict(metadata or {}),
+            source=source,
+        )
+        self._entries[key] = entry
+        for alias in entry.aliases:
+            self._aliases.setdefault((kind, alias), canonical)
+        return entry
+
+    def unregister(self, kind: str, name: str) -> None:
+        """Remove one entry and its aliases (test/plugin hygiene)."""
+        canonical = self.canonical(kind, name)
+        entry = self._entries.pop((kind, canonical))
+        for alias in entry.aliases:
+            self._aliases.pop((kind, alias), None)
+
+    # ------------------------------------------------------------------
+    # Resolution
+
+    def _ensure_loaded(self, kind: str) -> None:
+        if kind not in self._builtins_loaded:
+            self._builtins_loaded.add(kind)
+            module = _BUILTIN_MODULES.get(kind)
+            if module is not None:
+                importlib.import_module(module)
+        if kind not in self._plugins_loaded:
+            self._plugins_loaded.add(kind)
+            self._load_plugins(kind)
+
+    def _load_plugins(self, kind: str) -> None:
+        group = ENTRY_POINT_GROUPS.get(kind)
+        if group is None:
+            return
+        for entry_point in _iter_entry_points(group):
+            if (kind, entry_point.name) in self._entries:
+                continue  # builtins shadow plugins, never vice versa
+            try:
+                loaded = entry_point.load()
+            except Exception:  # pragma: no cover - broken plugin
+                continue
+            metadata = getattr(loaded, "registry_metadata", None)
+            aliases = getattr(loaded, "registry_aliases", ())
+            self.register(
+                kind,
+                entry_point.name,
+                loaded,
+                aliases=aliases,
+                metadata=metadata,
+                source="plugin",
+            )
+
+    def reload_plugins(self, kind: Optional[str] = None) -> None:
+        """Drop plugin entries and re-scan entry points on next use."""
+        kinds = [kind] if kind else list(ENTRY_POINT_GROUPS)
+        for one_kind in kinds:
+            self._plugins_loaded.discard(one_kind)
+            stale = [
+                entry
+                for (entry_kind, _), entry in self._entries.items()
+                if entry_kind == one_kind and entry.source == "plugin"
+            ]
+            for entry in stale:
+                self.unregister(one_kind, entry.name)
+
+    def canonical(self, kind: str, name: str) -> str:
+        """Resolve ``name`` (or an alias) to the canonical name."""
+        self._ensure_loaded(kind)
+        normalize = _NORMALIZERS.get(kind, _normalize_exact)
+        candidate = normalize(name)
+        candidate = self._aliases.get((kind, candidate), candidate)
+        if (kind, candidate) not in self._entries:
+            raise UnknownComponentError(kind, name, self.names(kind))
+        return candidate
+
+    def get(self, kind: str, name: str) -> ComponentEntry:
+        """The :class:`ComponentEntry` for ``name``; raises
+        :class:`UnknownComponentError` with the valid choices."""
+        return self._entries[(kind, self.canonical(kind, name))]
+
+    def create(self, kind: str, name: str, *args: Any, **kwargs: Any) -> Any:
+        """Instantiate the component: ``get(...).factory(*args)``."""
+        return self.get(kind, name).factory(*args, **kwargs)
+
+    def names(self, kind: str) -> List[str]:
+        """Sorted canonical names currently registered for ``kind``."""
+        self._ensure_loaded(kind)
+        return sorted(
+            name for entry_kind, name in self._entries if entry_kind == kind
+        )
+
+    def metadata(self, kind: str, name: str) -> Mapping[str, Any]:
+        return self.get(kind, name).metadata
+
+
+#: The process-global registry all resolution paths share.
+REGISTRY = ComponentRegistry()

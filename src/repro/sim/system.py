@@ -1,4 +1,4 @@
-"""Full-system simulator: CMP nodes, embedded ring, memory, protocol.
+"""Full-system simulator facade: CMP nodes, embedded ring, memory.
 
 :class:`RingMultiprocessor` assembles the substrates into the machine
 of Figure 2(a) and drives a workload trace through it under a chosen
@@ -7,6 +7,29 @@ simulated message-by-message with the exact Table 2 primitive
 semantics (via :func:`repro.core.primitives.apply_primitive`), so the
 snoop counts, message counts, latencies and predictor behaviour emerge
 from the mechanism rather than from closed-form shortcuts.
+
+The machine itself is four collaborating subsystems behind this
+facade (see ``docs/architecture.md`` for the full picture):
+
+* :class:`~repro.sim.transactions.TransactionManager` - issue,
+  collision/squash/retry, MSHR waiters, retirement, write
+  serialization.
+* :class:`~repro.sim.walker.RingWalker` - the per-hop ring walk, hop
+  batching, and Table 2 primitive application.
+* :class:`~repro.sim.datapath.DataPathModel` - torus data replies,
+  home-memory timing (with the prefetch heuristic), fills/evictions,
+  and Exact-predictor downgrades.
+* :class:`~repro.sim.warmup.WarmupController` - prewarm memoization
+  and the warmup-window measurement reset.
+
+The facade owns what the subsystems share: the event engine, the
+topologies and memory, the machine-wide supplier/holder indexes (fed
+by the LineRegistry hooks below), and the current ``RunStats`` /
+``EnergyModel`` pair.  When the warmup window closes, the
+:class:`WarmupController` builds fresh measurement objects and the
+facade broadcasts them to every subsystem via
+:meth:`rebind_measurement`, so the hot paths keep reading plain
+attributes instead of indirecting through the facade per event.
 
 Transaction life cycle (reads):
 
@@ -29,182 +52,40 @@ Same-CMP requests to a busy line wait in an MSHR instead.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import MachineConfig
-from repro.coherence.cache import CacheLine, EvictionRecord
-from repro.coherence.protocol import (
-    CoherenceError,
-    ProtocolTables,
-    downgrade_state,
-    local_reader_state,
-    requester_state_from_cache,
-    requester_state_from_memory,
-    supplier_next_state_on_read,
-    writer_state,
-)
-from repro.coherence.states import LineState, SUPPLIER_STATES
+from repro.coherence.protocol import CoherenceError, ProtocolTables
+from repro.coherence.states import LineState
 from repro.core.algorithms import SnoopingAlgorithm
-from repro.core.predictors import NullPredictor, PerfectPredictor
+from repro.core.predictors import PerfectPredictor
 from repro.core.presence import PresencePredictor
-from repro.core.primitives import Primitive, apply_primitive
 from repro.energy.model import EnergyModel
 from repro.metrics.stats import RunStats
-from repro.ring.messages import MessageMode, RingMessage, SnoopKind
 from repro.ring.node import CMPNode
 from repro.ring.topology import RingTopology, TorusTopology
+from repro.sim.datapath import DataPathModel
 from repro.sim.engine import EventEngine
 from repro.sim.memory import MainMemory
 from repro.sim.processor import Core, build_cores
-from repro.workloads.trace import Access, WorkloadTrace
-
-
-class Transaction:
-    """One in-flight ring coherence transaction.
-
-    A ``__slots__`` class: one instance per ring transaction, with the
-    message and the per-transaction step callback (``step_cb``) bound
-    once at issue so the walk schedules no per-hop closures.  ``msg``
-    is set in ``__init__`` and only becomes ``None`` at retirement,
-    when the message returns to the system's pool.
-    """
-
-    __slots__ = (
-        "txn_id",
-        "kind",
-        "address",
-        "requester_cmp",
-        "core",
-        "issue_time",
-        "msg",
-        "needs_data",
-        "write_version",
-        "expected_version",
-        "data_arrival",
-        "supplied_version",
-        "supplier_cmp",
-        "prefetch_initiated",
-        "waiters",
-        "retired",
-        "next_node",
-        "step_cb",
-    )
-
-    msg: Optional[RingMessage]
-
-    def __init__(
-        self,
-        txn_id: int,
-        kind: SnoopKind,
-        address: int,
-        requester_cmp: int,
-        core: Core,
-        issue_time: int,
-        msg: RingMessage,
-        expected_version: int = 0,
-    ) -> None:
-        self.txn_id = txn_id
-        self.kind = kind
-        self.address = address
-        self.requester_cmp = requester_cmp
-        self.core = core
-        self.issue_time = issue_time
-        self.msg = msg
-        self.needs_data = True
-        self.write_version = 0
-        self.expected_version = expected_version
-        self.data_arrival: Optional[int] = None
-        self.supplied_version = 0
-        self.supplier_cmp: Optional[int] = None
-        self.prefetch_initiated = False
-        self.waiters: List[Core] = []
-        self.retired = False
-        #: node the next scheduled walk event processes (set by the
-        #: walk loop right before scheduling ``step_cb``)
-        self.next_node = -1
-        self.step_cb: Callable[[], None] = _noop
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return "Transaction(txn_id=%d, kind=%s, address=%#x, cmp=%d)" % (
-            self.txn_id,
-            self.kind,
-            self.address,
-            self.requester_cmp,
-        )
-
-
-def _noop() -> None:  # placeholder step callback before the walk starts
-    return None
-
-
-class _PrewarmMemo:
-    """Recorded outcome of one workload trace's prewarm pass.
-
-    Prewarm is deterministic given the trace and the cache geometry,
-    and - as long as nothing couples predictor training back into
-    cache contents - independent of the predictor, so a harness that
-    simulates the same trace under several algorithms (the figure
-    matrices do exactly that) can pay the full prewarm walk once and
-    restore its outcome for every later system.
-
-    The memo stores the final cache sets (per core, per set, in LRU
-    order; every prewarmed line is in state E with version 0), the
-    registry dictionaries, the per-cache fill/eviction counters, and
-    the predictor training stream (``ops``: one list per core,
-    ``address`` encoding ``insert(address)`` and ``~address`` encoding
-    ``remove(address)``).  ``predictor_snapshots`` additionally caches
-    the trained predictor state per :class:`PredictorConfig`, so a
-    config that recurs (e.g. Supy2k under both Superset variants)
-    skips even the training replay.
-    """
-
-    __slots__ = (
-        "trace",
-        "core_sets",
-        "core_fills",
-        "core_evictions",
-        "holder_count",
-        "supplier_of",
-        "ops",
-        "predictor_snapshots",
-    )
-
-    def __init__(
-        self,
-        trace: WorkloadTrace,
-        core_sets: List[List[Tuple[int, Tuple[int, ...]]]],
-        core_fills: List[int],
-        core_evictions: List[int],
-        holder_count: Dict[int, int],
-        supplier_of: Dict[int, Tuple[int, int]],
-        ops: List[List[int]],
-    ) -> None:
-        self.trace = trace
-        self.core_sets = core_sets
-        self.core_fills = core_fills
-        self.core_evictions = core_evictions
-        self.holder_count = holder_count
-        self.supplier_of = supplier_of
-        self.ops = ops
-        self.predictor_snapshots: Dict[object, List[object]] = {}
-
-
-#: Process-level prewarm memos, keyed by (trace identity, cache
-#: geometry).  Each memo holds a strong reference to its trace, which
-#: pins the ``id`` so the key cannot alias a new object; the store is
-#: bounded, evicting the oldest entry, so long-running processes do
-#: not accumulate traces.
-_PREWARM_MEMOS: "OrderedDict[Tuple[int, int, int], _PrewarmMemo]" = (
-    OrderedDict()
+from repro.sim.transactions import Transaction, TransactionManager
+from repro.sim.walker import RingWalker
+from repro.sim.warmup import (
+    _PREWARM_MEMOS,
+    _PrewarmMemo,
+    WarmupController,
 )
-_PREWARM_MEMO_LIMIT = 4
+from repro.workloads.trace import WorkloadTrace
 
+__all__ = [
+    "RingMultiprocessor",
+    "SimulationResult",
+    "Transaction",
+]
 
-def _ignore_address(address: int) -> None:
-    """Stand-in for NullPredictor.insert/remove in the prewarm loop."""
-    return None
+# Re-exported for callers (and tests) that predate the decomposition.
+_ = (_PREWARM_MEMOS, _PrewarmMemo, Transaction)
 
 
 @dataclass
@@ -266,7 +147,8 @@ class RingMultiprocessor:
         self.energy = EnergyModel(config.energy, config.predictor.kind)
 
         # O(1) line-location indexes, kept consistent by cache
-        # callbacks routed through the LineRegistry hooks below.
+        # callbacks routed through the LineRegistry hooks below.  The
+        # subsystems hold references to these same dict objects.
         self._supplier_of: Dict[int, Tuple[int, int]] = {}
         self._holder_count: Dict[int, int] = {}
         # Optional write-snoop filtering (extension, see
@@ -288,272 +170,68 @@ class RingMultiprocessor:
             )
             for i in range(config.num_cmps)
         ]
+        self.cores: List[Core] = build_cores(
+            workload.traces, config.cores_per_cmp
+        )
+
+        # Subsystems: construct, then wire the cross-references (they
+        # are mutually recursive), then install the predictor
+        # callbacks that close over subsystem state.
+        self.txns = TransactionManager(
+            self.engine, config, self.stats, self.nodes, self.cores
+        )
+        self.walker = RingWalker(
+            self.engine,
+            config,
+            self.ring,
+            self.memory,
+            self.stats,
+            self.energy,
+            self.nodes,
+            algorithm,
+            self._supplier_of,
+            self.presence,
+            collect_perfect,
+        )
+        self.datapath = DataPathModel(
+            self.engine,
+            self.nodes,
+            self.memory,
+            self.torus,
+            self.stats,
+            self.energy,
+            self._supplier_of,
+            self._holder_count,
+        )
+        self.warmup = WarmupController(
+            self.engine,
+            config,
+            workload,
+            self.cores,
+            self.nodes,
+            self.presence,
+            self.memory,
+            self._supplier_of,
+            self._holder_count,
+            warmup_fraction,
+        )
+        self.warmup.wire(self)
+        self.txns.wire(self.walker, self.datapath, self.warmup, self)
+        self.walker.wire(self.txns, self.datapath, self.warmup)
+        self.datapath.wire(self.txns, self.warmup)
+
         for node in self.nodes:
             if node.is_exact:
                 node.predictor.set_downgrade_callback(
-                    self._make_downgrade_handler(node.cmp_id)
+                    self.datapath.make_downgrade_handler(node.cmp_id)
                 )
             if isinstance(node.predictor, PerfectPredictor):
                 node.predictor.set_truth(
                     self._make_supplier_truth(node.cmp_id)
                 )
 
-        self.cores: List[Core] = build_cores(
-            workload.traces, config.cores_per_cmp
-        )
-        # One reusable issue callback per core (indexed by core_id), so
-        # completing an access does not allocate a fresh closure for
-        # the next one.
-        self._issue_cbs: List[Callable[[], None]] = [
-            self._make_issue_handler(core) for core in self.cores
-        ]
-        # Hot-path constants hoisted out of the per-event handlers.
-        self._uses_predictor = algorithm.uses_predictor()
-        self._choose = algorithm.choose
-        self._prefetch_on_snoop = config.memory.prefetch_on_snoop
-        self._home_of = self.memory.home_of
-
-        self._active: Dict[int, List[Transaction]] = {}
-        self._txn_seq = 0
-        self._write_counter = 0
-        # Hop batching: walk consecutive ring hops of one transaction
-        # inside a single engine event (at "virtual" times ahead of the
-        # engine clock) instead of scheduling one event per hop.  Only
-        # safe when nothing order-sensitive is shared between in-flight
-        # messages at sub-hop granularity, so it auto-disables under
-        # the contention models and the presence-filter extension; it
-        # is also suspended while warmup statistics can still be reset
-        # (see _walk_from).
-        self._hop_batching = (
-            config.ring.hop_batching
-            and config.ring.link_occupancy == 0
-            and not config.ring.serialize_snoop_port
-            and not config.filter_write_snoops
-        )
-        # Message pool + simulator-efficiency counters (surfaced on
-        # RunStats at the end of run()).
-        self._msg_pool: List[RingMessage] = []
-        self._hops_batched = 0
-        self._messages_allocated = 0
-        self._messages_reused = 0
-        # Optional contention modeling: next-free times of each ring
-        # link (keyed by (ring index, source node)) and of each CMP's
-        # snoop port.
-        self._link_free: Dict[Tuple[int, int], int] = {}
-        self._snoop_port_free: List[int] = [0] * config.num_cmps
-        # Warmup: the first ``warmup_fraction`` of all accesses fill
-        # the caches and train the predictors; statistics and energy
-        # are reset when the threshold is crossed, so reported numbers
-        # reflect steady-state behaviour (the paper likewise skips
-        # workload initialization before measuring).
-        self._completed_accesses = 0
-        self._warmup_target = int(workload.total_accesses * warmup_fraction)
-        self._in_warmup = self._warmup_target > 0
-        self._warmup_end_time = 0
-        self._last_completed_write: Dict[int, int] = {}
-        self._downgraded: Set[int] = set()
         self._ran = False
-        self._apply_prewarm()
-
-    def _apply_prewarm(self) -> None:
-        """Install the workload's prewarm lines (resident private data
-        of a long-running application) in E state.
-
-        Filled in reverse so the hottest lines (listed first) end up
-        most recently used.  Observable effects are identical to
-        calling ``cache.fill`` per line (asserted by
-        ``test_prewarm_fast_path_matches_generic_fill``), but the
-        callback chain - registry bookkeeping, predictor training,
-        eviction accounting - is inlined here: prewarm performs
-        hundreds of thousands of fills before the first event fires
-        and dominates construction cost, so the ~8 Python calls per
-        line that the generic path costs are worth flattening.
-
-        The walk's outcome is further memoized per (trace, cache
-        geometry) in :data:`_PREWARM_MEMOS` and restored wholesale for
-        later systems built on the same trace (see
-        ``test_prewarm_memo_matches_full_walk``).  The memo is only
-        valid while predictor training cannot feed back into cache
-        contents, so the Exact predictor (conflict downgrades) and the
-        presence-filter extension always take the full walk.
-        """
-        if not self.workload.prewarm:
-            return
-        reusable = (
-            not self.presence and self.config.predictor.kind != "exact"
-        )
-        key = (
-            id(self.workload),
-            self.config.cache.num_sets,
-            self.config.cache.associativity,
-        )
-        if reusable:
-            memo = _PREWARM_MEMOS.get(key)
-            if memo is not None and memo.trace is self.workload:
-                self._restore_prewarm(memo)
-                return
-        record = reusable
-        ops: List[List[int]] = []
-        state_e = LineState.E
-        supplier_of = self._supplier_of
-        holder_count = self._holder_count
-        presence = self.presence
-        for core, lines in zip(self.cores, self.workload.prewarm):
-            cmp_id = core.cmp_id
-            core_id = core.local_id
-            node = self.nodes[cmp_id]
-            cache = node.caches[core_id]
-            if isinstance(node.predictor, (NullPredictor, PerfectPredictor)):
-                # Lazy/Eager/Oracle: insert/remove are no-ops; skip
-                # the calls.
-                predictor_insert = _ignore_address
-                predictor_remove = _ignore_address
-            else:
-                predictor_insert = node.predictor.insert
-                predictor_remove = node.predictor.remove
-            core_ops: List[int] = []
-            if record:
-                ops.append(core_ops)
-            sets = cache._sets
-            num_sets = cache._num_sets
-            associativity = cache._associativity
-            for address in reversed(lines):
-                cache_set = sets[address % num_sets]
-                if address in cache_set:
-                    # Duplicate prewarm line: take the generic
-                    # update-in-place path (rare enough not to matter).
-                    cache.fill(address, state_e, 0)
-                    continue
-                if len(cache_set) >= associativity:
-                    victim_address, victim = cache_set.popitem(last=False)
-                    cache.evictions += 1
-                    if victim.state.dirty:
-                        cache.dirty_evictions += 1
-                    if victim.state.supplier:
-                        # on_state_loss: predictor first, then registry
-                        # (same order as the wired callbacks).
-                        if record:
-                            core_ops.append(~victim_address)
-                        predictor_remove(victim_address)
-                        if supplier_of.get(victim_address) == (
-                            cmp_id,
-                            core_id,
-                        ):
-                            del supplier_of[victim_address]
-                    # on_line_removed
-                    count = holder_count.get(victim_address, 0) - 1
-                    if count <= 0:
-                        holder_count.pop(victim_address, None)
-                    else:
-                        holder_count[victim_address] = count
-                    if presence:
-                        presence[cmp_id].line_removed(victim_address)
-                cache_set[address] = CacheLine(address, state_e, 0)
-                cache.fills += 1
-                # on_line_added
-                holder_count[address] = holder_count.get(address, 0) + 1
-                if presence:
-                    presence[cmp_id].line_added(address)
-                # on_state_gain: register the supplier before training
-                # the predictor (an Exact conflict downgrade must see
-                # a consistent index), mirroring CMPNode's on_gain.
-                existing = supplier_of.get(address)
-                if existing is not None and existing != (cmp_id, core_id):
-                    raise CoherenceError(
-                        "line %#x gained supplier at %s while %s still "
-                        "holds it"
-                        % (address, (cmp_id, core_id), existing)
-                    )
-                supplier_of[address] = (cmp_id, core_id)
-                if record:
-                    core_ops.append(address)
-                predictor_insert(address)
-        if record:
-            self._record_prewarm(key, ops)
-
-    def _record_prewarm(self, key: Tuple[int, int, int], ops: List[List[int]]) -> None:
-        """Capture the just-completed prewarm walk into the memo store."""
-        core_sets: List[List[Tuple[int, Tuple[int, ...]]]] = []
-        core_fills: List[int] = []
-        core_evictions: List[int] = []
-        for core in self.cores:
-            cache = self.nodes[core.cmp_id].caches[core.local_id]
-            core_sets.append(
-                [
-                    (index, tuple(cache_set))
-                    for index, cache_set in enumerate(cache._sets)
-                    if cache_set
-                ]
-            )
-            core_fills.append(cache.fills)
-            core_evictions.append(cache.evictions)
-        memo = _PrewarmMemo(
-            self.workload,
-            core_sets,
-            core_fills,
-            core_evictions,
-            dict(self._holder_count),
-            dict(self._supplier_of),
-            ops,
-        )
-        self._store_predictor_snapshot(memo)
-        _PREWARM_MEMOS[key] = memo
-        while len(_PREWARM_MEMOS) > _PREWARM_MEMO_LIMIT:
-            _PREWARM_MEMOS.popitem(last=False)
-
-    def _restore_prewarm(self, memo: _PrewarmMemo) -> None:
-        """Re-create the full prewarm outcome from a recorded memo.
-
-        Cache lines are rebuilt fresh (they are mutable), inserted in
-        the recorded LRU order; every prewarmed line is E/version 0 by
-        construction.  Predictor state is restored from a per-config
-        snapshot when one exists, otherwise by replaying the recorded
-        training stream through the real predictor methods (which also
-        reproduces the predictors' update counters exactly).
-        """
-        state_e = LineState.E
-        for index, core in enumerate(self.cores):
-            cache = self.nodes[core.cmp_id].caches[core.local_id]
-            sets = cache._sets
-            for set_index, addresses in memo.core_sets[index]:
-                cache_set = sets[set_index]
-                for address in addresses:
-                    cache_set[address] = CacheLine(address, state_e, 0)
-            cache.fills += memo.core_fills[index]
-            cache.evictions += memo.core_evictions[index]
-        self._holder_count.update(memo.holder_count)
-        self._supplier_of.update(memo.supplier_of)
-        kind = self.config.predictor.kind
-        if kind in ("none", "perfect"):
-            return
-        snapshots = memo.predictor_snapshots.get(self.config.predictor)
-        if snapshots is not None:
-            for node, snapshot in zip(self.nodes, snapshots):
-                node.predictor.prewarm_restore(snapshot)
-            return
-        for core, core_ops in zip(self.cores, memo.ops):
-            predictor = self.nodes[core.cmp_id].predictor
-            insert = predictor.insert
-            remove = predictor.remove
-            for op in core_ops:
-                if op >= 0:
-                    insert(op)
-                else:
-                    remove(~op)
-        self._store_predictor_snapshot(memo)
-
-    def _store_predictor_snapshot(self, memo: _PrewarmMemo) -> None:
-        """Cache this config's trained predictor state on the memo, if
-        every node's predictor supports snapshotting."""
-        if self.config.predictor.kind in ("none", "perfect"):
-            return
-        snapshots: List[object] = []
-        for node in self.nodes:
-            snapshot = node.predictor.prewarm_snapshot()
-            if snapshot is None:
-                return
-            snapshots.append(snapshot)
-        memo.predictor_snapshots[self.config.predictor] = snapshots
+        self.warmup.apply_prewarm()
 
     # ==================================================================
     # LineRegistry hooks (called synchronously by cache mutations)
@@ -586,10 +264,6 @@ class RingMultiprocessor:
         if self.presence:
             self.presence[cmp_id].line_removed(address)
 
-    def _cmp_has_supplier(self, cmp_id: int, address: int) -> bool:
-        entry = self._supplier_of.get(address)
-        return entry is not None and entry[0] == cmp_id
-
     def _make_supplier_truth(self, cmp_id: int):
         supplier_of = self._supplier_of
 
@@ -607,14 +281,7 @@ class RingMultiprocessor:
         if self._ran:
             raise RuntimeError("a RingMultiprocessor can only run once")
         self._ran = True
-        for core in self.cores:
-            if core.trace:
-                self.engine.call_after(
-                    core.trace[0].think_time,
-                    self._issue_cbs[core.core_id],
-                )
-            else:
-                core.finish_time = 0
+        self.txns.start()
         self.engine.run(max_events=max_events)
         self._finalize_energy()
         self.stats.core_finish_times = [
@@ -627,14 +294,14 @@ class RingMultiprocessor:
                 "simulation ended with unfinished cores: %s" % unfinished
             )
         finish = max(self.stats.core_finish_times, default=0)
-        self.stats.exec_time = max(finish - self._warmup_end_time, 0)
+        self.stats.exec_time = max(finish - self.warmup.warmup_end_time, 0)
         # Simulator-efficiency counters: whole-run values (diagnostics
         # of the simulation itself, so they ignore the warmup reset).
         self.stats.events_scheduled = self.engine.events_scheduled
         self.stats.events_fired = self.engine.events_processed
-        self.stats.hops_batched = self._hops_batched
-        self.stats.messages_allocated = self._messages_allocated
-        self.stats.messages_reused = self._messages_reused
+        self.stats.hops_batched = self.walker.hops_batched
+        self.stats.messages_allocated = self.txns.messages_allocated
+        self.stats.messages_reused = self.txns.messages_reused
         return SimulationResult(
             algorithm=self.algorithm.name,
             workload=self.workload.name,
@@ -645,814 +312,16 @@ class RingMultiprocessor:
             config=self.config,
         )
 
-    def _end_warmup(self) -> None:
-        """Reset all measurement state; caches and predictors keep
-        their trained contents."""
-        self._in_warmup = False
-        self._warmup_end_time = self.engine.now
-        self.stats = RunStats()
-        self.energy = EnergyModel(
-            self.config.energy, self.config.predictor.kind
-        )
-        for node in self.nodes:
-            node.predictor.lookups = 0
-            node.predictor.updates = 0
-        for presence in self.presence:
-            presence.lookups = 0
-            presence.updates = 0
-            presence.filtered = 0
-        self.memory.reads = 0
-        self.memory.writebacks = 0
-        self.memory.prefetches = 0
-
-    # ==================================================================
-    # Core replay
-
-    def _make_issue_handler(self, core: Core) -> Callable[[], None]:
-        return lambda: self._issue_access(core)
-
-    def _issue_access(self, core: Core) -> None:
-        access = core.current_access
-        core.block(self.engine.now)
-        if access.is_write:
-            self._handle_write(core, access)
-        else:
-            self._handle_read(core, access)
-
-    def _complete_access(self, core: Core, at_time: int) -> None:
-        core.unblock(at_time)
-        core.advance()
-        self._completed_accesses += 1
-        if self._in_warmup and self._completed_accesses >= self._warmup_target:
-            self._end_warmup()
-        if core.done:
-            core.finish_time = at_time
-            return
-        next_access = core.current_access
-        now = self.engine.now
-        if at_time < now:
-            at_time = now
-        self.engine.call_at(
-            at_time + next_access.think_time,
-            self._issue_cbs[core.core_id],
-        )
-
-    # ==================================================================
-    # Reads
-
-    def _handle_read(self, core: Core, access: Access) -> None:
-        self.stats.reads += 1
-        address = access.address
-        node = self.nodes[core.cmp_id]
-        own = node.caches[core.local_id]
-
-        line = own.lookup(address)
-        if line is not None:
-            self.stats.read_hits_local_cache += 1
-            self._check_version(address, line.version, at_issue=True)
-            self._complete_access(
-                core, self.engine.now + self.config.cache.hit_latency
-            )
-            return
-
-        master_core = node.local_master_core(address)
-        if master_core is not None:
-            master_cache = node.caches[master_core]
-            master_line = master_cache.lookup(address)
-            assert master_line is not None
-            self.stats.read_hits_local_master += 1
-            if master_line.state in SUPPLIER_STATES:
-                # A dirty or exclusive master now shares the line:
-                # D becomes T, E becomes SG (SG and T are unchanged),
-                # exactly as when supplying a ring read.
-                master_cache.set_state(
-                    address,
-                    supplier_next_state_on_read(master_line.state),
-                )
-            self._fill(
-                core, address, local_reader_state(), master_line.version
-            )
-            self._check_version(address, master_line.version, at_issue=True)
-            self._complete_access(
-                core,
-                self.engine.now + self.config.cache.local_master_latency,
-            )
-            return
-
-        self._start_ring_transaction(core, address, SnoopKind.READ)
-
-    # ==================================================================
-    # Writes
-
-    def _handle_write(self, core: Core, access: Access) -> None:
-        self.stats.writes += 1
-        address = access.address
-        node = self.nodes[core.cmp_id]
-        own = node.caches[core.local_id]
-        state = own.state_of(address)
-
-        if state in (LineState.E, LineState.D):
-            # Silent upgrade: exclusive ownership already held.
-            self.stats.write_hits_exclusive += 1
-            self._write_counter += 1
-            version = self._write_counter
-            own.set_state(address, LineState.D)
-            resident = own.lookup(address)
-            assert resident is not None
-            resident.version = version
-            done = self.engine.now + self.config.cache.hit_latency
-            self._note_write_completed(address, version, done)
-            self._complete_access(core, done)
-            return
-
-        self._start_ring_transaction(core, address, SnoopKind.WRITE)
-
-    # ==================================================================
-    # Ring transactions: issue, walk, completion
-
-    def _start_ring_transaction(
-        self, core: Core, address: int, kind: SnoopKind
+    def rebind_measurement(
+        self, stats: RunStats, energy: EnergyModel
     ) -> None:
-        now = self.engine.now
-        active_list = self._active.get(address)
-        squashed = False
-        if active_list:
-            for txn in active_list:
-                if txn.requester_cmp == core.cmp_id:
-                    txn.waiters.append(core)
-                    self.stats.mshr_queued += 1
-                    return
-            # A write-involving overlap on the same line from another
-            # CMP is a collision; the younger message is squashed and
-            # retried (Section 2.1.4).  Already-squashed messages are
-            # ignored: they circulate for serialization only and must
-            # never squash others, or two retrying requesters would
-            # livelock each other.  Concurrent *reads* proceed - the
-            # memory-race between two reads that both miss all caches
-            # is reconciled at data-delivery time.
-            squashed = any(
-                t.msg is not None
-                and not t.msg.squashed
-                and (kind is SnoopKind.WRITE or t.kind is SnoopKind.WRITE)
-                for t in active_list
-            )
-
-        self._txn_seq += 1
-        if self._msg_pool:
-            msg = self._msg_pool.pop()
-            msg.reinit(
-                self._txn_seq,
-                kind,
-                address,
-                core.cmp_id,
-                request_time=now,
-                squashed=squashed,
-            )
-            self._messages_reused += 1
-        else:
-            msg = RingMessage(
-                self._txn_seq,
-                kind,
-                address,
-                core.cmp_id,
-                request_time=now,
-                squashed=squashed,
-            )
-            self._messages_allocated += 1
-        txn = Transaction(
-            txn_id=self._txn_seq,
-            kind=kind,
-            address=address,
-            requester_cmp=core.cmp_id,
-            core=core,
-            issue_time=now,
-            msg=msg,
-            expected_version=self._last_completed_write.get(address, 0),
-        )
-        if kind is SnoopKind.WRITE:
-            # Data for the write can come from the writer's own copy
-            # or from any valid copy in the CMP (supplied over the CMP
-            # bus); only a CMP-wide miss needs data from the ring or
-            # memory.  The version is allocated at commit time so that
-            # write serialization order matches commit order.
-            txn.needs_data = not self.nodes[core.cmp_id].holders(address)
-        txn.step_cb = self._make_step_handler(txn)
-        self._active.setdefault(address, []).append(txn)
-
-        if not squashed:
-            if kind is SnoopKind.READ:
-                self.stats.read_ring_transactions += 1
-            else:
-                self.stats.write_ring_transactions += 1
-
-        self._forward_request(txn, core.cmp_id, now)
-
-    def _cross_link(self, txn: Transaction, from_node: int,
-                    departure: int) -> int:
-        """Reserve the ring link for one message crossing; returns the
-        actual departure time (== requested time unless link
-        contention modeling is on and the link is busy)."""
-        occupancy = self.config.ring.link_occupancy
-        if not occupancy:
-            return departure
-        key = (self.ring.ring_of(txn.address), from_node)
-        actual = max(departure, self._link_free.get(key, 0))
-        self._link_free[key] = actual + occupancy
-        return actual
-
-    def _reserve_snoop_port(self, node_id: int, ready: int) -> int:
-        """Queueing delay before a snoop can start at ``node_id``."""
-        if not self.config.ring.serialize_snoop_port:
-            return 0
-        start = max(ready, self._snoop_port_free[node_id])
-        self._snoop_port_free[node_id] = (
-            start + self.config.ring.snoop_time
-        )
-        return start - ready
-
-    def _make_step_handler(self, txn: Transaction) -> Callable[[], None]:
-        """One walk callback per transaction, reused for every
-        scheduled hop (``txn.next_node`` carries the target node)."""
-
-        def step() -> None:
-            self._walk_from(txn, txn.next_node, self.engine.now)
-
-        return step
-
-    def _forward_request(
-        self, txn: Transaction, from_node: int, departure: int
-    ) -> None:
-        """Send the request/combined form across one ring segment,
-        leaving ``from_node`` at ``departure``, then walk onward."""
-        msg = txn.msg
-        assert msg is not None
-        msg.hops_request += 1
-        self._charge_crossing(txn)
-        departure = self._cross_link(txn, from_node, departure)
-        arrival = departure + self.config.ring.hop_latency
-        to_node = self.ring.next_node(from_node)
-        if (
-            self._hop_batching
-            and not self._in_warmup
-            and (msg.squashed or msg.satisfied)
-            and to_node != txn.requester_cmp
-        ):
-            # Batched: the message is circulating (squashed, or a
-            # satisfied combined R/R) so the next node is guaranteed
-            # not to snoop or touch any shared state - its processing
-            # runs inline at the "virtual" arrival time instead of
-            # through a scheduled event.  Every timing value computed
-            # downstream is identical to the event-per-hop execution;
-            # only the engine's event count shrinks.  Nodes that might
-            # snoop and the requester keep their own events so all
-            # coherence-state mutations still execute in engine order.
-            # Suspended during warmup so counters land on the correct
-            # side of the warmup statistics reset (the reset fires
-            # from a completion event that may interleave with hops).
-            self._hops_batched += 1
-            self._walk_from(txn, to_node, arrival)
-            return
-        txn.next_node = to_node
-        self.engine.call_at(arrival, txn.step_cb)
-
-    def _charge_crossing(self, txn: Transaction) -> None:
-        self.energy.charge_ring_crossing()
-        if txn.kind is SnoopKind.READ:
-            self.stats.read_ring_crossings += 1
-        else:
-            self.stats.write_ring_crossings += 1
-
-    def _advance_trailing_reply(
-        self, txn: Transaction, node_id: int
-    ) -> None:
-        """Move the trailing reply across the segment into ``node_id``
-        (the node currently processing the request).
-
-        With link-contention modeling on, the reply reserves the same
-        link the request used; the reservation is made when the
-        request is processed, a one-hop-early approximation that keeps
-        the reply's timing analytic.
-        """
-        msg = txn.msg
-        assert msg is not None
-        if msg.mode is MessageMode.SPLIT:
-            assert msg.reply_time is not None
-            upstream = (node_id - 1) % self.config.num_cmps
-            departure = self._cross_link(txn, upstream, msg.reply_time)
-            msg.reply_time = departure + self.config.ring.hop_latency
-            msg.hops_reply += 1
-            self._charge_crossing(txn)
-
-    def _walk_from(self, txn: Transaction, node_id: int, now: int) -> None:
-        """Process the request's arrival at ``node_id`` at time
-        ``now``.
-
-        ``now`` equals ``engine.now`` when entered from a scheduled
-        walk event; with hop batching it runs ahead of the engine
-        clock (the hop's computed arrival time), which is transparent
-        to everything downstream because all timing is derived from
-        ``now`` rather than read off the engine.
-        """
-        msg = txn.msg
-        assert msg is not None
-        if node_id == txn.requester_cmp:
-            # The final reply crossing is accounted by _walk_returned.
-            self._walk_returned(txn, now)
-            return
-        self._advance_trailing_reply(txn, node_id)
-
-        if msg.squashed or msg.satisfied:
-            # Squashed messages circulate for serialization only; a
-            # satisfied combined R/R is a reply and induces no snoops.
-            self._forward_request(txn, node_id, now)
-            return
-
-        if txn.kind is SnoopKind.WRITE:
-            self._write_step(txn, node_id, now)
-            return
-
-        self._read_step(txn, node_id, now)
-
-    # ------------------------------------------------------------------
-    # Read walk
-
-    def _read_step(self, txn: Transaction, node_id: int, now: int) -> None:
-        msg = txn.msg
-        assert msg is not None
-        node = self.nodes[node_id]
-        address = txn.address
-        entry = self._supplier_of.get(address)
-        supplier_here = entry is not None and entry[0] == node_id
-
-        if (
-            self.collect_perfect
-            and not msg.satisfied_reply
-            and not msg.satisfied
-        ):
-            # The paper's "perfect predictor" is checked at every node
-            # until the request finds the supplier.
-            self.stats.perfect_accuracy.record(supplier_here, supplier_here)
-
-        if self._uses_predictor:
-            predictor = node.predictor
-            prediction = predictor.lookup(address)
-            predictor_latency = predictor.latency
-            if not isinstance(predictor, PerfectPredictor):
-                self.stats.accuracy.record(prediction, supplier_here)
-        else:
-            prediction = True
-            predictor_latency = 0
-
-        primitive = self._choose(prediction)
-        if primitive is Primitive.FORWARD:
-            if supplier_here:
-                raise CoherenceError(
-                    "algorithm %s filtered the snoop at the supplier node "
-                    "(false negative on line %#x at CMP %d)"
-                    % (self.algorithm.name, address, node_id)
-                )
-            # Filtered hop - apply_primitive's FORWARD branch inlined:
-            # both physical forms pass through unchanged after the
-            # predictor access, so no outcome object is needed on the
-            # read walk's most common step.
-            if (
-                self._prefetch_on_snoop
-                and node_id == self._home_of(address)
-                and not txn.prefetch_initiated
-                and not msg.satisfied_reply
-            ):
-                txn.prefetch_initiated = True
-                self.memory.note_prefetch()
-            self._forward_request(txn, node_id, now + predictor_latency)
-            return
-
-        snoop_queue_delay = self._reserve_snoop_port(
-            node_id, now + predictor_latency
-        )
-        outcome = apply_primitive(
-            msg,
-            primitive,
-            now=now,
-            snoop_time=self.config.ring.snoop_time,
-            predictor_latency=predictor_latency,
-            node_is_supplier=supplier_here,
-            node=node_id,
-            snoop_queue_delay=snoop_queue_delay,
-        )
-
-        if outcome.snooped:
-            self.stats.read_snoops += 1
-            self.energy.charge_snoop()
-            if (
-                not supplier_here
-                and prediction
-                and self.algorithm.uses_predictor()
-            ):
-                node.predictor.observe_false_positive(address)
-            if outcome.supplied:
-                assert outcome.snoop_done is not None
-                self._supply_read(txn, node_id, outcome.snoop_done)
-
-        if self.memory.config.prefetch_on_snoop and node_id == (
-            self.memory.home_of(address)
-        ):
-            if not txn.prefetch_initiated and not msg.satisfied_reply:
-                txn.prefetch_initiated = True
-                self.memory.note_prefetch()
-
-        self._forward_request(txn, node_id, outcome.request_departure)
-
-    def _supply_read(
-        self, txn: Transaction, node_id: int, snoop_done: int
-    ) -> None:
-        node = self.nodes[node_id]
-        found = node.supplier_line(txn.address)
-        assert found is not None, "supplier vanished mid-transaction"
-        supplier_core, line = found
-        next_state = supplier_next_state_on_read(line.state)
-        node.caches[supplier_core].set_state(txn.address, next_state)
-
-        txn.supplier_cmp = node_id
-        txn.supplied_version = line.version
-        data_arrival = snoop_done + self.torus.transfer_latency(
-            node_id, txn.requester_cmp
-        )
-        txn.data_arrival = data_arrival
-        self.stats.reads_supplied_by_cache += 1
-        self.stats.supplier_latency_sum += snoop_done - txn.issue_time
-        self.stats.supplier_latency_count += 1
-        self.engine.call_at(
-            data_arrival, lambda: self._deliver_read_data(txn)
-        )
-
-    def _deliver_read_data(self, txn: Transaction) -> None:
-        self._fill(
-            txn.core,
-            txn.address,
-            requester_state_from_cache(),
-            txn.supplied_version,
-        )
-        self._check_version(txn.address, txn.supplied_version, txn=txn)
-        self._record_read_latency(txn)
-        self._complete_access(txn.core, self.engine.now)
-
-    # ------------------------------------------------------------------
-    # Write walk
-
-    def _write_step(self, txn: Transaction, node_id: int, now: int) -> None:
-        msg = txn.msg
-        assert msg is not None
-        node = self.nodes[node_id]
-        address = txn.address
-        supplier_here = self._cmp_has_supplier(node_id, address)
-
-        # Writes snoop (and invalidate) at every node; decoupling only
-        # changes whether invalidations proceed in parallel.  With the
-        # presence-predictor extension, a node that provably caches no
-        # copy skips the snoop entirely (the filter has no false
-        # negatives, so this never misses a copy).
-        predictor_latency = 0
-        if self.presence:
-            presence = self.presence[node_id]
-            predictor_latency = presence.access_latency
-            if not presence.may_be_present(address):
-                outcome = apply_primitive(
-                    msg,
-                    Primitive.FORWARD,
-                    now=now,
-                    snoop_time=self.config.ring.snoop_time,
-                    predictor_latency=predictor_latency,
-                    node_is_supplier=False,
-                    node=node_id,
-                )
-                self._forward_request(
-                    txn, node_id, outcome.request_departure
-                )
-                return
-        primitive = (
-            Primitive.FORWARD_THEN_SNOOP
-            if self.algorithm.decouple_writes
-            else Primitive.SNOOP_THEN_FORWARD
-        )
-        outcome = apply_primitive(
-            msg,
-            primitive,
-            now=now,
-            snoop_time=self.config.ring.snoop_time,
-            predictor_latency=predictor_latency,
-            node_is_supplier=False,  # writes never mark the message satisfied
-            node=node_id,
-            snoop_queue_delay=self._reserve_snoop_port(
-                node_id, now + predictor_latency
-            ),
-        )
-        assert outcome.snooped and outcome.snoop_done is not None
-        self.stats.write_snoops += 1
-        self.energy.charge_snoop()
-
-        if supplier_here and txn.needs_data and txn.data_arrival is None:
-            found = node.supplier_line(address)
-            assert found is not None
-            _, line = found
-            txn.supplied_version = line.version
-            txn.supplier_cmp = node_id
-            txn.data_arrival = outcome.snoop_done + self.torus.transfer_latency(
-                node_id, txn.requester_cmp
-            )
-            self.stats.writes_supplied_by_cache += 1
-
-        snoop_done = outcome.snoop_done
-        self.engine.call_at(
-            snoop_done, lambda: self.nodes[node_id].invalidate_all(address)
-        )
-
-        self._forward_request(txn, node_id, outcome.request_departure)
-
-    # ------------------------------------------------------------------
-    # Walk completion
-
-    def _walk_returned(self, txn: Transaction, now: int) -> None:
-        """The request form is back at the requester; wait for the
-        trailing reply if the message is split.  ``now`` is the
-        request's arrival time (virtual when hops were batched)."""
-        msg = txn.msg
-        assert msg is not None
-        if msg.mode is MessageMode.SPLIT:
-            assert msg.reply_time is not None
-            info_time = msg.reply_time + self.config.ring.hop_latency
-            msg.hops_reply += 1
-            self._charge_crossing(txn)
-        else:
-            info_time = now
-        self.engine.call_at(
-            max(info_time, now), lambda: self._walk_done(txn)
-        )
-
-    def _walk_done(self, txn: Transaction) -> None:
-        now = self.engine.now
-        msg = txn.msg
-        assert msg is not None
-        if msg.squashed:
-            self._retire(txn)
-            self.stats.squashes += 1
-            self.engine.call_after(
-                self.config.squash_backoff, lambda: self._retry(txn)
-            )
-            return
-        if txn.kind is SnoopKind.WRITE:
-            self._write_done(txn, now)
-        else:
-            self._read_done(txn, now)
-
-    def _read_done(self, txn: Transaction, info_time: int) -> None:
-        msg = txn.msg
-        assert msg is not None
-        if msg.satisfied or msg.satisfied_reply:
-            # Data delivery is already scheduled; retire once both the
-            # reply has returned and the data has arrived.
-            assert txn.data_arrival is not None
-            retire_at = max(info_time, txn.data_arrival)
-            if retire_at > self.engine.now:
-                self.engine.call_at(retire_at, lambda: self._retire(txn))
-            else:
-                self._retire(txn)
-            return
-
-        # Negative response: fetch from the home memory.
-        address = txn.address
-        latency = self.memory.read_latency(
-            txn.requester_cmp, address, txn.prefetch_initiated
-        )
-        if (
-            txn.prefetch_initiated
-            and self.memory.home_of(address) != txn.requester_cmp
-        ):
-            self.stats.reads_prefetched += 1
-        self.stats.reads_supplied_by_memory += 1
-
-        if address in self._downgraded:
-            # The Exact predictor downgraded this line; had it not, a
-            # cache could have supplied it.  Charge the re-read.
-            if self._any_holder(address):
-                self.energy.charge_downgrade_reread()
-                self.stats.downgrade_rereads += 1
-            self._downgraded.discard(address)
-
-        data_arrival = info_time + latency
-        txn.data_arrival = data_arrival
-        self.engine.call_at(
-            data_arrival, lambda: self._deliver_memory_data(txn)
-        )
-
-    def _deliver_memory_data(self, txn: Transaction) -> None:
-        address = txn.address
-        # Reconcile with the global state *now*: a concurrent read from
-        # another CMP may have installed a supplier after our walk
-        # passed it (both walks found no supplier and both went to
-        # memory).  In that case we take the shared role, keeping the
-        # single-supplier invariant; the racing supplier can only be
-        # clean (a write would have squashed this read), so memory's
-        # data is current.
-        supplier = self._find_global_supplier(address)
-        if supplier is not None:
-            node_id, core_id = supplier
-            cache = self.nodes[node_id].caches[core_id]
-            line = cache.lookup(address, touch=False)
-            assert line is not None
-            cache.set_state(
-                address, supplier_next_state_on_read(line.state)
-            )
-            version = line.version
-            state = requester_state_from_cache()
-        else:
-            version = self.memory.read(address)
-            state = requester_state_from_memory(self._any_holder(address))
-        self._fill(txn.core, address, state, version)
-        self._check_version(address, version, txn=txn)
-        self._record_read_latency(txn)
-        self._complete_access(txn.core, self.engine.now)
-        self._retire(txn)
-
-    def _write_done(self, txn: Transaction, info_time: int) -> None:
-        address = txn.address
-        if txn.needs_data:
-            if txn.data_arrival is not None:
-                complete_at = max(info_time, txn.data_arrival)
-            else:
-                latency = self.memory.read_latency(
-                    txn.requester_cmp, address, txn.prefetch_initiated
-                )
-                self.memory.read(address)
-                self.stats.writes_supplied_by_memory += 1
-                complete_at = info_time + latency
-        else:
-            complete_at = info_time
-
-        if complete_at > self.engine.now:
-            self.engine.call_at(
-                complete_at, lambda: self._commit_write(txn, complete_at)
-            )
-        else:
-            self._commit_write(txn, complete_at)
-
-    def _commit_write(self, txn: Transaction, at_time: int) -> None:
-        core = txn.core
-        address = txn.address
-        node = self.nodes[core.cmp_id]
-        # The version is allocated here, at commit, so that it is
-        # consistent with the global serialization order of writes
-        # (an owner's silent write that slipped in while this
-        # transaction was in flight must order before it).
-        self._write_counter += 1
-        txn.write_version = self._write_counter
-        # Local copies (including the writer's own old copy) are
-        # invalidated on the CMP bus, then the writer installs the
-        # dirty line.
-        node.invalidate_all(address)
-        self._fill(core, address, writer_state(), txn.write_version)
-        self._note_write_completed(address, txn.write_version, at_time)
-        self._complete_access(core, at_time)
-        self._retire(txn)
-
-    # ------------------------------------------------------------------
-    # Retirement, retries, MSHR waiters
-
-    def _retire(self, txn: Transaction) -> None:
-        if txn.retired:
-            return
-        txn.retired = True
-        active_list = self._active.get(txn.address)
-        if active_list and txn in active_list:
-            active_list.remove(txn)
-            if not active_list:
-                del self._active[txn.address]
-        if self.config.check_invariants:
-            self._check_line_invariants(txn.address)
-        # The walk is over and nothing reads the message after
-        # retirement: return it to the pool for the next transaction.
-        msg = txn.msg
-        if msg is not None:
-            txn.msg = None
-            self._msg_pool.append(msg)
-        waiters, txn.waiters = txn.waiters, []
-        for waiter in waiters:
-            self.engine.call_after(0, self._make_reissue_handler(waiter))
-
-    def _make_reissue_handler(self, core: Core) -> Callable[[], None]:
-        def reissue() -> None:
-            access = core.current_access
-            if access.is_write:
-                self._handle_write_reissue(core, access)
-            else:
-                self._handle_read_reissue(core, access)
-
-        return reissue
-
-    def _handle_read_reissue(self, core: Core, access: Access) -> None:
-        # Identical to _handle_read but without re-counting the access.
-        self.stats.reads -= 1
-        self._handle_read(core, access)
-
-    def _handle_write_reissue(self, core: Core, access: Access) -> None:
-        self.stats.writes -= 1
-        self._handle_write(core, access)
-
-    def _retry(self, txn: Transaction) -> None:
-        self.stats.retries += 1
-        core = txn.core
-        access = core.current_access
-        if access.is_write:
-            self._handle_write_reissue(core, access)
-        else:
-            self._handle_read_reissue(core, access)
-
-    # ------------------------------------------------------------------
-    # Cache mutation helpers
-
-    def _fill(
-        self, core: Core, address: int, state: LineState, version: int
-    ) -> None:
-        cache = self.nodes[core.cmp_id].caches[core.local_id]
-        victim = cache.fill(address, state, version)
-        if victim is not None:
-            self._handle_eviction(victim)
-
-    def _handle_eviction(self, victim: EvictionRecord) -> None:
-        self.stats.dirty_evictions += victim.dirty
-        if victim.dirty:
-            self.memory.writeback(victim.address, victim.version)
-            self.stats.writebacks += 1
-
-    def _make_downgrade_handler(self, cmp_id: int) -> Callable[[int], None]:
-        def downgrade(address: int) -> None:
-            node = self.nodes[cmp_id]
-            core = node.find_downgrade_victim(address)
-            if core is None:
-                return
-            cache = node.caches[core]
-            line = cache.lookup(address, touch=False)
-            assert line is not None
-            new_state, needs_writeback = downgrade_state(line.state)
-            if needs_writeback:
-                self.memory.writeback(address, line.version)
-                self.stats.downgrade_writebacks += 1
-                self.energy.charge_downgrade_writeback()
-            cache.set_state(address, new_state)
-            self.stats.downgrades += 1
-            self.energy.charge_downgrade()
-            self._downgraded.add(address)
-
-        return downgrade
-
-    # ------------------------------------------------------------------
-    # Bookkeeping helpers
-
-    def _any_holder(self, address: int) -> bool:
-        return self._holder_count.get(address, 0) > 0
-
-    def _find_global_supplier(
-        self, address: int
-    ) -> Optional[Tuple[int, int]]:
-        """(cmp, core) of the machine-wide supplier copy, if any."""
-        return self._supplier_of.get(address)
-
-    def _note_write_completed(
-        self, address: int, version: int, at_time: int
-    ) -> None:
-        if version > self._last_completed_write.get(address, 0):
-            self._last_completed_write[address] = version
-
-    def _check_version(
-        self,
-        address: int,
-        obtained: int,
-        txn: Optional[Transaction] = None,
-        at_issue: bool = False,
-    ) -> None:
-        if not self.config.track_versions:
-            return
-        if txn is not None:
-            expected = txn.expected_version
-        else:
-            expected = self._last_completed_write.get(address, 0)
-        if obtained < expected:
-            self.stats.version_violations += 1
-
-    def _record_read_latency(self, txn: Transaction) -> None:
-        assert txn.data_arrival is not None
-        latency = txn.data_arrival - txn.issue_time
-        self.stats.read_miss_latency_sum += latency
-        self.stats.read_miss_count += 1
-        self.stats.read_miss_histogram.record(latency)
-
-    def _check_line_invariants(self, address: int) -> None:
-        snapshot: Dict[Tuple[int, int], LineState] = {}
-        for node in self.nodes:
-            for core_idx, cache in enumerate(node.caches):
-                state = cache.state_of(address)
-                if state != LineState.I:
-                    snapshot[(node.cmp_id, core_idx)] = state
-        ProtocolTables.check_line(snapshot, address)
+        """Install fresh measurement objects on the facade and every
+        subsystem (the warmup-window reset; see WarmupController)."""
+        self.stats = stats
+        self.energy = energy
+        self.txns.on_warmup_end(stats)
+        self.walker.on_warmup_end(stats, energy)
+        self.datapath.on_warmup_end(stats, energy)
 
     def _finalize_energy(self) -> None:
         for node in self.nodes:
@@ -1468,3 +337,41 @@ class RingMultiprocessor:
             self.energy.breakdown.predictor_updates += (
                 presence.updates * self.config.energy.superset_update
             )
+
+    # ==================================================================
+    # Introspection helpers (shared indexes; also used by tests)
+
+    def _cmp_has_supplier(self, cmp_id: int, address: int) -> bool:
+        entry = self._supplier_of.get(address)
+        return entry is not None and entry[0] == cmp_id
+
+    def _any_holder(self, address: int) -> bool:
+        return self._holder_count.get(address, 0) > 0
+
+    def _find_global_supplier(
+        self, address: int
+    ) -> Optional[Tuple[int, int]]:
+        """(cmp, core) of the machine-wide supplier copy, if any."""
+        return self._supplier_of.get(address)
+
+    @property
+    def _last_completed_write(self) -> Dict[int, int]:
+        return self.txns.last_completed_write
+
+    def _check_version(
+        self,
+        address: int,
+        obtained: int,
+        txn: Optional[Transaction] = None,
+        at_issue: bool = False,
+    ) -> None:
+        self.txns.check_version(address, obtained, txn=txn, at_issue=at_issue)
+
+    def _check_line_invariants(self, address: int) -> None:
+        snapshot: Dict[Tuple[int, int], LineState] = {}
+        for node in self.nodes:
+            for core_idx, cache in enumerate(node.caches):
+                state = cache.state_of(address)
+                if state != LineState.I:
+                    snapshot[(node.cmp_id, core_idx)] = state
+        ProtocolTables.check_line(snapshot, address)

@@ -1,0 +1,460 @@
+"""Ring-walk subsystem: per-hop processing of snoop messages.
+
+Interface contract
+==================
+
+:class:`RingWalker` drives a :class:`~repro.sim.transactions.Transaction`'s
+message around its embedded ring, applying the exact Table 2
+primitive semantics at every node:
+
+* **Inbound** (called by the
+  :class:`~repro.sim.transactions.TransactionManager` at issue time):
+  ``make_step_handler`` binds the transaction's single reusable walk
+  callback; ``forward_request`` launches (and later continues) the
+  walk from a node at a departure time.
+* **Inbound** (called by the event engine): the per-transaction step
+  callback, which lands in ``walk_from``.
+* **Outbound**: supplier hits hand data scheduling to the
+  :class:`~repro.sim.datapath.DataPathModel` (``supply_read`` /
+  ``capture_write_supply``); a completed circuit hands the transaction
+  to the data path (``read_done`` / ``write_done``) or, when squashed,
+  back to the transaction manager for its back-off retry.
+
+State owned here: hop batching (enablement, the ``hops_batched``
+counter, and the in-warmup suspension mirror), the optional
+link/snoop-port contention reservations, and the hot-path constants
+hoisted from the algorithm and machine config.
+
+Performance contract: the walk schedules no per-hop closures (the
+transaction carries one prebound callback) and batches pass-through
+hops into a single engine event whenever that is behaviourally
+invisible - both invariants are guarded by
+``tests/golden/test_golden_equivalence.py`` and ``flexsnoop bench``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+
+from repro.coherence.protocol import CoherenceError
+from repro.core.predictors import PerfectPredictor
+from repro.core.primitives import Primitive, apply_primitive
+from repro.ring.messages import MessageMode, SnoopKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.config import MachineConfig
+    from repro.core.algorithms import SnoopingAlgorithm
+    from repro.core.presence import PresencePredictor
+    from repro.energy.model import EnergyModel
+    from repro.metrics.stats import RunStats
+    from repro.ring.node import CMPNode
+    from repro.ring.topology import RingTopology
+    from repro.sim.datapath import DataPathModel
+    from repro.sim.engine import EventEngine
+    from repro.sim.memory import MainMemory
+    from repro.sim.transactions import Transaction, TransactionManager
+    from repro.sim.warmup import WarmupController
+
+
+class RingWalker:
+    """Per-hop walk, hop batching and Table 2 primitive application."""
+
+    def __init__(
+        self,
+        engine: "EventEngine",
+        config: "MachineConfig",
+        ring: "RingTopology",
+        memory: "MainMemory",
+        stats: "RunStats",
+        energy: "EnergyModel",
+        nodes: List["CMPNode"],
+        algorithm: "SnoopingAlgorithm",
+        supplier_of: Dict[int, Tuple[int, int]],
+        presence: List["PresencePredictor"],
+        collect_perfect: bool,
+    ) -> None:
+        self.engine = engine
+        self.config = config
+        self.ring = ring
+        self.memory = memory
+        self.stats = stats
+        self.energy = energy
+        self.nodes = nodes
+        self.algorithm = algorithm
+        self.presence = presence
+        self.collect_perfect = collect_perfect
+        self._supplier_of = supplier_of
+        # Hot-path constants hoisted out of the per-event handlers.
+        self._uses_predictor = algorithm.uses_predictor()
+        self._choose = algorithm.choose
+        self._prefetch_on_snoop = config.memory.prefetch_on_snoop
+        self._home_of = memory.home_of
+        # Hop batching: walk consecutive ring hops of one transaction
+        # inside a single engine event (at "virtual" times ahead of the
+        # engine clock) instead of scheduling one event per hop.  Only
+        # safe when nothing order-sensitive is shared between in-flight
+        # messages at sub-hop granularity, so it auto-disables under
+        # the contention models and the presence-filter extension; it
+        # is also suspended while warmup statistics can still be reset
+        # (see walk_from).
+        self._hop_batching = (
+            config.ring.hop_batching
+            and config.ring.link_occupancy == 0
+            and not config.ring.serialize_snoop_port
+            and not config.filter_write_snoops
+        )
+        self.hops_batched = 0
+        # Optional contention modeling: next-free times of each ring
+        # link (keyed by (ring index, source node)) and of each CMP's
+        # snoop port.
+        self._link_free: Dict[Tuple[int, int], int] = {}
+        self._snoop_port_free: List[int] = [0] * config.num_cmps
+        self._in_warmup = False
+
+    def wire(
+        self,
+        txns: "TransactionManager",
+        datapath: "DataPathModel",
+        warmup: "WarmupController",
+    ) -> None:
+        """Bind the collaborating subsystems (called once by the
+        facade, before any event fires)."""
+        self._txns = txns
+        self._datapath = datapath
+        self._in_warmup = warmup.in_warmup
+
+    def on_warmup_end(self, stats: "RunStats", energy: "EnergyModel") -> None:
+        """Warmup reset notification: measurement restarts on the new
+        stats/energy objects and hop batching un-suspends."""
+        self.stats = stats
+        self.energy = energy
+        self._in_warmup = False
+
+    # ==================================================================
+    # Walk driving
+
+    def make_step_handler(self, txn: "Transaction") -> Callable[[], None]:
+        """One walk callback per transaction, reused for every
+        scheduled hop (``txn.next_node`` carries the target node)."""
+
+        def step() -> None:
+            self.walk_from(txn, txn.next_node, self.engine.now)
+
+        return step
+
+    def _cross_link(
+        self, txn: "Transaction", from_node: int, departure: int
+    ) -> int:
+        """Reserve the ring link for one message crossing; returns the
+        actual departure time (== requested time unless link
+        contention modeling is on and the link is busy)."""
+        occupancy = self.config.ring.link_occupancy
+        if not occupancy:
+            return departure
+        key = (self.ring.ring_of(txn.address), from_node)
+        actual = max(departure, self._link_free.get(key, 0))
+        self._link_free[key] = actual + occupancy
+        return actual
+
+    def _reserve_snoop_port(self, node_id: int, ready: int) -> int:
+        """Queueing delay before a snoop can start at ``node_id``."""
+        if not self.config.ring.serialize_snoop_port:
+            return 0
+        start = max(ready, self._snoop_port_free[node_id])
+        self._snoop_port_free[node_id] = (
+            start + self.config.ring.snoop_time
+        )
+        return start - ready
+
+    def forward_request(
+        self, txn: "Transaction", from_node: int, departure: int
+    ) -> None:
+        """Send the request/combined form across one ring segment,
+        leaving ``from_node`` at ``departure``, then walk onward."""
+        msg = txn.msg
+        assert msg is not None
+        msg.hops_request += 1
+        self._charge_crossing(txn)
+        departure = self._cross_link(txn, from_node, departure)
+        arrival = departure + self.config.ring.hop_latency
+        to_node = self.ring.next_node(from_node)
+        if (
+            self._hop_batching
+            and not self._in_warmup
+            and (msg.squashed or msg.satisfied)
+            and to_node != txn.requester_cmp
+        ):
+            # Batched: the message is circulating (squashed, or a
+            # satisfied combined R/R) so the next node is guaranteed
+            # not to snoop or touch any shared state - its processing
+            # runs inline at the "virtual" arrival time instead of
+            # through a scheduled event.  Every timing value computed
+            # downstream is identical to the event-per-hop execution;
+            # only the engine's event count shrinks.  Nodes that might
+            # snoop and the requester keep their own events so all
+            # coherence-state mutations still execute in engine order.
+            # Suspended during warmup so counters land on the correct
+            # side of the warmup statistics reset (the reset fires
+            # from a completion event that may interleave with hops).
+            self.hops_batched += 1
+            self.walk_from(txn, to_node, arrival)
+            return
+        txn.next_node = to_node
+        self.engine.call_at(arrival, txn.step_cb)
+
+    def _charge_crossing(self, txn: "Transaction") -> None:
+        self.energy.charge_ring_crossing()
+        if txn.kind is SnoopKind.READ:
+            self.stats.read_ring_crossings += 1
+        else:
+            self.stats.write_ring_crossings += 1
+
+    def _advance_trailing_reply(
+        self, txn: "Transaction", node_id: int
+    ) -> None:
+        """Move the trailing reply across the segment into ``node_id``
+        (the node currently processing the request).
+
+        With link-contention modeling on, the reply reserves the same
+        link the request used; the reservation is made when the
+        request is processed, a one-hop-early approximation that keeps
+        the reply's timing analytic.
+        """
+        msg = txn.msg
+        assert msg is not None
+        if msg.mode is MessageMode.SPLIT:
+            assert msg.reply_time is not None
+            upstream = (node_id - 1) % self.config.num_cmps
+            departure = self._cross_link(txn, upstream, msg.reply_time)
+            msg.reply_time = departure + self.config.ring.hop_latency
+            msg.hops_reply += 1
+            self._charge_crossing(txn)
+
+    def walk_from(
+        self, txn: "Transaction", node_id: int, now: int
+    ) -> None:
+        """Process the request's arrival at ``node_id`` at time
+        ``now``.
+
+        ``now`` equals ``engine.now`` when entered from a scheduled
+        walk event; with hop batching it runs ahead of the engine
+        clock (the hop's computed arrival time), which is transparent
+        to everything downstream because all timing is derived from
+        ``now`` rather than read off the engine.
+        """
+        msg = txn.msg
+        assert msg is not None
+        if node_id == txn.requester_cmp:
+            # The final reply crossing is accounted by _walk_returned.
+            self._walk_returned(txn, now)
+            return
+        self._advance_trailing_reply(txn, node_id)
+
+        if msg.squashed or msg.satisfied:
+            # Squashed messages circulate for serialization only; a
+            # satisfied combined R/R is a reply and induces no snoops.
+            self.forward_request(txn, node_id, now)
+            return
+
+        if txn.kind is SnoopKind.WRITE:
+            self._write_step(txn, node_id, now)
+            return
+
+        self._read_step(txn, node_id, now)
+
+    # ------------------------------------------------------------------
+    # Read walk
+
+    def _read_step(
+        self, txn: "Transaction", node_id: int, now: int
+    ) -> None:
+        msg = txn.msg
+        assert msg is not None
+        node = self.nodes[node_id]
+        address = txn.address
+        entry = self._supplier_of.get(address)
+        supplier_here = entry is not None and entry[0] == node_id
+
+        if (
+            self.collect_perfect
+            and not msg.satisfied_reply
+            and not msg.satisfied
+        ):
+            # The paper's "perfect predictor" is checked at every node
+            # until the request finds the supplier.
+            self.stats.perfect_accuracy.record(supplier_here, supplier_here)
+
+        if self._uses_predictor:
+            predictor = node.predictor
+            prediction = predictor.lookup(address)
+            predictor_latency = predictor.latency
+            if not isinstance(predictor, PerfectPredictor):
+                self.stats.accuracy.record(prediction, supplier_here)
+        else:
+            prediction = True
+            predictor_latency = 0
+
+        primitive = self._choose(prediction)
+        if primitive is Primitive.FORWARD:
+            if supplier_here:
+                raise CoherenceError(
+                    "algorithm %s filtered the snoop at the supplier node "
+                    "(false negative on line %#x at CMP %d)"
+                    % (self.algorithm.name, address, node_id)
+                )
+            # Filtered hop - apply_primitive's FORWARD branch inlined:
+            # both physical forms pass through unchanged after the
+            # predictor access, so no outcome object is needed on the
+            # read walk's most common step.
+            if (
+                self._prefetch_on_snoop
+                and node_id == self._home_of(address)
+                and not txn.prefetch_initiated
+                and not msg.satisfied_reply
+            ):
+                txn.prefetch_initiated = True
+                self.memory.note_prefetch()
+            self.forward_request(txn, node_id, now + predictor_latency)
+            return
+
+        snoop_queue_delay = self._reserve_snoop_port(
+            node_id, now + predictor_latency
+        )
+        outcome = apply_primitive(
+            msg,
+            primitive,
+            now=now,
+            snoop_time=self.config.ring.snoop_time,
+            predictor_latency=predictor_latency,
+            node_is_supplier=supplier_here,
+            node=node_id,
+            snoop_queue_delay=snoop_queue_delay,
+        )
+
+        if outcome.snooped:
+            self.stats.read_snoops += 1
+            self.energy.charge_snoop()
+            if (
+                not supplier_here
+                and prediction
+                and self.algorithm.uses_predictor()
+            ):
+                node.predictor.observe_false_positive(address)
+            if outcome.supplied:
+                assert outcome.snoop_done is not None
+                self._datapath.supply_read(txn, node_id, outcome.snoop_done)
+
+        if self.memory.config.prefetch_on_snoop and node_id == (
+            self.memory.home_of(address)
+        ):
+            if not txn.prefetch_initiated and not msg.satisfied_reply:
+                txn.prefetch_initiated = True
+                self.memory.note_prefetch()
+
+        self.forward_request(txn, node_id, outcome.request_departure)
+
+    # ------------------------------------------------------------------
+    # Write walk
+
+    def _write_step(
+        self, txn: "Transaction", node_id: int, now: int
+    ) -> None:
+        msg = txn.msg
+        assert msg is not None
+        node = self.nodes[node_id]
+        address = txn.address
+        entry = self._supplier_of.get(address)
+        supplier_here = entry is not None and entry[0] == node_id
+
+        # Writes snoop (and invalidate) at every node; decoupling only
+        # changes whether invalidations proceed in parallel.  With the
+        # presence-predictor extension, a node that provably caches no
+        # copy skips the snoop entirely (the filter has no false
+        # negatives, so this never misses a copy).
+        predictor_latency = 0
+        if self.presence:
+            presence = self.presence[node_id]
+            predictor_latency = presence.access_latency
+            if not presence.may_be_present(address):
+                outcome = apply_primitive(
+                    msg,
+                    Primitive.FORWARD,
+                    now=now,
+                    snoop_time=self.config.ring.snoop_time,
+                    predictor_latency=predictor_latency,
+                    node_is_supplier=False,
+                    node=node_id,
+                )
+                self.forward_request(
+                    txn, node_id, outcome.request_departure
+                )
+                return
+        primitive = (
+            Primitive.FORWARD_THEN_SNOOP
+            if self.algorithm.decouple_writes
+            else Primitive.SNOOP_THEN_FORWARD
+        )
+        outcome = apply_primitive(
+            msg,
+            primitive,
+            now=now,
+            snoop_time=self.config.ring.snoop_time,
+            predictor_latency=predictor_latency,
+            node_is_supplier=False,  # writes never mark the message satisfied
+            node=node_id,
+            snoop_queue_delay=self._reserve_snoop_port(
+                node_id, now + predictor_latency
+            ),
+        )
+        assert outcome.snooped and outcome.snoop_done is not None
+        self.stats.write_snoops += 1
+        self.energy.charge_snoop()
+
+        if supplier_here and txn.needs_data and txn.data_arrival is None:
+            self._datapath.capture_write_supply(
+                txn, node_id, outcome.snoop_done
+            )
+
+        snoop_done = outcome.snoop_done
+        self.engine.call_at(
+            snoop_done, lambda: self.nodes[node_id].invalidate_all(address)
+        )
+
+        self.forward_request(txn, node_id, outcome.request_departure)
+
+    # ------------------------------------------------------------------
+    # Walk completion
+
+    def _walk_returned(self, txn: "Transaction", now: int) -> None:
+        """The request form is back at the requester; wait for the
+        trailing reply if the message is split.  ``now`` is the
+        request's arrival time (virtual when hops were batched)."""
+        msg = txn.msg
+        assert msg is not None
+        if msg.mode is MessageMode.SPLIT:
+            assert msg.reply_time is not None
+            info_time = msg.reply_time + self.config.ring.hop_latency
+            msg.hops_reply += 1
+            self._charge_crossing(txn)
+        else:
+            info_time = now
+        self.engine.call_at(
+            max(info_time, now), lambda: self._walk_done(txn)
+        )
+
+    def _walk_done(self, txn: "Transaction") -> None:
+        now = self.engine.now
+        msg = txn.msg
+        assert msg is not None
+        if msg.squashed:
+            txns = self._txns
+            txns.retire(txn)
+            self.stats.squashes += 1
+            self.engine.call_after(
+                self.config.squash_backoff, lambda: txns.retry(txn)
+            )
+            return
+        if txn.kind is SnoopKind.WRITE:
+            self._datapath.write_done(txn, now)
+        else:
+            self._datapath.read_done(txn, now)

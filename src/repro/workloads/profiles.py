@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.registry import REGISTRY
 from repro.workloads.synthetic import SharingProfile, generate_workload
 from repro.workloads.trace import WorkloadTrace
 
@@ -120,11 +121,18 @@ def specweb_profile(
     )
 
 
-#: Profile factories by workload name.
+#: Profile factories by workload name (kept for direct access; name
+#: resolution goes through :data:`repro.registry.REGISTRY`).
 WORKLOAD_PROFILES: Dict[str, Callable[..., SharingProfile]] = {
     "splash2": splash2_profile,
     "specjbb": specjbb_profile,
     "specweb": specweb_profile,
+}
+
+_WORKLOAD_ALIASES: Dict[str, tuple] = {
+    "splash2": ("splash",),
+    "specjbb": ("jbb",),
+    "specweb": ("web",),
 }
 
 
@@ -135,22 +143,16 @@ def resolve_profile(
 
     Cheap - no trace is generated - so callers that only need profile
     metadata (e.g. ``cores_per_cmp`` for a cache key) can use this
-    without paying for trace synthesis.
+    without paying for trace synthesis.  Unknown names raise
+    :class:`repro.registry.UnknownComponentError` (a ``ValueError``
+    listing the valid choices).
     """
-    key = name.lower().replace("-", "").replace("_", "")
-    aliases = {"splash": "splash2", "jbb": "specjbb", "web": "specweb"}
-    key = aliases.get(key, key)
-    if key not in WORKLOAD_PROFILES:
-        raise ValueError(
-            "unknown workload %r; known: %s"
-            % (name, ", ".join(sorted(WORKLOAD_PROFILES)))
-        )
     kwargs = {}
     if accesses_per_core:
         kwargs["accesses_per_core"] = accesses_per_core
     if seed:
         kwargs["seed"] = seed
-    return WORKLOAD_PROFILES[key](**kwargs)
+    return REGISTRY.create("workload", name, **kwargs)
 
 
 def build_workload(
@@ -166,3 +168,14 @@ def build_workload(
     return generate_workload(
         resolve_profile(name, accesses_per_core, seed)
     )
+
+
+for _name, _factory in WORKLOAD_PROFILES.items():
+    REGISTRY.register(
+        "workload",
+        _name,
+        _factory,
+        aliases=_WORKLOAD_ALIASES.get(_name, ()),
+        metadata={"display_name": _factory().name},
+    )
+del _name, _factory

@@ -12,6 +12,7 @@ from repro.coherence.states import LineState
 from repro.core.algorithms import build_algorithm
 from repro.sim import system as system_module
 from repro.sim.system import RingMultiprocessor
+from repro.sim.warmup import WarmupController
 from repro.workloads.synthetic import SharingProfile, generate_workload
 
 
@@ -264,13 +265,13 @@ def test_prewarm_memo_matches_full_walk(algorithm, monkeypatch):
     workload = generate_workload(overflow_profile())
 
     restored = []
-    original = RingMultiprocessor._restore_prewarm
+    original = WarmupController._restore_prewarm
 
     def spy(self, memo):
         restored.append(memo)
         return original(self, memo)
 
-    monkeypatch.setattr(RingMultiprocessor, "_restore_prewarm", spy)
+    monkeypatch.setattr(WarmupController, "_restore_prewarm", spy)
 
     first = build_for(algorithm, workload)  # records the memo
     assert not restored

@@ -97,3 +97,89 @@ def test_cli_figure_cache_lifecycle(tmp_path, monkeypatch, capsys):
     assert main(args + ["--no-cache"]) == 0
     assert capsys.readouterr().out == cold
     assert ResultCache().entry_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Failure paths: unknown component names exit 2 with the registry's
+# uniform error on stderr (same message as the library paths).
+
+
+@pytest.mark.parametrize(
+    "argv, kind, known_sample",
+    [
+        (
+            ["run", "--algorithm", "nonexistent", "--scale", "10"],
+            "algorithm",
+            "lazy",
+        ),
+        (
+            ["run", "--workload", "nonexistent", "--scale", "10"],
+            "workload",
+            "splash2",
+        ),
+        (
+            ["run", "--predictor", "Sub4k", "--scale", "10"],
+            "predictor",
+            "Sub2k",
+        ),
+        (
+            ["trace", "--workload", "nonexistent", "--out", "/dev/null"],
+            "workload",
+            "specjbb",
+        ),
+    ],
+)
+def test_cli_unknown_component_exits_2(argv, kind, known_sample, capsys):
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert "unknown %s" % kind in err
+    assert "known:" in err and known_sample in err
+
+
+def test_cli_bench_check_missing_snapshot_skips(tmp_path, capsys):
+    code = main(
+        [
+            "bench",
+            "--scale", "20",
+            "--trials", "1",
+            "--check", str(tmp_path / "absent.json"),
+        ]
+    )
+    assert code == 0
+    assert "skipping regression check" in capsys.readouterr().out
+
+
+def test_cli_bench_check_corrupt_snapshot_fails(tmp_path, capsys):
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json")
+    code = main(
+        [
+            "bench",
+            "--scale", "20",
+            "--trials", "1",
+            "--check", str(corrupt),
+        ]
+    )
+    assert code == 1
+    assert "corrupt baseline snapshot" in capsys.readouterr().err
+
+    # Valid JSON with the wrong shape is also a corrupt baseline.
+    corrupt.write_text('{"pr": 99}')
+    code = main(
+        [
+            "bench",
+            "--scale", "20",
+            "--trials", "1",
+            "--check", str(corrupt),
+        ]
+    )
+    assert code == 1
+    assert "corrupt baseline snapshot" in capsys.readouterr().err
+
+
+def test_cli_cache_clear_empty_store(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "empty-cache"))
+    assert main(["cache", "clear"]) == 0
+    out = capsys.readouterr().out
+    assert "removed 0" in out
+    assert ResultCache().entry_count() == 0

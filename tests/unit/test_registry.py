@@ -1,0 +1,264 @@
+"""Unit tests for the unified component registry.
+
+Covers the deduplicated unknown-name errors (every resolution path
+raises the same registry error listing the valid choices), alias
+normalization, and the ``entry_points`` plugin seam.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import NAMED_PREDICTORS, default_machine
+from repro.core.algorithms import ALGORITHMS, Lazy, build_algorithm
+from repro.registry import (
+    ComponentRegistry,
+    REGISTRY,
+    UnknownComponentError,
+    _iter_entry_points,
+)
+from repro.workloads.profiles import WORKLOAD_PROFILES, resolve_profile
+
+
+# ----------------------------------------------------------------------
+# Resolution of builtins
+
+
+def test_all_builtin_algorithms_registered():
+    assert REGISTRY.names("algorithm") == sorted(ALGORITHMS)
+
+
+def test_all_builtin_predictors_registered():
+    assert REGISTRY.names("predictor") == sorted(NAMED_PREDICTORS)
+
+
+def test_all_builtin_workloads_registered():
+    assert REGISTRY.names("workload") == sorted(WORKLOAD_PROFILES)
+
+
+@pytest.mark.parametrize(
+    "alias, canonical",
+    [
+        ("SupersetCon", "superset_con"),
+        ("supcon", "superset_con"),
+        ("supagg", "superset_agg"),
+        ("LAZY", "lazy"),
+    ],
+)
+def test_algorithm_aliases(alias, canonical):
+    assert REGISTRY.canonical("algorithm", alias) == canonical
+    assert build_algorithm(alias).name == canonical
+
+
+@pytest.mark.parametrize(
+    "alias, canonical",
+    [
+        ("SPLASH-2", "splash2"),
+        ("splash", "splash2"),
+        ("jbb", "specjbb"),
+        ("spec_web", "specweb"),
+    ],
+)
+def test_workload_aliases(alias, canonical):
+    assert REGISTRY.canonical("workload", alias) == canonical
+
+
+def test_predictor_names_are_exact():
+    assert REGISTRY.create("predictor", "Sub2k").kind == "subset"
+    with pytest.raises(UnknownComponentError):
+        REGISTRY.get("predictor", "sub2k")
+
+
+def test_algorithm_metadata_records_paper_defaults():
+    assert (
+        REGISTRY.metadata("algorithm", "subset")["default_predictor"]
+        == "Sub2k"
+    )
+    assert (
+        REGISTRY.metadata("algorithm", "exact")["default_predictor"]
+        == "Exa2k"
+    )
+    # Forward-on-negative algorithms must be restricted to predictor
+    # kinds without false negatives.
+    kinds = REGISTRY.metadata("algorithm", "superset_con")[
+        "compatible_predictor_kinds"
+    ]
+    assert set(kinds) == {"superset", "exact", "perfect"}
+    assert "none" in REGISTRY.metadata("algorithm", "lazy")[
+        "compatible_predictor_kinds"
+    ]
+
+
+# ----------------------------------------------------------------------
+# Deduplicated unknown-name errors: build_algorithm, default_machine
+# and resolve_profile all surface the registry's message, which lists
+# the valid choices.
+
+
+def _assert_lists_choices(excinfo, choices):
+    message = str(excinfo.value)
+    assert "known:" in message
+    for choice in choices:
+        assert choice in message
+
+
+def test_build_algorithm_unknown_lists_choices():
+    with pytest.raises(UnknownComponentError) as excinfo:
+        build_algorithm("nonexistent")
+    _assert_lists_choices(excinfo, ALGORITHMS)
+    assert "unknown algorithm 'nonexistent'" in str(excinfo.value)
+
+
+def test_default_machine_unknown_algorithm_lists_choices():
+    with pytest.raises(UnknownComponentError) as excinfo:
+        default_machine(algorithm="nonexistent")
+    _assert_lists_choices(excinfo, ALGORITHMS)
+
+
+def test_default_machine_unknown_predictor_lists_choices():
+    with pytest.raises(UnknownComponentError) as excinfo:
+        default_machine(predictor="Sub4k")
+    _assert_lists_choices(excinfo, NAMED_PREDICTORS)
+    assert "unknown predictor 'Sub4k'" in str(excinfo.value)
+
+
+def test_resolve_profile_unknown_lists_choices():
+    with pytest.raises(UnknownComponentError) as excinfo:
+        resolve_profile("nonexistent")
+    _assert_lists_choices(excinfo, WORKLOAD_PROFILES)
+
+
+def test_unknown_component_error_is_value_error():
+    # Pre-registry callers caught ValueError; that contract holds.
+    with pytest.raises(ValueError):
+        build_algorithm("nonexistent")
+
+
+def test_error_carries_structured_fields():
+    with pytest.raises(UnknownComponentError) as excinfo:
+        REGISTRY.get("algorithm", "bogus")
+    error = excinfo.value
+    assert error.kind == "algorithm"
+    assert error.requested == "bogus"
+    assert "lazy" in error.known
+
+
+# ----------------------------------------------------------------------
+# Registration mechanics (on a private registry instance)
+
+
+def test_register_and_create():
+    registry = ComponentRegistry()
+    registry.register("algorithm", "MyAlgo", Lazy, aliases=("ma",))
+    assert registry.canonical("algorithm", "MYALGO") == "myalgo"
+    assert registry.canonical("algorithm", "ma") == "myalgo"
+    assert isinstance(registry.create("algorithm", "myalgo"), Lazy)
+
+
+def test_duplicate_registration_rejected():
+    registry = ComponentRegistry()
+    registry.register("algorithm", "dup", Lazy)
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register("algorithm", "dup", Lazy)
+    registry.register("algorithm", "dup", Lazy, replace=True)
+
+
+def test_unregister_removes_aliases():
+    registry = ComponentRegistry()
+    registry.register("algorithm", "gone", Lazy, aliases=("g",))
+    registry.unregister("algorithm", "gone")
+    with pytest.raises(UnknownComponentError):
+        registry.canonical("algorithm", "g")
+
+
+# ----------------------------------------------------------------------
+# Plugin seam: a component registered exclusively through
+# entry_points, with no edits to any repro module.
+
+
+class _PluginAlgorithm(Lazy):
+    name = "plugin_lazy"
+    display_name = "PluginLazy"
+    registry_metadata = {"default_predictor": "None"}
+    registry_aliases = ("plazy",)
+
+
+class _FakeEntryPoint:
+    name = "plugin_lazy"
+
+    @staticmethod
+    def load():
+        return _PluginAlgorithm
+
+
+class _BrokenEntryPoint:
+    name = "broken_plugin"
+
+    @staticmethod
+    def load():
+        raise ImportError("plugin package is broken")
+
+
+def test_entry_point_plugin_resolves(monkeypatch):
+    monkeypatch.setattr(
+        "repro.registry._iter_entry_points",
+        lambda group: (
+            [_FakeEntryPoint] if group == "flexsnoop.algorithms" else []
+        ),
+    )
+    REGISTRY.reload_plugins("algorithm")
+    try:
+        assert "plugin_lazy" in REGISTRY.names("algorithm")
+        entry = REGISTRY.get("algorithm", "plugin_lazy")
+        assert entry.source == "plugin"
+        assert entry.metadata["default_predictor"] == "None"
+        # Aliases and the shared build path both see the plugin.
+        assert REGISTRY.canonical("algorithm", "plazy") == "plugin_lazy"
+        algorithm = build_algorithm("plugin_lazy")
+        assert isinstance(algorithm, _PluginAlgorithm)
+    finally:
+        REGISTRY.reload_plugins("algorithm")
+    assert "plugin_lazy" not in REGISTRY.names("algorithm")
+
+
+def test_broken_plugin_is_skipped(monkeypatch):
+    monkeypatch.setattr(
+        "repro.registry._iter_entry_points",
+        lambda group: (
+            [_BrokenEntryPoint] if group == "flexsnoop.algorithms" else []
+        ),
+    )
+    REGISTRY.reload_plugins("algorithm")
+    try:
+        # Resolution of everything else is unaffected.
+        assert "lazy" in REGISTRY.names("algorithm")
+        assert "broken_plugin" not in REGISTRY.names("algorithm")
+    finally:
+        REGISTRY.reload_plugins("algorithm")
+
+
+def test_plugin_never_shadows_builtin(monkeypatch):
+    class _Impostor:
+        name = "lazy"
+
+        @staticmethod
+        def load():  # pragma: no cover - must not be called
+            raise AssertionError("builtin should shadow the plugin")
+
+    monkeypatch.setattr(
+        "repro.registry._iter_entry_points",
+        lambda group: (
+            [_Impostor] if group == "flexsnoop.algorithms" else []
+        ),
+    )
+    REGISTRY.reload_plugins("algorithm")
+    try:
+        entry = REGISTRY.get("algorithm", "lazy")
+        assert entry.source == "builtin"
+    finally:
+        REGISTRY.reload_plugins("algorithm")
+
+
+def test_iter_entry_points_returns_list():
+    # The real seam tolerates whatever importlib.metadata provides.
+    assert isinstance(_iter_entry_points("flexsnoop.algorithms"), list)
