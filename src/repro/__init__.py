@@ -55,7 +55,7 @@ from repro.workloads import (
     generate_workload,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CacheConfig",

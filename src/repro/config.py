@@ -224,6 +224,33 @@ class EnergyConfig:
 
 
 @dataclass(frozen=True)
+class TraceConfig:
+    """Observability knobs (see ``docs/observability.md``).
+
+    Simulator-level, not machine semantics: tracing observes the run
+    without changing any result (guarded by the golden audit tests).
+
+    Attributes:
+        enabled: emit lifecycle events into a trace sink.  Off by
+            default; the hot paths then pay only an ``is not None``
+            test per emission site.
+        sink: sink name resolved through the component registry
+            (kind ``"sink"``; builtins: ``memory``, ``jsonl``).
+        sample_window: simulated cycles between metrics-timeline
+            samples (0 disables the timeline).  The timeline does not
+            require ``enabled``.
+    """
+
+    enabled: bool = False
+    sink: str = "memory"
+    sample_window: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sample_window < 0:
+            raise ValueError("sample_window must be >= 0")
+
+
+@dataclass(frozen=True)
 class ProcessorConfig:
     """Trace-replay timing model of one core.
 
@@ -258,6 +285,8 @@ class MachineConfig:
     #: over all resident lines.  A provably-absent line's invalidation
     #: snoop is skipped.
     filter_write_snoops: bool = False
+    #: Structured observability (off by default, zero result impact).
+    tracing: TraceConfig = field(default_factory=TraceConfig)
 
     @property
     def num_cores(self) -> int:

@@ -36,7 +36,7 @@ from repro.harness.experiments import ExperimentMatrix
 from repro.harness.result_cache import ResultCache
 
 #: PR number stamped into snapshots written by the current code.
-SNAPSHOT_PR = 3
+SNAPSHOT_PR = 4
 
 #: Accesses per core for the benchmark matrix.  Large enough that the
 #: simulation (not trace generation or interpreter warmup) dominates,

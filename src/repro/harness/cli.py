@@ -7,7 +7,11 @@ Examples::
     flexsnoop figure 9 --scale 1000
     flexsnoop table 1
     flexsnoop report --scale 1000 --out report.md
-    flexsnoop trace --workload specjbb --out jbb.jsonl
+    flexsnoop trace record --algorithm subset --workload specjbb \
+        --out jbb-trace.jsonl --audit
+    flexsnoop trace show jbb-trace.jsonl --address 0x2a40 --limit 5
+    flexsnoop trace audit jbb-trace.jsonl
+    flexsnoop trace workload --workload specjbb --out jbb.jsonl
     flexsnoop cache info
     flexsnoop cache clear
     flexsnoop profile --algorithm exact --workload specweb --top 20
@@ -213,7 +217,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
+def _cmd_trace_workload(args: argparse.Namespace) -> int:
     from repro.workloads.io import save_trace
     from repro.workloads.profiles import build_workload
 
@@ -228,6 +232,91 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_violations(violations) -> None:
+    for violation in violations:
+        print("  %s" % violation, file=sys.stderr)
+
+
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.obs.audit import TraceAuditor
+    from repro.obs.jsonl import write_trace
+    from repro.obs.runner import run_traced
+
+    traced = run_traced(
+        args.algorithm,
+        args.workload,
+        predictor=args.predictor,
+        accesses_per_core=args.scale,
+        seed=args.seed,
+        warmup_fraction=args.warmup,
+        check_invariants=args.check_invariants,
+        sample_window=args.sample_window,
+    )
+    write_trace(args.out, traced.events, meta=traced.meta)
+    transactions = len({e.txn for e in traced.events if e.txn >= 0})
+    print(
+        "wrote %s: %d event(s) across %d transaction(s)"
+        % (args.out, len(traced.events), transactions)
+    )
+    if traced.samples:
+        print("timeline: %d sample(s), window %d cycles"
+              % (len(traced.samples), args.sample_window))
+    if args.audit:
+        auditor = TraceAuditor(num_cmps=traced.meta["num_cmps"])
+        violations = auditor.audit(traced.events)
+        if violations:
+            print(
+                "audit: %d violation(s)" % len(violations),
+                file=sys.stderr,
+            )
+            _print_violations(violations)
+            return 1
+        print("audit: ok (%d transaction(s) validated)" % transactions)
+    return 0
+
+
+def _cmd_trace_show(args: argparse.Namespace) -> int:
+    from repro.obs.jsonl import read_trace
+    from repro.obs.render import filter_events, render_timeline
+
+    meta, events = read_trace(args.file)
+    address = int(args.address, 0) if args.address else None
+    selected = filter_events(
+        events, address=address, txn=args.txn, node=args.node
+    )
+    if meta:
+        print(
+            "trace: %s/%s  (%d of %d event(s) match)"
+            % (
+                meta.get("algorithm", "?"),
+                meta.get("workload", "?"),
+                len(selected),
+                len(events),
+            )
+        )
+    print(render_timeline(selected, limit=args.limit))
+    return 0
+
+
+def _cmd_trace_audit(args: argparse.Namespace) -> int:
+    from repro.obs.audit import TraceAuditor
+    from repro.obs.jsonl import read_trace
+
+    meta, events = read_trace(args.file)
+    num_cmps = args.num_cmps or meta.get("num_cmps") or 8
+    violations = TraceAuditor(num_cmps=num_cmps).audit(events)
+    transactions = len({e.txn for e in events if e.txn >= 0})
+    if violations:
+        print("audit: %d violation(s)" % len(violations), file=sys.stderr)
+        _print_violations(violations)
+        return 1
+    print(
+        "audit: ok (%d event(s), %d transaction(s), num_cmps=%d)"
+        % (len(events), transactions, num_cmps)
+    )
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache()
     if args.action == "info":
@@ -235,6 +324,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print("location : %s" % info["root"])
         print("entries  : %d" % info["entries"])
         print("size     : %.1f KiB" % (info["size_bytes"] / 1024.0))
+        print("stale    : %d entry(ies) from older schemas" %
+              info["stale_entries"])
+        print("tmp files: %d orphaned temp file(s)" % info["tmp_files"])
         print("schema   : v%d (code %s)" % (
             info["schema"], info["code_version"],
         ))
@@ -419,18 +511,91 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.set_defaults(func=_cmd_bench)
 
     trace_parser = sub.add_parser(
-        "trace", help="generate a workload trace file"
+        "trace",
+        help="record, inspect and audit transaction-level run traces "
+        "(see docs/observability.md)",
     )
-    trace_parser.add_argument(
+    trace_sub = trace_parser.add_subparsers(
+        dest="trace_action", required=True
+    )
+
+    record_parser = trace_sub.add_parser(
+        "record",
+        help="run one simulation with tracing on and write the "
+        "lifecycle events to a JSONL file",
+    )
+    _add_component_options(record_parser, "lazy", "splash2")
+    record_parser.add_argument("--scale", type=int, default=500,
+                               help="accesses per core")
+    record_parser.add_argument("--seed", type=int, default=0)
+    record_parser.add_argument(
+        "--warmup", type=float, default=0.0,
+        help="warmup fraction (events during warmup are traced too)",
+    )
+    record_parser.add_argument(
+        "--sample-window", type=int, default=0,
+        help="metrics-timeline sampling window in simulated cycles "
+        "(0 = no timeline)",
+    )
+    record_parser.add_argument("--out", required=True)
+    record_parser.add_argument(
+        "--audit", action="store_true",
+        help="validate the recorded trace with the lifecycle "
+        "auditors; exit 1 on any violation",
+    )
+    record_parser.add_argument(
+        "--check-invariants", action="store_true",
+        help="also enable the simulator's synchronous per-line "
+        "protocol checks",
+    )
+    record_parser.set_defaults(func=_cmd_trace_record)
+
+    show_parser = trace_sub.add_parser(
+        "show",
+        help="render a recorded trace as per-transaction timelines",
+    )
+    show_parser.add_argument("file")
+    show_parser.add_argument(
+        "--address", default="",
+        help="only this line address (accepts 0x...)",
+    )
+    show_parser.add_argument("--txn", type=int, default=None,
+                             help="only this transaction id")
+    show_parser.add_argument(
+        "--node", type=int, default=None,
+        help="only transactions that touched this CMP node",
+    )
+    show_parser.add_argument(
+        "--limit", type=int, default=None,
+        help="render at most this many transactions",
+    )
+    show_parser.set_defaults(func=_cmd_trace_show)
+
+    audit_parser = trace_sub.add_parser(
+        "audit",
+        help="replay a recorded trace through the per-transaction "
+        "lifecycle validators; exit 1 on any violation",
+    )
+    audit_parser.add_argument("file")
+    audit_parser.add_argument(
+        "--num-cmps", type=int, default=0,
+        help="ring size override (default: the trace's meta header)",
+    )
+    audit_parser.set_defaults(func=_cmd_trace_audit)
+
+    workload_parser = trace_sub.add_parser(
+        "workload", help="generate a workload trace file"
+    )
+    workload_parser.add_argument(
         "--workload",
         default="splash2",
         help="workload name (known: %s)"
         % ", ".join(REGISTRY.names("workload")),
     )
-    trace_parser.add_argument("--scale", type=int, default=2000)
-    trace_parser.add_argument("--seed", type=int, default=0)
-    trace_parser.add_argument("--out", required=True)
-    trace_parser.set_defaults(func=_cmd_trace)
+    workload_parser.add_argument("--scale", type=int, default=2000)
+    workload_parser.add_argument("--seed", type=int, default=0)
+    workload_parser.add_argument("--out", required=True)
+    workload_parser.set_defaults(func=_cmd_trace_workload)
 
     return parser
 

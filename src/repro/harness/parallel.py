@@ -142,8 +142,19 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
 
 
 def default_jobs() -> int:
-    """Worker count used when the caller passes ``jobs=None``/``0``."""
-    return max(os.cpu_count() or 1, 1)
+    """Worker count used when the caller passes ``jobs=None``/``0``.
+
+    Prefers the scheduling affinity mask over ``os.cpu_count()``:
+    under cgroup CPU limits or ``taskset`` the process may be allowed
+    far fewer CPUs than the machine has, and sizing the pool to the
+    machine then just makes the workers fight over the allowed cores.
+    """
+    try:
+        allowed = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        # Platforms without sched_getaffinity (macOS, Windows).
+        allowed = os.cpu_count() or 1
+    return max(allowed, 1)
 
 
 def run_specs(

@@ -34,8 +34,9 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from repro import __version__
 from repro.config import MachineConfig
@@ -44,7 +45,9 @@ from repro.sim.system import SimulationResult
 #: Bump when the semantics of cached results change (new counters,
 #: changed simulator behaviour that is not reflected in the package
 #: version, ...).  Folded into every cache key.
-CACHE_SCHEMA_VERSION = 1
+#: v2: MachineConfig grew the ``tracing`` field, which changes every
+#: config fingerprint.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "FLEXSNOOP_CACHE_DIR"
@@ -168,10 +171,31 @@ class ResultCache:
     # ------------------------------------------------------------------
     # Maintenance
 
-    def _entry_paths(self):
+    def _entry_paths(self) -> Iterator[Path]:
+        """Entries of the *current* schema only.
+
+        Accounting (``entry_count``/``size_bytes``/``info``) must not
+        count entries written under older schema versions as live -
+        they can never be returned by :meth:`get`.
+        """
+        bucket = self._bucket_root
+        if not bucket.is_dir():
+            return
+        for path in sorted(bucket.rglob("*.pkl")):
+            yield path
+
+    def _all_entry_paths(self) -> Iterator[Path]:
+        """Entries across every schema version (maintenance)."""
         if not self.root.is_dir():
             return
         for path in sorted(self.root.rglob("*.pkl")):
+            yield path
+
+    def _tmp_paths(self) -> Iterator[Path]:
+        """Temp files from in-flight or crashed :meth:`put` calls."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.rglob("*.pkl.tmp.*")):
             yield path
 
     def entry_count(self) -> int:
@@ -186,15 +210,64 @@ class ResultCache:
                 pass
         return total
 
-    def clear(self) -> int:
-        """Delete every cached entry; returns the number removed."""
+    def stale_entry_count(self) -> int:
+        """Entries under older schema versions (never served)."""
+        return sum(1 for _ in self._all_entry_paths()) - self.entry_count()
+
+    def prune_tmp(self, max_age_seconds: float = 3600.0) -> int:
+        """Remove orphaned ``.pkl.tmp.<pid>`` files.
+
+        A writer that dies between creating its temp file and the
+        ``os.replace`` leaves the temp behind forever - no later call
+        ever reuses the name (pids differ) or cleans it up.  Only
+        temps older than ``max_age_seconds`` are removed, so an
+        in-flight writer's file is never yanked out from under it.
+        Returns the number removed.
+        """
+        now = time.time()
         removed = 0
-        for path in list(self._entry_paths()):
+        for path in list(self._tmp_paths()):
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue
+            if age >= max_age_seconds:
+                try:
+                    os.remove(path)
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def _remove_empty_dirs(self) -> None:
+        """Drop emptied shard/version directories (deepest first)."""
+        if not self.root.is_dir():
+            return
+        subdirs = sorted(
+            (path for path in self.root.rglob("*") if path.is_dir()),
+            key=lambda path: len(path.parts),
+            reverse=True,
+        )
+        for path in subdirs:
+            try:
+                path.rmdir()  # fails (and is kept) unless empty
+            except OSError:
+                pass
+
+    def clear(self) -> int:
+        """Delete every cached entry - current *and* stale schemas -
+        plus orphaned temp files and the directories they emptied.
+        Returns the number of entries removed (temps not counted).
+        """
+        removed = 0
+        for path in list(self._all_entry_paths()):
             try:
                 os.remove(path)
                 removed += 1
             except OSError:
                 pass
+        self.prune_tmp(max_age_seconds=0.0)
+        self._remove_empty_dirs()
         return removed
 
     def info(self) -> Dict[str, Any]:
@@ -204,6 +277,8 @@ class ResultCache:
             "enabled": self.enabled,
             "entries": self.entry_count(),
             "size_bytes": self.size_bytes(),
+            "stale_entries": self.stale_entry_count(),
+            "tmp_files": sum(1 for _ in self._tmp_paths()),
             "schema": CACHE_SCHEMA_VERSION,
             "code_version": __version__,
             "hits": self.hits,

@@ -32,8 +32,15 @@ class LatencyHistogram:
             raise ValueError("invalid histogram geometry")
         self.edges: List[int] = []
         edge = float(first)
+        previous = 0
         for _ in range(buckets):
-            self.edges.append(int(math.ceil(edge)))
+            # Slow-growth geometries (e.g. growth=1.001) produce runs
+            # of equal integers after ceil; edges must be strictly
+            # increasing for _bucket_of's binary search to be
+            # well-defined, so collapse duplicates upward.
+            integer_edge = max(int(math.ceil(edge)), previous + 1)
+            self.edges.append(integer_edge)
+            previous = integer_edge
             edge *= growth
         self.counts: List[int] = [0] * (buckets + 1)  # + overflow
         self.total = 0
@@ -143,18 +150,24 @@ class LatencyHistogram:
 
 
 def merge(histograms: Sequence[LatencyHistogram]) -> LatencyHistogram:
-    """Merge histograms with identical geometry."""
+    """Merge histograms with identical geometry.
+
+    The merged histogram copies the first histogram's geometry
+    directly rather than re-deriving (first, growth, buckets) from the
+    integer edges - the derivation is lossy (``edges[1]/edges[0]``
+    can fall at or below 1.0 for slow-growth geometries) and the
+    constructor would reject parameters it itself produced.
+    """
     if not histograms:
         raise ValueError("nothing to merge")
     first = histograms[0]
-    merged = LatencyHistogram(
-        first=first.edges[0],
-        growth=first.edges[1] / first.edges[0] if len(first.edges) > 1
-        else 2.0,
-        buckets=len(first.edges),
-    )
+    merged = LatencyHistogram.__new__(LatencyHistogram)
     merged.edges = list(first.edges)
     merged.counts = [0] * len(first.counts)
+    merged.total = 0
+    merged.sum = 0
+    merged.max_value = 0
+    merged.min_value = -1
     for histogram in histograms:
         if histogram.edges != merged.edges:
             raise ValueError("histogram geometries differ")

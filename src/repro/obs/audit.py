@@ -1,0 +1,344 @@
+"""Per-transaction lifecycle validators for emitted traces.
+
+Interface contract
+==================
+
+:class:`TraceAuditor` replays a trace (a sequence of
+:class:`~repro.obs.trace.TraceEvent`, in emission order) through one
+finite-state validator per transaction and returns every
+:class:`Violation` found.  It is strictly stronger than the end-state
+checker (``RingMultiprocessor._check_line_invariants`` snapshots line
+states after the fact); the auditor checks the *mechanism*:
+
+* **Lifecycle** - every issued transaction retires exactly once, the
+  issue comes first, and only a retry may follow retirement.
+* **Ring conservation** (Table 2) - the request/combined form of every
+  message crosses exactly ``num_cmps`` segments, hop-by-hop around the
+  ring from the requester back to the requester, with no teleports.
+* **Recombination** - a ``snoop_then_forward`` snoop always forwards a
+  single Combined R/R: the transaction's next hop must be combined
+  (the primitive never emits a separate reply).
+* **Supply** - at most one supplier answers; after a combined-form
+  supply the message is a reply and induces no further snoops or
+  predictor lookups.
+* **Predictor guarantees** - Subset/Exact predictions are never false
+  positives, Superset predictions are never false negatives,
+  Exact/Perfect are never wrong at all (Section 4.3).
+* **Squash discipline** - a squashed message circulates for
+  serialization only: no snoops, no supply, no fill, exactly one
+  squash marker and one retry; a non-squashed transaction fills the
+  requester cache exactly once and never retries.
+* **Time sanity** - hops and retirement never precede the issue, and
+  retirement never precedes the last hop.
+
+The auditor is pure (no simulator imports beyond the event types), so
+it runs equally on live ``InMemorySink`` events and on traces read
+back from JSONL files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.trace import EventType, TraceEvent
+
+#: Predictor kinds that may never predict a supplier that is absent.
+_NO_FALSE_POSITIVE_KINDS = ("subset", "exact", "perfect")
+#: Predictor kinds that may never miss a supplier that is present.
+_NO_FALSE_NEGATIVE_KINDS = ("superset", "exact", "perfect")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken lifecycle rule, anchored to a transaction."""
+
+    txn: int
+    rule: str
+    time: int
+    message: str
+
+    def __str__(self) -> str:
+        return "txn %d @ %d [%s]: %s" % (
+            self.txn,
+            self.time,
+            self.rule,
+            self.message,
+        )
+
+
+class TraceAuditor:
+    """Validate a trace against the transaction lifecycle FSM."""
+
+    def __init__(self, num_cmps: int) -> None:
+        if num_cmps < 2:
+            raise ValueError("need at least 2 CMPs for a ring")
+        self.num_cmps = num_cmps
+
+    def audit(self, events: Iterable[TraceEvent]) -> List[Violation]:
+        """All violations in ``events`` (empty list = clean trace)."""
+        by_txn: Dict[int, List[TraceEvent]] = {}
+        for event in events:
+            if event.txn < 0:
+                continue  # machine events (e.g. downgrades): no FSM
+            by_txn.setdefault(event.txn, []).append(event)
+        violations: List[Violation] = []
+        for txn_id in sorted(by_txn):
+            violations.extend(self._audit_txn(txn_id, by_txn[txn_id]))
+        return violations
+
+    # ------------------------------------------------------------------
+    # One transaction
+
+    def _audit_txn(
+        self, txn_id: int, events: List[TraceEvent]
+    ) -> List[Violation]:
+        out: List[Violation] = []
+
+        def flag(rule: str, time: int, message: str) -> None:
+            out.append(Violation(txn_id, rule, time, message))
+
+        issue = self._check_lifecycle(txn_id, events, flag)
+        if issue is None:
+            return out
+        squashed = bool(issue.data.get("squashed", False))
+        hops = [e for e in events if e.type is EventType.HOP]
+        self._check_hops(issue, hops, flag)
+        self._check_recombination(events, flag)
+        self._check_supply(events, flag)
+        self._check_predictions(events, flag)
+        self._check_squash_discipline(squashed, events, flag)
+        return out
+
+    def _check_lifecycle(
+        self, txn_id: int, events: List[TraceEvent], flag
+    ) -> Optional[TraceEvent]:
+        issues = [e for e in events if e.type is EventType.ISSUE]
+        retires = [e for e in events if e.type is EventType.RETIRE]
+        first = events[0]
+        if len(issues) != 1:
+            flag(
+                "lifecycle",
+                first.time,
+                "expected exactly 1 issue, saw %d" % len(issues),
+            )
+            return None
+        if first.type is not EventType.ISSUE:
+            flag(
+                "lifecycle",
+                first.time,
+                "first event is %s, not issue" % first.type.value,
+            )
+            return None
+        if len(retires) != 1:
+            flag(
+                "lifecycle",
+                events[-1].time,
+                "expected exactly 1 retire, saw %d" % len(retires),
+            )
+            return None
+        retire = retires[0]
+        after_retire = events[events.index(retire) + 1:]
+        for event in after_retire:
+            if event.type is not EventType.RETRY:
+                flag(
+                    "lifecycle",
+                    event.time,
+                    "%s emitted after retirement" % event.type.value,
+                )
+        if retire.time < first.time:
+            flag(
+                "time",
+                retire.time,
+                "retired at %d before issue at %d"
+                % (retire.time, first.time),
+            )
+        return issues[0]
+
+    def _check_hops(
+        self, issue: TraceEvent, hops: List[TraceEvent], flag
+    ) -> None:
+        n = self.num_cmps
+        if len(hops) != n:
+            flag(
+                "conservation",
+                issue.time,
+                "request crossed %d segments, ring has %d"
+                % (len(hops), n),
+            )
+            return
+        expected_from = issue.node
+        for hop in hops:
+            if hop.node != expected_from:
+                flag(
+                    "conservation",
+                    hop.time,
+                    "hop leaves node %d, expected %d"
+                    % (hop.node, expected_from),
+                )
+                return
+            to = int(hop.data["to"])
+            if to != (hop.node + 1) % n:
+                flag(
+                    "conservation",
+                    hop.time,
+                    "hop %d -> %d is not one ring segment"
+                    % (hop.node, to),
+                )
+                return
+            if hop.time < issue.time:
+                flag(
+                    "time",
+                    hop.time,
+                    "hop departs at %d before issue at %d"
+                    % (hop.time, issue.time),
+                )
+            expected_from = to
+        if expected_from != issue.node:
+            flag(
+                "conservation",
+                hops[-1].time,
+                "walk ended at node %d, not the requester %d"
+                % (expected_from, issue.node),
+            )
+
+    def _check_recombination(self, events: List[TraceEvent], flag) -> None:
+        awaiting: Optional[TraceEvent] = None
+        for event in events:
+            if (
+                event.type is EventType.SNOOP
+                and event.data.get("primitive") == "snoop_then_forward"
+            ):
+                awaiting = event
+            elif event.type is EventType.HOP and awaiting is not None:
+                if event.data.get("mode") != "combined":
+                    flag(
+                        "recombination",
+                        event.time,
+                        "snoop_then_forward at node %d forwarded a %s "
+                        "message (must recombine into a single "
+                        "combined R/R)"
+                        % (awaiting.node, event.data.get("mode")),
+                    )
+                awaiting = None
+
+    def _check_supply(self, events: List[TraceEvent], flag) -> None:
+        supplies = [e for e in events if e.type is EventType.SUPPLY]
+        if len(supplies) > 1:
+            flag(
+                "supply",
+                supplies[1].time,
+                "%d suppliers answered one request (single-supplier "
+                "invariant)" % len(supplies),
+            )
+            return
+        if not supplies:
+            return
+        supply = supplies[0]
+        if supply.data.get("form") != "combined":
+            return  # reply-only supply: downstream snoops continue
+        index = events.index(supply)
+        for event in events[index + 1:]:
+            if event.type in (EventType.SNOOP, EventType.PREDICTOR):
+                flag(
+                    "supply",
+                    event.time,
+                    "%s after a combined-form supply (a satisfied "
+                    "combined R/R induces no snoops)"
+                    % event.type.value,
+                )
+
+    def _check_predictions(self, events: List[TraceEvent], flag) -> None:
+        for event in events:
+            if event.type is not EventType.PREDICTOR:
+                continue
+            kind = event.data.get("kind")
+            prediction = bool(event.data.get("prediction"))
+            truth = bool(event.data.get("truth"))
+            if (
+                prediction
+                and not truth
+                and kind in _NO_FALSE_POSITIVE_KINDS
+            ):
+                flag(
+                    "predictor",
+                    event.time,
+                    "%s predictor false positive at node %d"
+                    % (kind, event.node),
+                )
+            if (
+                truth
+                and not prediction
+                and kind in _NO_FALSE_NEGATIVE_KINDS
+            ):
+                flag(
+                    "predictor",
+                    event.time,
+                    "%s predictor false negative at node %d"
+                    % (kind, event.node),
+                )
+
+    def _check_squash_discipline(
+        self, squashed: bool, events: List[TraceEvent], flag
+    ) -> None:
+        counts = {
+            kind: sum(1 for e in events if e.type is kind)
+            for kind in (
+                EventType.SNOOP,
+                EventType.SUPPLY,
+                EventType.FILL,
+                EventType.PREDICTOR,
+                EventType.SQUASH,
+                EventType.RETRY,
+            )
+        }
+        last = events[-1]
+        if squashed:
+            for kind in (
+                EventType.SNOOP,
+                EventType.SUPPLY,
+                EventType.FILL,
+                EventType.PREDICTOR,
+            ):
+                if counts[kind]:
+                    flag(
+                        "squash",
+                        last.time,
+                        "squashed message performed %d %s event(s) "
+                        "(serialization-only circuit)"
+                        % (counts[kind], kind.value),
+                    )
+            if counts[EventType.SQUASH] != 1:
+                flag(
+                    "squash",
+                    last.time,
+                    "squashed transaction emitted %d squash markers, "
+                    "expected 1" % counts[EventType.SQUASH],
+                )
+            if counts[EventType.RETRY] != 1:
+                flag(
+                    "squash",
+                    last.time,
+                    "squashed transaction retried %d times, expected 1"
+                    % counts[EventType.RETRY],
+                )
+        else:
+            if counts[EventType.SQUASH]:
+                flag(
+                    "squash",
+                    last.time,
+                    "non-squashed transaction emitted a squash marker",
+                )
+            if counts[EventType.RETRY]:
+                flag(
+                    "squash",
+                    last.time,
+                    "non-squashed transaction retried",
+                )
+            if counts[EventType.FILL] != 1:
+                flag(
+                    "fill",
+                    last.time,
+                    "transaction filled the requester cache %d times, "
+                    "expected exactly 1" % counts[EventType.FILL],
+                )

@@ -1,0 +1,94 @@
+"""JSONL serialization of run traces.
+
+File layout (one JSON object per line)::
+
+    {"meta": {"algorithm": "exact", "workload": "specweb",
+              "num_cmps": 8, ...}}
+    {"t": 0, "ev": "issue", "txn": 1, "node": 3, "addr": 4096,
+     "data": {"kind": "read", "core": 12, "squashed": false}}
+    ...
+
+The meta header is optional when writing raw event lists but the
+auditor needs ``num_cmps`` from it, so :func:`write_trace` always
+emits one.  Unknown keys in the header are preserved round-trip.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Tuple
+
+from repro.obs.trace import EventType, TraceEvent
+
+
+def event_to_json(event: TraceEvent) -> Dict[str, Any]:
+    """One event as a JSON-serializable dict (compact key names)."""
+    return {
+        "t": event.time,
+        "ev": event.type.value,
+        "txn": event.txn,
+        "node": event.node,
+        "addr": event.address,
+        "data": dict(event.data),
+    }
+
+
+def event_from_json(payload: Mapping[str, Any]) -> TraceEvent:
+    """Inverse of :func:`event_to_json`."""
+    return TraceEvent(
+        time=int(payload["t"]),
+        type=EventType(payload["ev"]),
+        txn=int(payload["txn"]),
+        node=int(payload["node"]),
+        address=int(payload["addr"]),
+        data=dict(payload.get("data", {})),
+    )
+
+
+def write_trace(
+    path: str,
+    events: Iterable[TraceEvent],
+    meta: Mapping[str, Any],
+) -> int:
+    """Write a meta header plus every event; returns the event count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"meta": dict(meta)}, sort_keys=True) + "\n")
+        for event in events:
+            handle.write(
+                json.dumps(event_to_json(event), sort_keys=True) + "\n"
+            )
+            count += 1
+    return count
+
+
+def read_trace(path: str) -> Tuple[Dict[str, Any], List[TraceEvent]]:
+    """Read a trace file back as ``(meta, events)``.
+
+    Raises ``ValueError`` on malformed lines (with the line number),
+    so a truncated or hand-edited file fails loudly rather than
+    auditing a partial trace silently.
+    """
+    meta: Dict[str, Any] = {}
+    events: List[TraceEvent] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    "%s:%d: malformed JSON: %s" % (path, lineno, exc)
+                ) from exc
+            if "meta" in payload and "ev" not in payload:
+                meta.update(payload["meta"])
+                continue
+            try:
+                events.append(event_from_json(payload))
+            except (KeyError, ValueError) as exc:
+                raise ValueError(
+                    "%s:%d: malformed event: %s" % (path, lineno, exc)
+                ) from exc
+    return meta, events

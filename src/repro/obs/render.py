@@ -1,0 +1,111 @@
+"""Filtering and human-readable rendering of run traces.
+
+``flexsnoop trace show`` lands here: filter a trace by address,
+transaction id and/or node, then render one indented timeline block
+per transaction (issue header, then each lifecycle event with its
+simulated time, node and payload), followed by any machine events
+(downgrades) that match the filter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.obs.trace import EventType, TraceEvent
+
+
+def filter_events(
+    events: List[TraceEvent],
+    address: Optional[int] = None,
+    txn: Optional[int] = None,
+    node: Optional[int] = None,
+) -> List[TraceEvent]:
+    """Events matching every given criterion, in original order.
+
+    ``node`` keeps whole transactions that touched the node (a hop
+    timeline with holes is useless), plus matching machine events.
+    """
+    out = events
+    if address is not None:
+        out = [e for e in out if e.address == address]
+    if txn is not None:
+        out = [e for e in out if e.txn == txn]
+    if node is not None:
+        touched = {e.txn for e in out if e.txn >= 0 and e.node == node}
+        out = [
+            e
+            for e in out
+            if (e.txn in touched) or (e.txn < 0 and e.node == node)
+        ]
+    return out
+
+
+def _payload(data: Mapping[str, Any]) -> str:
+    return " ".join(
+        "%s=%s" % (key, value) for key, value in sorted(data.items())
+    )
+
+
+def render_timeline(
+    events: List[TraceEvent],
+    limit: Optional[int] = None,
+) -> str:
+    """One text block per transaction, oldest first.
+
+    ``limit`` caps the number of transactions rendered (the trailing
+    line says how many were elided).
+    """
+    by_txn: Dict[int, List[TraceEvent]] = {}
+    machine: List[TraceEvent] = []
+    for event in events:
+        if event.txn < 0:
+            machine.append(event)
+        else:
+            by_txn.setdefault(event.txn, []).append(event)
+
+    txn_ids = sorted(by_txn)
+    elided = 0
+    if limit is not None and limit >= 0 and len(txn_ids) > limit:
+        elided = len(txn_ids) - limit
+        txn_ids = txn_ids[:limit]
+
+    lines: List[str] = []
+    for txn_id in txn_ids:
+        group = by_txn[txn_id]
+        first = group[0]
+        issue = next(
+            (e for e in group if e.type is EventType.ISSUE), None
+        )
+        kind = issue.data.get("kind", "?") if issue else "?"
+        lines.append(
+            "txn %d  %s %#x  (issued @ %d from node %d)"
+            % (txn_id, kind, first.address, first.time, first.node)
+        )
+        for event in group:
+            lines.append(
+                "  %10d  node %-3d %-10s %s"
+                % (
+                    event.time,
+                    event.node,
+                    event.type.value,
+                    _payload(event.data),
+                )
+            )
+    if machine:
+        lines.append("machine events:")
+        for event in machine:
+            lines.append(
+                "  %10d  node %-3d %-10s addr=%#x %s"
+                % (
+                    event.time,
+                    event.node,
+                    event.type.value,
+                    event.address,
+                    _payload(event.data),
+                )
+            )
+    if elided:
+        lines.append("... %d more transaction(s) elided (--limit)" % elided)
+    if not lines:
+        return "(no events match the filter)"
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""One-call traced simulation runs for the CLI, audits and tests.
+
+:func:`run_traced` is :func:`repro.harness.experiments.run_experiment`
+with the observability layer switched on: it resolves the same
+(algorithm, workload, predictor, scale, seed) cell through the same
+:class:`~repro.harness.parallel.RunSpec` machinery - so a traced run
+simulates exactly the machine the harness would - then attaches an
+:class:`~repro.obs.trace.InMemorySink` (and, when ``sample_window`` is
+set, a metrics timeline) and returns everything bundled as a
+:class:`TracedRun`.
+
+Traced runs are never result-cached: the persistent cache stores
+``SimulationResult`` objects only, and a trace is cheap to regenerate
+deterministically from the spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.config import MachineConfig, TraceConfig
+from repro.core.algorithms import build_algorithm
+from repro.harness.parallel import RunSpec, _cached_trace
+from repro.obs.timeline import TimelineSample
+from repro.obs.trace import InMemorySink, TraceEvent
+from repro.sim.system import RingMultiprocessor, SimulationResult
+
+
+@dataclass
+class TracedRun:
+    """A simulation result plus everything observed along the way."""
+
+    result: SimulationResult
+    events: List[TraceEvent]
+    samples: List[TimelineSample]
+    meta: Dict[str, Any]
+
+    def summary(self) -> Dict[str, float]:
+        return self.result.summary()
+
+
+def run_traced(
+    algorithm: str,
+    workload: str,
+    predictor: Optional[str] = None,
+    accesses_per_core: int = 0,
+    seed: int = 0,
+    warmup_fraction: float = 0.0,
+    check_invariants: bool = False,
+    sample_window: int = 0,
+    config: Optional[MachineConfig] = None,
+) -> TracedRun:
+    """Run one cell with tracing on and return the full observation.
+
+    Args:
+        algorithm: algorithm name (registry kind ``algorithm``).
+        workload: workload profile name (0-scale = profile default).
+        predictor: named predictor override (Section 5.2 names).
+        accesses_per_core: trace length (0 = workload default).
+        seed: workload seed override (0 = workload default).
+        warmup_fraction: measurement warmup window (events emitted
+            during warmup are traced too, phase-tagged by time).
+        check_invariants: also enable the simulator's synchronous
+            per-line protocol checks (audit mode runs with this on).
+        sample_window: simulated cycles between metrics-timeline
+            samples (0 = no timeline).
+        config: full machine config override, as in
+            :func:`~repro.harness.experiments.run_experiment`.
+    """
+    spec = RunSpec(
+        algorithm=algorithm,
+        workload=workload,
+        predictor=predictor,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        warmup_fraction=warmup_fraction,
+        config=config,
+    )
+    trace = _cached_trace(workload, accesses_per_core, seed)
+    machine = spec.resolve_config(trace.cores_per_cmp)
+    machine = machine.replace(
+        tracing=TraceConfig(
+            enabled=True,
+            sink="memory",
+            sample_window=sample_window,
+        ),
+        check_invariants=machine.check_invariants or check_invariants,
+    )
+    sink = InMemorySink()
+    system = RingMultiprocessor(
+        machine,
+        build_algorithm(algorithm),
+        trace,
+        warmup_fraction=warmup_fraction,
+        trace_sink=sink,
+    )
+    result = system.run()
+    samples = system.timeline.samples if system.timeline is not None else []
+    meta = {
+        "algorithm": result.algorithm,
+        "workload": result.workload,
+        "predictor": predictor,
+        "predictor_kind": machine.predictor.kind,
+        "num_cmps": machine.num_cmps,
+        "cores_per_cmp": machine.cores_per_cmp,
+        "accesses_per_core": accesses_per_core,
+        "seed": seed,
+        "warmup_fraction": warmup_fraction,
+        "exec_time": result.exec_time,
+        "num_events": len(sink.events),
+    }
+    return TracedRun(
+        result=result, events=sink.events, samples=samples, meta=meta
+    )

@@ -4,8 +4,8 @@ Interface contract
 ==================
 
 Every pluggable component family of the simulator - snooping
-*algorithms*, named supplier-*predictor* configurations, and
-*workload* profiles - is resolved through the process-global
+*algorithms*, named supplier-*predictor* configurations, *workload*
+profiles, and trace *sinks* - is resolved through the process-global
 :data:`REGISTRY` instance of :class:`ComponentRegistry`.  Before this
 module existed the same resolution logic lived in four places with
 four different error messages: ``core/algorithms.py`` (the
@@ -65,6 +65,7 @@ ENTRY_POINT_GROUPS: Dict[str, str] = {
     "algorithm": "flexsnoop.algorithms",
     "predictor": "flexsnoop.predictors",
     "workload": "flexsnoop.workloads",
+    "sink": "flexsnoop.sinks",
 }
 
 #: Kind -> module whose import registers the built-in components.
@@ -75,6 +76,7 @@ _BUILTIN_MODULES: Dict[str, str] = {
     "algorithm": "repro.core.algorithms",
     "predictor": "repro.config",
     "workload": "repro.workloads.profiles",
+    "sink": "repro.obs.trace",
 }
 
 
@@ -95,6 +97,7 @@ _NORMALIZERS: Dict[str, Callable[[str], str]] = {
     "algorithm": _normalize_algorithm,
     "predictor": _normalize_exact,
     "workload": _normalize_workload,
+    "sink": _normalize_algorithm,  # case-insensitive, like algorithms
 }
 
 

@@ -42,6 +42,7 @@ from repro.coherence.protocol import (
     supplier_next_state_on_read,
     writer_state,
 )
+from repro.obs.trace import NO_TXN, EventType, TraceEvent, TraceSink
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.coherence.cache import EvictionRecord
@@ -70,6 +71,7 @@ class DataPathModel:
         energy: "EnergyModel",
         supplier_of: Dict[int, Tuple[int, int]],
         holder_count: Dict[int, int],
+        trace: Optional[TraceSink] = None,
     ) -> None:
         self.engine = engine
         self.nodes = nodes
@@ -80,6 +82,9 @@ class DataPathModel:
         self._supplier_of = supplier_of
         self._holder_count = holder_count
         self._downgraded: Set[int] = set()
+        # None when tracing is off, so every emission site below costs
+        # one attribute load plus an identity test.
+        self._trace = trace
 
     def wire(
         self, txns: "TransactionManager", warmup: "WarmupController"
@@ -116,6 +121,28 @@ class DataPathModel:
         self.stats.reads_supplied_by_cache += 1
         self.stats.supplier_latency_sum += snoop_done - txn.issue_time
         self.stats.supplier_latency_count += 1
+        trace = self._trace
+        if trace is not None:
+            msg = txn.msg
+            trace.emit(
+                TraceEvent(
+                    snoop_done,
+                    EventType.SUPPLY,
+                    txn.txn_id,
+                    node_id,
+                    txn.address,
+                    {
+                        "kind": "read",
+                        "form": (
+                            "combined"
+                            if msg is not None and msg.satisfied
+                            else "reply"
+                        ),
+                        "version": line.version,
+                        "data_arrival": data_arrival,
+                    },
+                )
+            )
         self.engine.call_at(
             data_arrival, lambda: self._deliver_read_data(txn)
         )
@@ -134,8 +161,37 @@ class DataPathModel:
             node_id, txn.requester_cmp
         )
         self.stats.writes_supplied_by_cache += 1
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    snoop_done,
+                    EventType.SUPPLY,
+                    txn.txn_id,
+                    node_id,
+                    txn.address,
+                    {
+                        "kind": "write",
+                        "form": "reply",
+                        "version": line.version,
+                        "data_arrival": txn.data_arrival,
+                    },
+                )
+            )
 
     def _deliver_read_data(self, txn: "Transaction") -> None:
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    self.engine.now,
+                    EventType.FILL,
+                    txn.txn_id,
+                    txn.requester_cmp,
+                    txn.address,
+                    {"source": "cache", "version": txn.supplied_version},
+                )
+            )
         self.fill(
             txn.core,
             txn.address,
@@ -214,6 +270,23 @@ class DataPathModel:
         else:
             version = self.memory.read(address)
             state = requester_state_from_memory(self._any_holder(address))
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    self.engine.now,
+                    EventType.FILL,
+                    txn.txn_id,
+                    txn.requester_cmp,
+                    address,
+                    {
+                        "source": (
+                            "cache" if supplier is not None else "memory"
+                        ),
+                        "version": version,
+                    },
+                )
+            )
         self.fill(txn.core, address, state, version)
         self._txns.check_version(address, version, txn=txn)
         self._record_read_latency(txn)
@@ -255,6 +328,18 @@ class DataPathModel:
         # invalidated on the CMP bus, then the writer installs the
         # dirty line.
         node.invalidate_all(address)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    at_time,
+                    EventType.FILL,
+                    txn.txn_id,
+                    core.cmp_id,
+                    address,
+                    {"source": "write", "version": txn.write_version},
+                )
+            )
         self.fill(core, address, writer_state(), txn.write_version)
         self._txns.note_write_completed(address, txn.write_version, at_time)
         self._txns.complete_access(core, at_time)
@@ -295,6 +380,18 @@ class DataPathModel:
             self.stats.downgrades += 1
             self.energy.charge_downgrade()
             self._downgraded.add(address)
+            trace = self._trace
+            if trace is not None:
+                trace.emit(
+                    TraceEvent(
+                        self.engine.now,
+                        EventType.DOWNGRADE,
+                        NO_TXN,
+                        cmp_id,
+                        address,
+                        {"writeback": needs_writeback},
+                    )
+                )
 
         return downgrade
 

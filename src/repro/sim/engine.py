@@ -127,6 +127,36 @@ class EventEngine:
         heapq.heappush(self._heap, (time, seq, None, callback))
         self._seq = seq + 1
 
+    def call_every(
+        self, interval: int, callback: Callable[[], None]
+    ) -> None:
+        """Run ``callback`` every ``interval`` cycles, starting one
+        interval from now, until it is the only work left.
+
+        Built for observability samplers (see
+        :class:`repro.obs.timeline.MetricsTimeline`): after each tick
+        the next one is scheduled only while other live events remain,
+        so a sampler never keeps an otherwise-drained simulation
+        spinning.  The callback must not assume it fires after the
+        last real event of an instant - ties are broken by scheduling
+        order as usual.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+
+        def tick() -> None:
+            callback()
+            # ``pending`` no longer counts this tick (it was popped);
+            # zero means the simulation has fully drained.
+            if self.pending > 0:
+                seq = self._seq
+                heapq.heappush(
+                    self._heap, (self.now + interval, seq, None, tick)
+                )
+                self._seq = seq + 1
+
+        self.call_after(interval, tick)
+
     def _push(self, time: int, callback: Callable[[], None]) -> Event:
         event = Event(time, self._seq, callback, self)
         heapq.heappush(self._heap, (time, self._seq, event, callback))

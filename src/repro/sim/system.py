@@ -31,6 +31,14 @@ facade broadcasts them to every subsystem via
 :meth:`rebind_measurement`, so the hot paths keep reading plain
 attributes instead of indirecting through the facade per event.
 
+Observability (``repro.obs``, see ``docs/observability.md``): when
+``config.tracing.enabled`` is set (or a ``trace_sink`` is passed
+explicitly), the subsystems emit typed transaction-lifecycle events
+into the sink; ``config.tracing.sample_window`` additionally attaches
+a :class:`~repro.obs.timeline.MetricsTimeline` that samples live
+counters at a fixed simulated-time cadence.  Both are off by default
+and cost nothing beyond one ``is not None`` test per emission site.
+
 Transaction life cycle (reads):
 
 1. A core misses in its own L2 and in its CMP's local master.
@@ -63,6 +71,9 @@ from repro.core.predictors import PerfectPredictor
 from repro.core.presence import PresencePredictor
 from repro.energy.model import EnergyModel
 from repro.metrics.stats import RunStats
+from repro.obs.timeline import MetricsTimeline
+from repro.obs.trace import TraceSink
+from repro.registry import REGISTRY
 from repro.ring.node import CMPNode
 from repro.ring.topology import RingTopology, TorusTopology
 from repro.sim.datapath import DataPathModel
@@ -120,6 +131,7 @@ class RingMultiprocessor:
         workload: WorkloadTrace,
         collect_perfect: bool = True,
         warmup_fraction: float = 0.0,
+        trace_sink: Optional[TraceSink] = None,
     ) -> None:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
@@ -138,6 +150,14 @@ class RingMultiprocessor:
         self.algorithm = algorithm
         self.workload = workload
         self.collect_perfect = collect_perfect
+
+        # Observability: a sink passed explicitly wins; otherwise one
+        # is resolved through the registry when config.tracing asks
+        # for it.  ``self.trace`` is None when tracing is off - the
+        # subsystems then skip every emission with one identity test.
+        if trace_sink is None and config.tracing.enabled:
+            trace_sink = REGISTRY.create("sink", config.tracing.sink)
+        self.trace: Optional[TraceSink] = trace_sink
 
         self.engine = EventEngine()
         self.ring = RingTopology(config.num_cmps, config.ring)
@@ -178,7 +198,12 @@ class RingMultiprocessor:
         # are mutually recursive), then install the predictor
         # callbacks that close over subsystem state.
         self.txns = TransactionManager(
-            self.engine, config, self.stats, self.nodes, self.cores
+            self.engine,
+            config,
+            self.stats,
+            self.nodes,
+            self.cores,
+            trace=self.trace,
         )
         self.walker = RingWalker(
             self.engine,
@@ -192,6 +217,7 @@ class RingMultiprocessor:
             self._supplier_of,
             self.presence,
             collect_perfect,
+            trace=self.trace,
         )
         self.datapath = DataPathModel(
             self.engine,
@@ -202,6 +228,7 @@ class RingMultiprocessor:
             self.energy,
             self._supplier_of,
             self._holder_count,
+            trace=self.trace,
         )
         self.warmup = WarmupController(
             self.engine,
@@ -229,6 +256,14 @@ class RingMultiprocessor:
                 node.predictor.set_truth(
                     self._make_supplier_truth(node.cmp_id)
                 )
+
+        # Windowed metrics timeline (simulated-time sampling of live
+        # counters); independent of event tracing.
+        self.timeline: Optional[MetricsTimeline] = (
+            MetricsTimeline(self, config.tracing.sample_window)
+            if config.tracing.sample_window > 0
+            else None
+        )
 
         self._ran = False
         self.warmup.apply_prewarm()
@@ -282,7 +317,13 @@ class RingMultiprocessor:
             raise RuntimeError("a RingMultiprocessor can only run once")
         self._ran = True
         self.txns.start()
-        self.engine.run(max_events=max_events)
+        if self.timeline is not None:
+            self.timeline.start()
+        try:
+            self.engine.run(max_events=max_events)
+        finally:
+            if self.trace is not None:
+                self.trace.close()
         self._finalize_energy()
         self.stats.core_finish_times = [
             core.finish_time if core.finish_time is not None else -1

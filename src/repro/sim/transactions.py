@@ -37,6 +37,7 @@ from repro.coherence.protocol import (
     supplier_next_state_on_read,
 )
 from repro.coherence.states import LineState, SUPPLIER_STATES
+from repro.obs.trace import EventType, TraceEvent, TraceSink
 from repro.ring.messages import RingMessage, SnoopKind
 from repro.sim.processor import Core
 from repro.workloads.trace import Access
@@ -140,12 +141,16 @@ class TransactionManager:
         stats: "RunStats",
         nodes: List["CMPNode"],
         cores: List[Core],
+        trace: Optional[TraceSink] = None,
     ) -> None:
         self.engine = engine
         self.config = config
         self.stats = stats
         self.nodes = nodes
         self.cores = cores
+        # Observability: None when tracing is off, so every emission
+        # site below costs one attribute load plus an identity test.
+        self._trace = trace
         # One reusable issue callback per core (indexed by core_id), so
         # completing an access does not allocate a fresh closure for
         # the next one.
@@ -379,6 +384,23 @@ class TransactionManager:
         txn.step_cb = self._walker.make_step_handler(txn)
         self._active.setdefault(address, []).append(txn)
 
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    now,
+                    EventType.ISSUE,
+                    txn.txn_id,
+                    core.cmp_id,
+                    address,
+                    {
+                        "kind": kind.value,
+                        "core": core.core_id,
+                        "squashed": squashed,
+                    },
+                )
+            )
+
         if not squashed:
             if kind is SnoopKind.READ:
                 self.stats.read_ring_transactions += 1
@@ -394,6 +416,21 @@ class TransactionManager:
         if txn.retired:
             return
         txn.retired = True
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    self.engine.now,
+                    EventType.RETIRE,
+                    txn.txn_id,
+                    txn.requester_cmp,
+                    txn.address,
+                    {
+                        "kind": txn.kind.value,
+                        "squashed": txn.msg is not None and txn.msg.squashed,
+                    },
+                )
+            )
         active_list = self._active.get(txn.address)
         if active_list and txn in active_list:
             active_list.remove(txn)
@@ -432,12 +469,32 @@ class TransactionManager:
 
     def retry(self, txn: Transaction) -> None:
         self.stats.retries += 1
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    self.engine.now,
+                    EventType.RETRY,
+                    txn.txn_id,
+                    txn.requester_cmp,
+                    txn.address,
+                    {},
+                )
+            )
         core = txn.core
         access = core.current_access
         if access.is_write:
             self._handle_write_reissue(core, access)
         else:
             self._handle_read_reissue(core, access)
+
+    # ==================================================================
+    # Introspection
+
+    def inflight(self) -> int:
+        """In-flight ring transactions right now (the timeline's
+        ring-occupancy sample)."""
+        return sum(len(txns) for txns in self._active.values())
 
     # ==================================================================
     # Write/version bookkeeping

@@ -34,11 +34,12 @@ invisible - both invariants are guarded by
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.coherence.protocol import CoherenceError
 from repro.core.predictors import PerfectPredictor
 from repro.core.primitives import Primitive, apply_primitive
+from repro.obs.trace import EventType, TraceEvent, TraceSink
 from repro.ring.messages import MessageMode, SnoopKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
@@ -72,6 +73,7 @@ class RingWalker:
         supplier_of: Dict[int, Tuple[int, int]],
         presence: List["PresencePredictor"],
         collect_perfect: bool,
+        trace: Optional[TraceSink] = None,
     ) -> None:
         self.engine = engine
         self.config = config
@@ -84,7 +86,11 @@ class RingWalker:
         self.presence = presence
         self.collect_perfect = collect_perfect
         self._supplier_of = supplier_of
+        # Observability: None when tracing is off, so every emission
+        # site below costs one attribute load plus an identity test.
+        self._trace = trace
         # Hot-path constants hoisted out of the per-event handlers.
+        self._predictor_kind = config.predictor.kind
         self._uses_predictor = algorithm.uses_predictor()
         self._choose = algorithm.choose
         self._prefetch_on_snoop = config.memory.prefetch_on_snoop
@@ -178,6 +184,24 @@ class RingWalker:
         departure = self._cross_link(txn, from_node, departure)
         arrival = departure + self.config.ring.hop_latency
         to_node = self.ring.next_node(from_node)
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    departure,
+                    EventType.HOP,
+                    txn.txn_id,
+                    from_node,
+                    txn.address,
+                    {
+                        "to": to_node,
+                        "arrival": arrival,
+                        "mode": msg.mode.value,
+                        "satisfied": msg.satisfied,
+                        "squashed": msg.squashed,
+                    },
+                )
+            )
         if (
             self._hop_batching
             and not self._in_warmup
@@ -290,6 +314,22 @@ class RingWalker:
             predictor_latency = predictor.latency
             if not isinstance(predictor, PerfectPredictor):
                 self.stats.accuracy.record(prediction, supplier_here)
+            trace = self._trace
+            if trace is not None:
+                trace.emit(
+                    TraceEvent(
+                        now,
+                        EventType.PREDICTOR,
+                        txn.txn_id,
+                        node_id,
+                        address,
+                        {
+                            "kind": self._predictor_kind,
+                            "prediction": prediction,
+                            "truth": supplier_here,
+                        },
+                    )
+                )
         else:
             prediction = True
             predictor_latency = 0
@@ -334,6 +374,23 @@ class RingWalker:
         if outcome.snooped:
             self.stats.read_snoops += 1
             self.energy.charge_snoop()
+            trace = self._trace
+            if trace is not None:
+                trace.emit(
+                    TraceEvent(
+                        now,
+                        EventType.SNOOP,
+                        txn.txn_id,
+                        node_id,
+                        address,
+                        {
+                            "kind": "read",
+                            "primitive": primitive.value,
+                            "snoop_done": outcome.snoop_done,
+                            "supplied": outcome.supplied,
+                        },
+                    )
+                )
             if (
                 not supplier_here
                 and prediction
@@ -409,6 +466,23 @@ class RingWalker:
         assert outcome.snooped and outcome.snoop_done is not None
         self.stats.write_snoops += 1
         self.energy.charge_snoop()
+        trace = self._trace
+        if trace is not None:
+            trace.emit(
+                TraceEvent(
+                    now,
+                    EventType.SNOOP,
+                    txn.txn_id,
+                    node_id,
+                    address,
+                    {
+                        "kind": "write",
+                        "primitive": primitive.value,
+                        "snoop_done": outcome.snoop_done,
+                        "supplied": False,
+                    },
+                )
+            )
 
         if supplier_here and txn.needs_data and txn.data_arrival is None:
             self._datapath.capture_write_supply(
@@ -447,6 +521,18 @@ class RingWalker:
         msg = txn.msg
         assert msg is not None
         if msg.squashed:
+            trace = self._trace
+            if trace is not None:
+                trace.emit(
+                    TraceEvent(
+                        now,
+                        EventType.SQUASH,
+                        txn.txn_id,
+                        txn.requester_cmp,
+                        txn.address,
+                        {},
+                    )
+                )
             txns = self._txns
             txns.retire(txn)
             self.stats.squashes += 1

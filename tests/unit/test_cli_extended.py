@@ -15,6 +15,7 @@ def test_cli_trace_writes_file(tmp_path):
     code = main(
         [
             "trace",
+            "workload",
             "--workload",
             "specjbb",
             "--scale",
@@ -27,6 +28,79 @@ def test_cli_trace_writes_file(tmp_path):
     workload = load_trace(out)
     assert workload.name == "SPECjbb"
     assert workload.num_cores == 8
+
+
+def test_cli_trace_record_show_audit_roundtrip(tmp_path, capsys):
+    out = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "trace",
+            "record",
+            "--algorithm",
+            "subset",
+            "--workload",
+            "specjbb",
+            "--scale",
+            "100",
+            "--out",
+            str(out),
+            "--audit",
+            "--sample-window",
+            "5000",
+        ]
+    )
+    assert code == 0
+    recorded = capsys.readouterr().out
+    assert "audit: ok" in recorded
+    assert "timeline:" in recorded
+    assert out.exists()
+
+    code = main(["trace", "show", str(out), "--limit", "1"])
+    assert code == 0
+    shown = capsys.readouterr().out
+    assert "issue" in shown
+    assert "retire" in shown
+    assert "elided" in shown
+
+    code = main(["trace", "show", str(out), "--txn", "999999"])
+    assert code == 0
+    assert "no events match" in capsys.readouterr().out
+
+    code = main(["trace", "audit", str(out)])
+    assert code == 0
+    assert "audit: ok" in capsys.readouterr().out
+
+
+def test_cli_trace_audit_flags_corrupted_trace(tmp_path, capsys):
+    out = tmp_path / "run.jsonl"
+    assert (
+        main(
+            [
+                "trace",
+                "record",
+                "--algorithm",
+                "lazy",
+                "--workload",
+                "specjbb",
+                "--scale",
+                "100",
+                "--out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # Drop every retirement: every transaction now violates the
+    # issue-retires-exactly-once rule.
+    lines = [
+        line
+        for line in out.read_text().splitlines()
+        if '"ev": "retire"' not in line
+    ]
+    out.write_text("\n".join(lines) + "\n")
+    assert main(["trace", "audit", str(out)]) == 1
+    assert "violation" in capsys.readouterr().err
 
 
 def test_cli_report_to_file(tmp_path, capsys):
@@ -123,7 +197,14 @@ def test_cli_figure_cache_lifecycle(tmp_path, monkeypatch, capsys):
             "Sub2k",
         ),
         (
-            ["trace", "--workload", "nonexistent", "--out", "/dev/null"],
+            [
+                "trace",
+                "workload",
+                "--workload",
+                "nonexistent",
+                "--out",
+                "/dev/null",
+            ],
             "workload",
             "specjbb",
         ),

@@ -233,3 +233,33 @@ def test_deterministic_interleaving_with_nested_events():
         return order
 
     assert run_once() == run_once()
+
+
+def test_call_every_fires_at_fixed_cadence():
+    engine = EventEngine()
+    ticks = []
+    engine.schedule(10, lambda: None)
+    engine.schedule(100, lambda: None)
+    engine.call_every(30, lambda: ticks.append(engine.now))
+    engine.run()
+    # The sampler keeps pace with real work (the events at 10 and
+    # 100) but stops rescheduling once it is the only thing left, so
+    # it never keeps a drained simulation alive.
+    assert ticks == [30, 60, 90, 120]
+    assert engine.pending == 0
+
+
+def test_call_every_stops_when_engine_is_otherwise_idle():
+    engine = EventEngine()
+    ticks = []
+    engine.call_every(25, lambda: ticks.append(engine.now))
+    engine.run()
+    assert ticks == [25]
+
+
+def test_call_every_rejects_nonpositive_interval():
+    engine = EventEngine()
+    with pytest.raises(ValueError):
+        engine.call_every(0, lambda: None)
+    with pytest.raises(ValueError):
+        engine.call_every(-5, lambda: None)

@@ -100,6 +100,40 @@ def test_merge():
     assert merged.min_value == 10
 
 
+def test_slow_growth_edges_strictly_increase():
+    histogram = LatencyHistogram(first=16, growth=1.001, buckets=32)
+    assert histogram.edges == sorted(set(histogram.edges))
+    # Every value lands in exactly one well-defined bucket.
+    for value in (0, 16, 17, 40, 48, 49, 10_000):
+        bucket = histogram._bucket_of(value)
+        assert 0 <= bucket <= len(histogram.edges)
+        histogram.record(value)
+    assert histogram.total == 7
+
+
+def test_merge_survives_slow_growth_geometry():
+    # Before the geometry was copied, merge() re-derived growth as
+    # edges[1]/edges[0], which the duplicate-collapsed integer edges
+    # of a slow-growth histogram push to <= 1.0 - and the constructor
+    # then rejected parameters it had itself produced.
+    a = LatencyHistogram(first=16, growth=1.001, buckets=32)
+    b = LatencyHistogram(first=16, growth=1.001, buckets=32)
+    for value in (10, 20):
+        a.record(value)
+    for value in (30, 40):
+        b.record(value)
+    merged = merge([a, b])
+    assert merged.edges == a.edges
+    assert merged.total == 4
+    assert merged.max_value == 40
+    assert merged.min_value == 10
+    # The merged histogram is a full LatencyHistogram: it records and
+    # compares like one.
+    merged.record(25)
+    assert merged.total == 5
+    assert merge([a]) != merged
+
+
 def test_merge_rejects_mismatched_geometry():
     a = LatencyHistogram(first=16)
     b = LatencyHistogram(first=32)

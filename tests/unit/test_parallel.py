@@ -69,6 +69,28 @@ def test_run_specs_preserves_input_order():
     assert [r.algorithm for r in results] == ["eager", "lazy"]
 
 
+def test_default_jobs_respects_affinity_mask(monkeypatch):
+    # Under cgroup limits or taskset the process may be allowed fewer
+    # CPUs than the machine has; default_jobs() must size the pool to
+    # the allowed set, not the hardware.
+    monkeypatch.setattr(
+        parallel_module.os, "sched_getaffinity", lambda pid: {0, 3}
+    )
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 64)
+    assert default_jobs() == 2
+
+
+def test_default_jobs_falls_back_without_affinity(monkeypatch):
+    # macOS/Windows have no sched_getaffinity.
+    monkeypatch.delattr(
+        parallel_module.os, "sched_getaffinity", raising=False
+    )
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: 6)
+    assert default_jobs() == 6
+    monkeypatch.setattr(parallel_module.os, "cpu_count", lambda: None)
+    assert default_jobs() == 1
+
+
 def test_run_specs_jobs_zero_means_auto():
     assert default_jobs() >= 1
     results = run_specs(

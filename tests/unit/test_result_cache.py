@@ -91,7 +91,11 @@ def test_key_distinguishes_machine_config():
 
 def test_key_includes_code_version(monkeypatch):
     before = SPEC.cache_key()
-    monkeypatch.setattr(rc_module, "CACHE_SCHEMA_VERSION", 2)
+    monkeypatch.setattr(
+        rc_module,
+        "CACHE_SCHEMA_VERSION",
+        rc_module.CACHE_SCHEMA_VERSION + 1,
+    )
     assert SPEC.cache_key() != before
 
 
@@ -148,6 +152,59 @@ def test_clear_and_info(cache):
     # Clearing an empty (or missing) cache is fine.
     assert cache.clear() == 0
     assert ResultCache(root=cache.root / "missing").clear() == 0
+
+
+def test_orphaned_tmp_is_counted_and_pruned(cache):
+    # Simulate a writer that died between writing its temp file and
+    # the atomic replace: the temp exists, the final entry does not,
+    # and no later put ever reuses the name (pids differ).
+    key = "deadbeef" * 8
+    path = cache._path_for(key)
+    path.parent.mkdir(parents=True)
+    torn = path.with_name(path.name + ".tmp.99999")
+    torn.write_bytes(b"partial pickle bytes")
+
+    info = cache.info()
+    assert info["tmp_files"] == 1
+    assert info["entries"] == 0  # a torn temp is not a live entry
+    # A fresh temp (an in-flight writer's file) is left alone...
+    assert cache.prune_tmp(max_age_seconds=3600) == 0
+    assert torn.exists()
+    # ...a stale orphan is reclaimed.
+    assert cache.prune_tmp(max_age_seconds=0) == 1
+    assert not torn.exists()
+    assert cache.info()["tmp_files"] == 0
+
+
+def test_clear_removes_tmp_and_empty_shard_dirs(cache):
+    result = run_specs([SPEC], jobs=1)[0]
+    key = SPEC.cache_key()
+    cache.put(key, result)
+    shard = cache._path_for(key).parent
+    torn = cache._path_for(key).with_name("x.pkl.tmp.123")
+    torn.write_bytes(b"torn")
+
+    assert cache.clear() == 1
+    assert not torn.exists()
+    assert not shard.exists()
+    assert not cache._bucket_root.exists()
+
+
+def test_accounting_ignores_stale_schema_entries(cache):
+    result = run_specs([SPEC], jobs=1)[0]
+    cache.put(SPEC.cache_key(), result)
+    # An entry written under an older cache schema: never served, so
+    # it must not be counted as live - but clear() still removes it.
+    stale = cache.root / "v1" / "ab" / ("ab" + "0" * 62 + ".pkl")
+    stale.parent.mkdir(parents=True)
+    stale.write_bytes(b"old entry")
+
+    info = cache.info()
+    assert info["entries"] == 1
+    assert info["stale_entries"] == 1
+    assert cache.clear() == 2
+    assert not stale.exists()
+    assert cache.root.is_dir()  # the root itself survives
 
 
 def test_run_specs_populates_and_reuses_cache(cache):
