@@ -49,13 +49,19 @@ from repro.core import (
 )
 from repro.sim import RingMultiprocessor, SimulationResult
 from repro.workloads import (
+    FileReplaySource,
     SharingProfile,
+    SyntheticSource,
+    TraceSource,
+    WorkloadSource,
     WorkloadTrace,
+    as_source,
     build_workload,
     generate_workload,
+    resolve_source,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CacheConfig",
@@ -85,6 +91,12 @@ __all__ = [
     "SimulationResult",
     "SharingProfile",
     "WorkloadTrace",
+    "WorkloadSource",
+    "TraceSource",
+    "SyntheticSource",
+    "FileReplaySource",
+    "as_source",
+    "resolve_source",
     "build_workload",
     "generate_workload",
     "__version__",

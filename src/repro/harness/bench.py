@@ -20,7 +20,7 @@ Measurement protocol: every trial builds a fresh
 persistent result cache disabled, so all 21 cells are actually
 simulated; the snapshot keeps the best of ``trials`` runs, which
 filters scheduler noise without hiding real regressions.  Workload
-traces are memoized per process (see ``parallel._cached_trace``), so
+sources are memoized per process (see ``parallel._cached_source``), so
 trials after the first measure simulation alone - another reason
 best-of is the right statistic.
 """

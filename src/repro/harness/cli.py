@@ -9,10 +9,15 @@ Examples::
     flexsnoop report --scale 1000 --out report.md
     flexsnoop trace record --algorithm subset --workload specjbb \
         --out jbb-trace.jsonl --audit
+    flexsnoop trace record --algorithm lazy --workload file:jbb.jsonl \
+        --out run.jsonl --sink jsonl
     flexsnoop trace show jbb-trace.jsonl --address 0x2a40 --limit 5
     flexsnoop trace audit jbb-trace.jsonl
     flexsnoop trace workload --workload specjbb --out jbb.jsonl
+    flexsnoop trace convert --format gem5 --in mem.trace --out mem.jsonl
+    flexsnoop run --algorithm subset --workload file:mem.jsonl
     flexsnoop cache info
+    flexsnoop cache prune --max-size 256M
     flexsnoop cache clear
     flexsnoop profile --algorithm exact --workload specweb --top 20
     flexsnoop bench --out BENCH_02.json
@@ -46,6 +51,26 @@ def _make_cache(args: argparse.Namespace) -> ResultCache:
     return ResultCache(enabled=not getattr(args, "no_cache", False))
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte size with an optional K/M/G suffix (``"256M"``)."""
+    raw = text.strip()
+    multiplier = 1
+    if raw and raw[-1].lower() in ("k", "m", "g"):
+        multiplier = {
+            "k": 1024, "m": 1024 ** 2, "g": 1024 ** 3,
+        }[raw[-1].lower()]
+        raw = raw[:-1]
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            "bad size %r (expect e.g. 4096, 64K, 256M, 1G)" % text
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError("size must be >= 0: %r" % text)
+    return int(value * multiplier)
+
+
 def _add_component_options(
     parser: argparse.ArgumentParser,
     default_algorithm: str,
@@ -68,7 +93,8 @@ def _add_component_options(
     parser.add_argument(
         "--workload",
         default=default_workload,
-        help="workload name (known: %s)"
+        help="workload source spec: a registered name (known: %s) or "
+        "file:PATH / gem5:PATH / champsim:PATH for trace replay"
         % ", ".join(REGISTRY.names("workload")),
     )
     parser.add_argument(
@@ -219,11 +245,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_trace_workload(args: argparse.Namespace) -> int:
     from repro.workloads.io import save_trace
-    from repro.workloads.profiles import build_workload
+    from repro.workloads.source import resolve_source
 
-    workload = build_workload(
+    workload = resolve_source(
         args.workload, accesses_per_core=args.scale, seed=args.seed
-    )
+    ).materialize()
     save_trace(workload, args.out)
     print(
         "wrote %s: %d cores, %d accesses"
@@ -239,9 +265,17 @@ def _print_violations(violations) -> None:
 
 def _cmd_trace_record(args: argparse.Namespace) -> int:
     from repro.obs.audit import TraceAuditor
-    from repro.obs.jsonl import write_trace
+    from repro.obs.jsonl import read_trace, write_trace
     from repro.obs.runner import run_traced
 
+    sink_spec = args.sink
+    if sink_spec == "jsonl":
+        # Bare "jsonl" streams to --out directly.
+        sink_spec = "jsonl:" + args.out
+    streamed = sink_spec != "memory"
+    out_path = args.out
+    if streamed:
+        out_path = sink_spec.partition(":")[2] or args.out
     traced = run_traced(
         args.algorithm,
         args.workload,
@@ -251,19 +285,35 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
         warmup_fraction=args.warmup,
         check_invariants=args.check_invariants,
         sample_window=args.sample_window,
+        sink=sink_spec,
     )
-    write_trace(args.out, traced.events, meta=traced.meta)
-    transactions = len({e.txn for e in traced.events if e.txn >= 0})
-    print(
-        "wrote %s: %d event(s) across %d transaction(s)"
-        % (args.out, len(traced.events), transactions)
-    )
+    if streamed:
+        # Events went straight to disk during the run; nothing is
+        # buffered here, so long runs record in constant memory.
+        events = None
+        print(
+            "wrote %s: %d event(s) (streamed)"
+            % (out_path, traced.meta["num_events"])
+        )
+    else:
+        events = traced.events
+        write_trace(out_path, events, meta=traced.meta)
+        transactions = len({e.txn for e in events if e.txn >= 0})
+        print(
+            "wrote %s: %d event(s) across %d transaction(s)"
+            % (out_path, len(events), transactions)
+        )
     if traced.samples:
         print("timeline: %d sample(s), window %d cycles"
               % (len(traced.samples), args.sample_window))
     if args.audit:
+        if events is None:
+            # Audit what actually landed on disk - this also proves
+            # the streamed file reads back.
+            _meta, events = read_trace(out_path)
+        transactions = len({e.txn for e in events if e.txn >= 0})
         auditor = TraceAuditor(num_cmps=traced.meta["num_cmps"])
-        violations = auditor.audit(traced.events)
+        violations = auditor.audit(events)
         if violations:
             print(
                 "audit: %d violation(s)" % len(violations),
@@ -272,6 +322,31 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
             _print_violations(violations)
             return 1
         print("audit: ok (%d transaction(s) validated)" % transactions)
+    return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    from repro.workloads.convert import convert_trace
+    from repro.workloads.io import TraceFormatError
+
+    try:
+        num_cores, total = convert_trace(
+            args.infile,
+            args.out,
+            args.format,
+            cores_per_cmp=args.cores_per_cmp,
+            line_bytes=args.line_bytes,
+            ticks_per_cycle=args.ticks_per_cycle,
+            name=args.name or None,
+        )
+    except (TraceFormatError, OSError) as exc:
+        print("flexsnoop: %s" % exc, file=sys.stderr)
+        return 1
+    print(
+        "wrote %s: %d cores, %d accesses (converted from %s %s)"
+        % (args.out, num_cores, total, args.format, args.infile)
+    )
+    print("replay with: flexsnoop run --workload file:%s" % args.out)
     return 0
 
 
@@ -334,6 +409,23 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = cache.clear()
         print("removed %d cached result(s) from %s" % (removed, cache.root))
+        return 0
+    if args.action == "prune":
+        if args.max_size is None:
+            print(
+                "flexsnoop: cache prune requires --max-size",
+                file=sys.stderr,
+            )
+            return 2
+        stats = cache.prune(args.max_size)
+        print(
+            "removed %d entry(ies), freed %.1f KiB; cache now %.1f KiB"
+            % (
+                stats["removed"],
+                stats["freed_bytes"] / 1024.0,
+                stats["size_bytes"] / 1024.0,
+            )
+        )
         return 0
     print("unknown cache action %r" % args.action, file=sys.stderr)
     return 2
@@ -463,9 +555,15 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.set_defaults(func=_cmd_report)
 
     cache_parser = sub.add_parser(
-        "cache", help="inspect or clear the persistent result cache"
+        "cache",
+        help="inspect, prune or clear the persistent result cache",
     )
-    cache_parser.add_argument("action", choices=("info", "clear"))
+    cache_parser.add_argument("action", choices=("info", "prune", "clear"))
+    cache_parser.add_argument(
+        "--max-size", type=_parse_size, default=None,
+        help="prune: evict least-recently-used entries until the "
+        "cache fits this budget (accepts K/M/G suffixes, e.g. 256M)",
+    )
     cache_parser.set_defaults(func=_cmd_cache)
 
     profile_parser = sub.add_parser(
@@ -539,6 +637,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     record_parser.add_argument("--out", required=True)
     record_parser.add_argument(
+        "--sink", default="memory",
+        help="trace sink spec (registry kind 'sink'): 'memory' "
+        "buffers then writes --out; 'jsonl' streams events to --out "
+        "in constant memory; 'jsonl:PATH' streams elsewhere",
+    )
+    record_parser.add_argument(
         "--audit", action="store_true",
         help="validate the recorded trace with the lifecycle "
         "auditors; exit 1 on any violation",
@@ -596,6 +700,42 @@ def build_parser() -> argparse.ArgumentParser:
     workload_parser.add_argument("--seed", type=int, default=0)
     workload_parser.add_argument("--out", required=True)
     workload_parser.set_defaults(func=_cmd_trace_workload)
+
+    convert_parser = trace_sub.add_parser(
+        "convert",
+        help="convert an external (gem5/champsim) memory trace to "
+        "the flexsnoop JSONL workload format for replay",
+    )
+    convert_parser.add_argument(
+        "--format", required=True, choices=("gem5", "champsim"),
+        help="external trace dialect",
+    )
+    convert_parser.add_argument(
+        "--in", dest="infile", required=True,
+        help="external trace file to read",
+    )
+    convert_parser.add_argument(
+        "--out", required=True,
+        help="flexsnoop-trace JSONL file to write",
+    )
+    convert_parser.add_argument(
+        "--cores-per-cmp", type=int, default=1,
+        help="CMP geometry to stamp on the converted workload "
+        "(cpu ids pad up to whole CMPs)",
+    )
+    convert_parser.add_argument(
+        "--line-bytes", type=int, default=64,
+        help="cache-line size used to map byte addresses to lines",
+    )
+    convert_parser.add_argument(
+        "--ticks-per-cycle", type=int, default=1000,
+        help="gem5 tick-to-cycle divisor for think times",
+    )
+    convert_parser.add_argument(
+        "--name", default="",
+        help="workload display name (default: derived from the file)",
+    )
+    convert_parser.set_defaults(func=_cmd_trace_convert)
 
     return parser
 

@@ -40,8 +40,7 @@ from repro.harness.result_cache import (
     fingerprint_key,
 )
 from repro.sim.system import RingMultiprocessor, SimulationResult
-from repro.workloads.profiles import build_workload, resolve_profile
-from repro.workloads.trace import WorkloadTrace
+from repro.workloads.source import WorkloadSource, resolve_source
 
 
 @dataclass(frozen=True)
@@ -65,13 +64,22 @@ class RunSpec:
     warmup_fraction: float = 0.0
     config: Optional[MachineConfig] = None
 
-    def resolve_config(self, cores_per_cmp: int) -> MachineConfig:
-        """The machine this spec simulates."""
+    def resolve_config(
+        self, cores_per_cmp: int, num_cmps: int = 8
+    ) -> MachineConfig:
+        """The machine this spec simulates.
+
+        With no explicit ``config`` override the default machine is
+        shaped to the workload source's geometry - builtin profiles
+        populate the paper's 8 CMPs, but a replayed trace file brings
+        its own CMP count.
+        """
         if self.config is None:
             return default_machine(
                 algorithm=self.algorithm,
                 predictor=self.predictor,
                 cores_per_cmp=cores_per_cmp,
+                num_cmps=num_cmps,
             )
         machine = self.config
         if self.predictor is not None:
@@ -80,46 +88,76 @@ class RunSpec:
             )
         return machine
 
-    def fingerprint(self, cores_per_cmp: int) -> Dict[str, Any]:
-        """JSON-able payload that uniquely identifies the result."""
-        return {
+    def fingerprint(
+        self,
+        cores_per_cmp: int,
+        source_descriptor: Optional[Dict[str, Any]] = None,
+        num_cmps: int = 8,
+    ) -> Dict[str, Any]:
+        """JSON-able payload that uniquely identifies the result.
+
+        When the workload source publishes a stable *descriptor* (the
+        normal case: synthetic profiles embed their parameters, file
+        replays embed the file's content hash), the payload is keyed
+        on it - two spellings of the same input collide, and a file
+        whose contents change gets a fresh key.  Sources without a
+        descriptor fall back to the literal spec fields.
+        """
+        payload: Dict[str, Any] = {
             "algorithm": self.algorithm,
-            "workload": self.workload,
             "predictor": self.predictor,
-            "accesses_per_core": self.accesses_per_core,
-            "seed": self.seed,
             "warmup_fraction": self.warmup_fraction,
             "machine": config_fingerprint(
-                self.resolve_config(cores_per_cmp)
+                self.resolve_config(cores_per_cmp, num_cmps)
             ),
         }
+        if source_descriptor is not None:
+            payload["source"] = source_descriptor
+        else:
+            payload["workload"] = self.workload
+            payload["accesses_per_core"] = self.accesses_per_core
+            payload["seed"] = self.seed
+        return payload
 
     def cache_key(self) -> str:
         """Stable cache key; includes the resolved machine config.
 
-        Only the workload *profile* is resolved (to learn its CMP
-        population), not the trace, so key computation stays cheap on
-        the warm-cache path.
+        The workload source is resolved (to learn its geometry and
+        descriptor) but never materialized, so key computation stays
+        cheap on the warm-cache path - a file-backed source costs one
+        header/hash scan, a synthetic source costs nothing.
         """
-        profile = resolve_profile(
+        source = _cached_source(
             self.workload, self.accesses_per_core, self.seed
         )
-        return fingerprint_key(self.fingerprint(profile.cores_per_cmp))
+        return fingerprint_key(
+            self.fingerprint(
+                source.cores_per_cmp,
+                source.descriptor(),
+                source.num_cmps,
+            )
+        )
 
 
 @lru_cache(maxsize=8)
-def _cached_trace(
+def _cached_source(
     workload: str, accesses_per_core: int, seed: int
-) -> WorkloadTrace:
-    """Build (or reuse) a workload trace.
+) -> WorkloadSource:
+    """Resolve (and reuse) a workload source.
 
-    Traces are immutable during simulation (cores advance private
-    indices; the access lists are never written), so one trace can be
+    Sources are immutable during simulation (cores consume private
+    iterators; synthetic sources memoize their generated trace, file
+    sources open a fresh handle per core stream), so one source can be
     shared by every run of the same (workload, scale, seed) within a
-    process - a sweep over N values builds its trace once, and a
-    7-algorithm matrix builds one trace per workload instead of seven.
+    process - a sweep over N values resolves its source once, and a
+    7-algorithm matrix resolves one source per workload instead of
+    seven.  Because only the *spec string* crosses the process
+    boundary, parallel workers regenerate synthetic inputs or replay
+    files locally instead of pickling materialized traces.
     """
-    return build_workload(workload, accesses_per_core, seed)
+    return resolve_source(
+        workload, accesses_per_core=accesses_per_core, seed=seed
+    )
 
 
 def execute_spec(spec: RunSpec) -> SimulationResult:
@@ -130,12 +168,14 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     serial and parallel harnesses, which is what makes their results
     identical by construction.
     """
-    trace = _cached_trace(spec.workload, spec.accesses_per_core, spec.seed)
-    machine = spec.resolve_config(trace.cores_per_cmp)
+    source = _cached_source(
+        spec.workload, spec.accesses_per_core, spec.seed
+    )
+    machine = spec.resolve_config(source.cores_per_cmp, source.num_cmps)
     system = RingMultiprocessor(
         machine,
         build_algorithm(spec.algorithm),
-        trace,
+        source,
         warmup_fraction=spec.warmup_fraction,
     )
     return system.run()

@@ -47,7 +47,10 @@ from repro.sim.system import SimulationResult
 #: version, ...).  Folded into every cache key.
 #: v2: MachineConfig grew the ``tracing`` field, which changes every
 #: config fingerprint.
-CACHE_SCHEMA_VERSION = 2
+#: v3: RunSpec fingerprints are keyed on the workload source
+#: descriptor (content hash for file replays, parameter snapshot for
+#: synthetic profiles) instead of the literal spec fields.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "FLEXSNOOP_CACHE_DIR"
@@ -142,6 +145,13 @@ class ResultCache:
         if not isinstance(result, SimulationResult):
             self.misses += 1
             return None
+        # Refresh the access time so :meth:`prune`'s LRU ordering sees
+        # recently-served entries as live.  Best-effort: a read-only
+        # cache still serves hits.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         self.hits += 1
         return result
 
@@ -253,6 +263,49 @@ class ResultCache:
                 path.rmdir()  # fails (and is kept) unless empty
             except OSError:
                 pass
+
+    def prune(self, max_size_bytes: int) -> Dict[str, int]:
+        """Shrink the current-schema cache under a size budget.
+
+        Evicts least-recently-used entries first, where "used" is the
+        file mtime - :meth:`get` refreshes it on every hit, so entries
+        a recent run served survive entries nobody has touched.  Only
+        current-schema entries count toward (and are evicted against)
+        the budget; stale-schema entries are dead weight handled by
+        :meth:`clear`.  Returns ``{"removed", "freed_bytes",
+        "size_bytes"}`` with the post-prune size.
+        """
+        if max_size_bytes < 0:
+            raise ValueError("max_size_bytes must be >= 0")
+        entries = []
+        total = 0
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        entries.sort(key=lambda item: item[0])
+        removed = 0
+        freed = 0
+        for _mtime, size, path in entries:
+            if total <= max_size_bytes:
+                break
+            try:
+                os.remove(path)
+            except OSError:
+                continue
+            total -= size
+            freed += size
+            removed += 1
+        if removed:
+            self._remove_empty_dirs()
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "size_bytes": total,
+        }
 
     def clear(self) -> int:
         """Delete every cached entry - current *and* stale schemas -

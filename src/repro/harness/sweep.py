@@ -29,7 +29,7 @@ from repro.config import MachineConfig, default_machine
 from repro.harness.parallel import RunSpec, run_specs
 from repro.harness.result_cache import ResultCache
 from repro.sim.system import SimulationResult
-from repro.workloads.profiles import resolve_profile
+from repro.workloads.source import resolve_source
 
 ConfigMutator = Callable[[MachineConfig, Any], MachineConfig]
 
@@ -93,16 +93,20 @@ def run_sweep(
 ) -> Sweep:
     """Run one simulation per swept value and collect the results.
 
-    The workload trace does not vary across swept values, so it is
-    built once per process and shared by every point (the execution
-    layer memoizes it).  The mutator runs here, in the calling
+    The workload source does not vary across swept values, so it is
+    resolved once per process and shared by every point (the
+    execution layer memoizes it).  The mutator runs here, in the calling
     process, so it may be any callable - only the resulting
     (picklable) ``MachineConfig`` is shipped to pool workers when
     ``jobs`` enables fan-out.
     """
-    profile = resolve_profile(workload, accesses_per_core, seed)
+    source = resolve_source(
+        workload, accesses_per_core=accesses_per_core, seed=seed
+    )
     base = base_config or default_machine(
-        algorithm=algorithm, cores_per_cmp=profile.cores_per_cmp
+        algorithm=algorithm,
+        cores_per_cmp=source.cores_per_cmp,
+        num_cmps=source.num_cmps,
     )
     specs = [
         RunSpec(

@@ -4,10 +4,16 @@
 with the observability layer switched on: it resolves the same
 (algorithm, workload, predictor, scale, seed) cell through the same
 :class:`~repro.harness.parallel.RunSpec` machinery - so a traced run
-simulates exactly the machine the harness would - then attaches an
-:class:`~repro.obs.trace.InMemorySink` (and, when ``sample_window`` is
-set, a metrics timeline) and returns everything bundled as a
-:class:`TracedRun`.
+simulates exactly the machine the harness would - then attaches a
+trace sink (resolved from ``sink``, a registry spec such as
+``"memory"`` or ``"jsonl:/tmp/run.jsonl"``) and, when
+``sample_window`` is set, a metrics timeline, and returns everything
+bundled as a :class:`TracedRun`.
+
+With a file-backed sink the events stream to disk as they are
+emitted and :attr:`TracedRun.events` stays empty - recording a
+million-event run needs constant memory.  ``meta["num_events"]`` is
+accurate either way.
 
 Traced runs are never result-cached: the persistent cache stores
 ``SimulationResult`` objects only, and a trace is cheap to regenerate
@@ -21,15 +27,20 @@ from typing import Any, Dict, List, Optional
 
 from repro.config import MachineConfig, TraceConfig
 from repro.core.algorithms import build_algorithm
-from repro.harness.parallel import RunSpec, _cached_trace
+from repro.harness.parallel import RunSpec, _cached_source
 from repro.obs.timeline import TimelineSample
-from repro.obs.trace import InMemorySink, TraceEvent
+from repro.obs.trace import InMemorySink, TraceEvent, resolve_sink
 from repro.sim.system import RingMultiprocessor, SimulationResult
 
 
 @dataclass
 class TracedRun:
-    """A simulation result plus everything observed along the way."""
+    """A simulation result plus everything observed along the way.
+
+    ``events`` holds the in-memory event list when the run used the
+    default ``"memory"`` sink and is empty for streaming sinks (the
+    events are on disk; ``meta["num_events"]`` still counts them).
+    """
 
     result: SimulationResult
     events: List[TraceEvent]
@@ -50,12 +61,14 @@ def run_traced(
     check_invariants: bool = False,
     sample_window: int = 0,
     config: Optional[MachineConfig] = None,
+    sink: str = "memory",
 ) -> TracedRun:
     """Run one cell with tracing on and return the full observation.
 
     Args:
         algorithm: algorithm name (registry kind ``algorithm``).
-        workload: workload profile name (0-scale = profile default).
+        workload: workload source spec (registry kind ``workload``
+            name, or a scheme spec such as ``file:trace.jsonl``).
         predictor: named predictor override (Section 5.2 names).
         accesses_per_core: trace length (0 = workload default).
         seed: workload seed override (0 = workload default).
@@ -67,6 +80,8 @@ def run_traced(
             samples (0 = no timeline).
         config: full machine config override, as in
             :func:`~repro.harness.experiments.run_experiment`.
+        sink: trace sink spec (registry kind ``sink``); file-backed
+            sinks receive the run metadata as their header line.
     """
     spec = RunSpec(
         algorithm=algorithm,
@@ -77,29 +92,22 @@ def run_traced(
         warmup_fraction=warmup_fraction,
         config=config,
     )
-    trace = _cached_trace(workload, accesses_per_core, seed)
-    machine = spec.resolve_config(trace.cores_per_cmp)
+    source = _cached_source(workload, accesses_per_core, seed)
+    machine = spec.resolve_config(source.cores_per_cmp, source.num_cmps)
     machine = machine.replace(
         tracing=TraceConfig(
             enabled=True,
-            sink="memory",
+            sink=sink,
             sample_window=sample_window,
         ),
         check_invariants=machine.check_invariants or check_invariants,
     )
-    sink = InMemorySink()
-    system = RingMultiprocessor(
-        machine,
-        build_algorithm(algorithm),
-        trace,
-        warmup_fraction=warmup_fraction,
-        trace_sink=sink,
-    )
-    result = system.run()
-    samples = system.timeline.samples if system.timeline is not None else []
-    meta = {
-        "algorithm": result.algorithm,
-        "workload": result.workload,
+    # Resolvable pre-run metadata; the result-dependent fields are
+    # appended after the run (a streaming sink has already written its
+    # header by then, which is why they are split out).
+    meta: Dict[str, Any] = {
+        "algorithm": build_algorithm(algorithm).name,
+        "workload": source.name,
         "predictor": predictor,
         "predictor_kind": machine.predictor.kind,
         "num_cmps": machine.num_cmps,
@@ -107,9 +115,30 @@ def run_traced(
         "accesses_per_core": accesses_per_core,
         "seed": seed,
         "warmup_fraction": warmup_fraction,
-        "exec_time": result.exec_time,
-        "num_events": len(sink.events),
     }
+    trace_sink = resolve_sink(sink, meta=meta)
+    system = RingMultiprocessor(
+        machine,
+        build_algorithm(algorithm),
+        source,
+        warmup_fraction=warmup_fraction,
+        trace_sink=trace_sink,
+    )
+    try:
+        result = system.run()
+    finally:
+        trace_sink.close()
+    samples = system.timeline.samples if system.timeline is not None else []
+    if isinstance(trace_sink, InMemorySink):
+        events = trace_sink.events
+        num_events = len(events)
+    else:
+        events = []
+        num_events = int(getattr(trace_sink, "events_emitted", 0))
+    meta["algorithm"] = result.algorithm
+    meta["workload"] = result.workload
+    meta["exec_time"] = result.exec_time
+    meta["num_events"] = num_events
     return TracedRun(
-        result=result, events=sink.events, samples=samples, meta=meta
+        result=result, events=events, samples=samples, meta=meta
     )

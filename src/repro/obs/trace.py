@@ -128,7 +128,8 @@ class JsonlStreamSink(TraceSink):
     Constant memory; the file layout matches
     :func:`repro.obs.jsonl.write_trace` (an optional meta header line,
     then one event object per line), so :func:`repro.obs.jsonl.read_trace`
-    reads it back.
+    reads it back.  ``events_emitted`` counts what went to disk, so
+    callers report event totals without re-reading the file.
     """
 
     def __init__(
@@ -137,6 +138,7 @@ class JsonlStreamSink(TraceSink):
         meta: Optional[Mapping[str, Any]] = None,
     ) -> None:
         self.path = path
+        self.events_emitted = 0
         self._handle: Optional[IO[str]] = open(path, "w", encoding="utf-8")
         if meta is not None:
             self._handle.write(
@@ -150,11 +152,39 @@ class JsonlStreamSink(TraceSink):
         if handle is None:
             raise ValueError("sink is closed")
         handle.write(json.dumps(event_to_json(event), sort_keys=True) + "\n")
+        self.events_emitted += 1
 
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+
+def resolve_sink(
+    spec: str, meta: Optional[Mapping[str, Any]] = None
+) -> TraceSink:
+    """Resolve a sink *spec* to a sink instance.
+
+    A spec is a registry sink name with an optional colon-separated
+    argument passed to the factory: ``"memory"`` builds an
+    :class:`InMemorySink`; ``"jsonl:/tmp/run.jsonl"`` builds a
+    :class:`JsonlStreamSink` streaming to that path.  ``meta`` is
+    forwarded to factories that accept it (file-backed sinks write it
+    as their header line) and silently dropped for those that do not.
+    """
+    from repro.registry import REGISTRY
+
+    name, _, arg = str(spec).partition(":")
+    args = (arg,) if arg else ()
+    if meta is not None:
+        try:
+            return REGISTRY.create("sink", name, *args, meta=meta)
+        except TypeError:
+            pass
+    try:
+        return REGISTRY.create("sink", name, *args)
+    except TypeError as exc:
+        raise ValueError("bad sink spec %r: %s" % (spec, exc)) from exc
 
 
 def _register_sinks() -> None:

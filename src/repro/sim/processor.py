@@ -1,10 +1,18 @@
 """Trace-replay core model.
 
-Each core replays its access trace: it computes for the access's think
-time, issues the access, and blocks until the memory system completes
-it.  Read misses block until the data line arrives (the paper lets the
-processor use the line as soon as it arrives, before the snoop reply
-returns); writes block until the invalidation acknowledgement.
+Each core replays its access stream: it computes for the access's
+think time, issues the access, and blocks until the memory system
+completes it.  Read misses block until the data line arrives (the
+paper lets the processor use the line as soon as it arrives, before
+the snoop reply returns); writes block until the invalidation
+acknowledgement.
+
+The feed is a lazily-consumed iterator (see
+:class:`repro.workloads.source.WorkloadSource`): a core holds only
+the *current* access, so replaying a million-access file trace never
+materializes the list.  Passing ``trace=`` (a list) still works - it
+is wrapped in an iterator - and keeps the whole-trace reference for
+callers that want it.
 
 This deliberately simple model makes the average miss-service latency
 the first-order determinant of execution time, which is exactly the
@@ -13,32 +21,51 @@ quantity the snooping algorithms differentiate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, List, Optional
 
 from repro.workloads.trace import Access, CoreTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.source import WorkloadSource
 
 
 @dataclass
 class Core:
-    """Replay state of one core."""
+    """Replay state of one core.
+
+    Exactly one of ``trace`` (materialized list) or ``stream`` (lazy
+    iterator) feeds the core; ``index`` counts completed advances
+    either way.
+    """
 
     core_id: int
     cmp_id: int
     local_id: int
-    trace: CoreTrace
+    trace: CoreTrace = field(default_factory=list)
+    stream: Optional[Iterator[Access]] = None
     index: int = 0
     finish_time: Optional[int] = None
     blocked_since: Optional[int] = None
     stall_cycles: int = 0
 
+    def __post_init__(self) -> None:
+        if self.stream is None:
+            self.stream = iter(self.trace[self.index:])
+        self._current: Optional[Access] = next(self.stream, None)
+
     @property
     def done(self) -> bool:
-        return self.index >= len(self.trace)
+        return self._current is None
 
     @property
     def current_access(self) -> Access:
-        return self.trace[self.index]
+        access = self._current
+        if access is None:
+            raise IndexError(
+                "core %d has exhausted its access stream" % self.core_id
+            )
+        return access
 
     def block(self, now: int) -> None:
         self.blocked_since = now
@@ -50,6 +77,7 @@ class Core:
 
     def advance(self) -> None:
         self.index += 1
+        self._current = next(self.stream, None)  # type: ignore[arg-type]
 
 
 def build_cores(traces: List[CoreTrace], cores_per_cmp: int) -> List[Core]:
@@ -62,4 +90,22 @@ def build_cores(traces: List[CoreTrace], cores_per_cmp: int) -> List[Core]:
             trace=trace,
         )
         for i, trace in enumerate(traces)
+    ]
+
+
+def build_cores_from_source(source: "WorkloadSource") -> List[Core]:
+    """Construct streaming cores fed by a workload source.
+
+    The cores never see the full lists; each holds one lazy iterator
+    from :meth:`~repro.workloads.source.WorkloadSource.core_stream`.
+    """
+    cores_per_cmp = source.cores_per_cmp
+    return [
+        Core(
+            core_id=i,
+            cmp_id=i // cores_per_cmp,
+            local_id=i % cores_per_cmp,
+            stream=source.core_stream(i),
+        )
+        for i in range(source.num_cores)
     ]

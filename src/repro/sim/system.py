@@ -61,7 +61,7 @@ Same-CMP requests to a busy line wait in an MSHR instead.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.config import MachineConfig
 from repro.coherence.protocol import CoherenceError, ProtocolTables
@@ -72,14 +72,13 @@ from repro.core.presence import PresencePredictor
 from repro.energy.model import EnergyModel
 from repro.metrics.stats import RunStats
 from repro.obs.timeline import MetricsTimeline
-from repro.obs.trace import TraceSink
-from repro.registry import REGISTRY
+from repro.obs.trace import TraceSink, resolve_sink
 from repro.ring.node import CMPNode
 from repro.ring.topology import RingTopology, TorusTopology
 from repro.sim.datapath import DataPathModel
 from repro.sim.engine import EventEngine
 from repro.sim.memory import MainMemory
-from repro.sim.processor import Core, build_cores
+from repro.sim.processor import Core, build_cores, build_cores_from_source
 from repro.sim.transactions import Transaction, TransactionManager
 from repro.sim.walker import RingWalker
 from repro.sim.warmup import (
@@ -87,6 +86,8 @@ from repro.sim.warmup import (
     _PrewarmMemo,
     WarmupController,
 )
+from repro.workloads.source import WorkloadSource, as_source
+from repro.workloads.synthetic import SharingProfile
 from repro.workloads.trace import WorkloadTrace
 
 __all__ = [
@@ -128,27 +129,39 @@ class RingMultiprocessor:
         self,
         config: MachineConfig,
         algorithm: SnoopingAlgorithm,
-        workload: WorkloadTrace,
+        workload: "Union[WorkloadTrace, WorkloadSource, SharingProfile]",
         collect_perfect: bool = True,
         warmup_fraction: float = 0.0,
         trace_sink: Optional[TraceSink] = None,
     ) -> None:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
-        workload.validate()
-        if workload.num_cmps != config.num_cmps:
+        # Normalize every accepted input (materialized trace, sharing
+        # profile, workload source) to the source seam; streaming
+        # sources feed the cores lazy iterators and are never
+        # materialized on this path.
+        source = as_source(workload)
+        if not source.streaming:
+            source.materialize().validate()
+        if source.num_cmps != config.num_cmps:
             raise ValueError(
                 "workload spans %d CMPs but machine has %d"
-                % (workload.num_cmps, config.num_cmps)
+                % (source.num_cmps, config.num_cmps)
             )
-        if workload.cores_per_cmp != config.cores_per_cmp:
+        if source.cores_per_cmp != config.cores_per_cmp:
             raise ValueError(
                 "workload uses %d cores/CMP but machine has %d"
-                % (workload.cores_per_cmp, config.cores_per_cmp)
+                % (source.cores_per_cmp, config.cores_per_cmp)
             )
         self.config = config
         self.algorithm = algorithm
-        self.workload = workload
+        self.source = source
+        # Back-compat attribute: the materialized trace when one is
+        # available without breaking the streaming contract, else the
+        # source itself (both expose ``.name``).
+        self.workload = (
+            source if source.streaming else source.materialize()
+        )
         self.collect_perfect = collect_perfect
 
         # Observability: a sink passed explicitly wins; otherwise one
@@ -156,7 +169,7 @@ class RingMultiprocessor:
         # for it.  ``self.trace`` is None when tracing is off - the
         # subsystems then skip every emission with one identity test.
         if trace_sink is None and config.tracing.enabled:
-            trace_sink = REGISTRY.create("sink", config.tracing.sink)
+            trace_sink = resolve_sink(config.tracing.sink)
         self.trace: Optional[TraceSink] = trace_sink
 
         self.engine = EventEngine()
@@ -190,8 +203,12 @@ class RingMultiprocessor:
             )
             for i in range(config.num_cmps)
         ]
-        self.cores: List[Core] = build_cores(
-            workload.traces, config.cores_per_cmp
+        self.cores: List[Core] = (
+            build_cores_from_source(source)
+            if source.streaming
+            else build_cores(
+                source.materialize().traces, config.cores_per_cmp
+            )
         )
 
         # Subsystems: construct, then wire the cross-references (they
@@ -233,7 +250,7 @@ class RingMultiprocessor:
         self.warmup = WarmupController(
             self.engine,
             config,
-            workload,
+            source,
             self.cores,
             self.nodes,
             self.presence,
@@ -345,7 +362,7 @@ class RingMultiprocessor:
         self.stats.messages_reused = self.txns.messages_reused
         return SimulationResult(
             algorithm=self.algorithm.name,
-            workload=self.workload.name,
+            workload=self.source.name,
             stats=self.stats,
             energy=self.energy.breakdown.as_dict(),
             exec_time=self.stats.exec_time,

@@ -200,9 +200,9 @@ class TransactionManager:
         """Schedule every core's first access (or mark idle cores
         finished at time 0)."""
         for core in self.cores:
-            if core.trace:
+            if not core.done:
                 self.engine.call_after(
-                    core.trace[0].think_time,
+                    core.current_access.think_time,
                     self._issue_cbs[core.core_id],
                 )
             else:

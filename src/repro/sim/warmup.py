@@ -38,6 +38,7 @@ from repro.coherence.states import LineState
 from repro.core.predictors import NullPredictor, PerfectPredictor
 from repro.energy.model import EnergyModel
 from repro.metrics.stats import RunStats
+from repro.workloads.source import descriptor_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.config import MachineConfig
@@ -47,11 +48,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.sim.memory import MainMemory
     from repro.sim.processor import Core
     from repro.sim.system import RingMultiprocessor
-    from repro.workloads.trace import WorkloadTrace
+    from repro.workloads.source import WorkloadSource
 
 
 class _PrewarmMemo:
-    """Recorded outcome of one workload trace's prewarm pass.
+    """Recorded outcome of one workload's prewarm pass.
 
     Prewarm is deterministic given the trace and the cache geometry,
     and - as long as nothing couples predictor training back into
@@ -84,7 +85,7 @@ class _PrewarmMemo:
 
     def __init__(
         self,
-        trace: "WorkloadTrace",
+        trace: object,
         core_sets: List[List[Tuple[int, Tuple[int, ...]]]],
         core_fills: List[int],
         core_evictions: List[int],
@@ -102,14 +103,19 @@ class _PrewarmMemo:
         self.predictor_snapshots: Dict[object, List[object]] = {}
 
 
-#: Process-level prewarm memos, keyed by (trace identity, cache
-#: geometry).  Each memo holds a strong reference to its trace, which
-#: pins the ``id`` so the key cannot alias a new object; the store is
-#: bounded, evicting the oldest entry, so long-running processes do
-#: not accumulate traces.
-_PREWARM_MEMOS: "OrderedDict[Tuple[int, int, int], _PrewarmMemo]" = (
-    OrderedDict()
-)
+#: Memo key: ("desc", descriptor hash, num_sets, associativity) for
+#: sources with a stable content descriptor, or ("id", id(trace),
+#: num_sets, associativity) for anonymous in-memory traces.
+_MemoKey = Tuple[str, object, int, int]
+
+#: Process-level prewarm memos.  Descriptor-keyed entries are
+#: content-addressed, so two equal-but-distinct sources (a regenerated
+#: profile, a re-opened file) share one walk across processes' worth
+#: of systems.  Identity-keyed entries hold a strong reference to
+#: their trace (``memo.trace``), which pins the ``id`` so the key
+#: cannot alias a new object; the store is bounded, evicting the
+#: oldest entry, so long-running processes do not accumulate traces.
+_PREWARM_MEMOS: "OrderedDict[_MemoKey, _PrewarmMemo]" = OrderedDict()
 _PREWARM_MEMO_LIMIT = 4
 
 
@@ -125,7 +131,7 @@ class WarmupController:
         self,
         engine: "EventEngine",
         config: "MachineConfig",
-        workload: "WorkloadTrace",
+        workload: "WorkloadSource",
         cores: List["Core"],
         nodes: List["CMPNode"],
         presence: List["PresencePredictor"],
@@ -143,7 +149,11 @@ class WarmupController:
         self.memory = memory
         self._supplier_of = supplier_of
         self._holder_count = holder_count
-        self.warmup_target = int(workload.total_accesses * warmup_fraction)
+        self.warmup_target = (
+            int(workload.total_accesses() * warmup_fraction)
+            if warmup_fraction > 0.0
+            else 0
+        )
         self.in_warmup = self.warmup_target > 0
         self.warmup_end_time = 0
 
@@ -193,36 +203,54 @@ class WarmupController:
         and dominates construction cost, so the ~8 Python calls per
         line that the generic path costs are worth flattening.
 
-        The walk's outcome is further memoized per (trace, cache
-        geometry) in :data:`_PREWARM_MEMOS` and restored wholesale for
-        later systems built on the same trace (see
-        ``test_prewarm_memo_matches_full_walk``).  The memo is only
-        valid while predictor training cannot feed back into cache
-        contents, so the Exact predictor (conflict downgrades) and the
+        The walk's outcome is further memoized per (workload identity,
+        cache geometry) in :data:`_PREWARM_MEMOS` and restored
+        wholesale for later systems built on the same workload (see
+        ``test_prewarm_memo_matches_full_walk``).  Sources with a
+        stable content descriptor are keyed by its hash, so the memo
+        survives re-resolution of the same spec (a regenerated
+        profile, a re-opened trace file); anonymous in-memory traces
+        fall back to object identity.  The memo is only valid while
+        predictor training cannot feed back into cache contents, so
+        the Exact predictor (conflict downgrades) and the
         presence-filter extension always take the full walk.
         """
-        if not self.workload.prewarm:
+        prewarm = self.workload.prewarm()
+        if not prewarm:
             return
         reusable = (
             not self.presence and self.config.predictor.kind != "exact"
         )
-        key = (
-            id(self.workload),
-            self.config.cache.num_sets,
-            self.config.cache.associativity,
-        )
-        if reusable:
-            memo = _PREWARM_MEMOS.get(key)
-            if memo is not None and memo.trace is self.workload:
-                self._restore_prewarm(memo)
-                return
+        descriptor = self.workload.descriptor()
+        num_sets = self.config.cache.num_sets
+        associativity = self.config.cache.associativity
+        pin: object
+        if descriptor is not None:
+            key: _MemoKey = (
+                "desc", descriptor_key(descriptor), num_sets, associativity
+            )
+            pin = self.workload
+            if reusable:
+                memo = _PREWARM_MEMOS.get(key)
+                if memo is not None:
+                    self._restore_prewarm(memo)
+                    return
+        else:
+            trace = self.workload.materialize()
+            key = ("id", id(trace), num_sets, associativity)
+            pin = trace
+            if reusable:
+                memo = _PREWARM_MEMOS.get(key)
+                if memo is not None and memo.trace is trace:
+                    self._restore_prewarm(memo)
+                    return
         record = reusable
         ops: List[List[int]] = []
         state_e = LineState.E
         supplier_of = self._supplier_of
         holder_count = self._holder_count
         presence = self.presence
-        for core, lines in zip(self.cores, self.workload.prewarm):
+        for core, lines in zip(self.cores, prewarm):
             cmp_id = core.cmp_id
             core_id = core.local_id
             node = self.nodes[cmp_id]
@@ -293,10 +321,10 @@ class WarmupController:
                     core_ops.append(address)
                 predictor_insert(address)
         if record:
-            self._record_prewarm(key, ops)
+            self._record_prewarm(key, ops, pin)
 
     def _record_prewarm(
-        self, key: Tuple[int, int, int], ops: List[List[int]]
+        self, key: _MemoKey, ops: List[List[int]], pin: object
     ) -> None:
         """Capture the just-completed prewarm walk into the memo store."""
         core_sets: List[List[Tuple[int, Tuple[int, ...]]]] = []
@@ -314,7 +342,7 @@ class WarmupController:
             core_fills.append(cache.fills)
             core_evictions.append(cache.evictions)
         memo = _PrewarmMemo(
-            self.workload,
+            pin,
             core_sets,
             core_fills,
             core_evictions,

@@ -5,6 +5,11 @@ binaries (and the execution-driven SESC/Simics infrastructure that ran
 them) are not available, so this package provides a parameterised
 synthetic generator plus per-workload *profiles* calibrated to the
 sharing behaviour the paper reports (see DESIGN.md, "Substitutions").
+
+Every consumer of a workload goes through the :class:`WorkloadSource`
+seam (:mod:`repro.workloads.source`): synthetic profiles, saved JSONL
+trace files and converted external (gem5/ChampSim) traces all resolve
+to the same lazily-streamed per-core access interface.
 """
 
 from repro.workloads.trace import Access, CoreTrace, WorkloadTrace
@@ -16,7 +21,27 @@ from repro.workloads.profiles import (
     specweb_profile,
     build_workload,
 )
-from repro.workloads.io import load_trace, save_trace
+from repro.workloads.io import (
+    TraceFormatError,
+    load_trace,
+    read_header,
+    save_trace,
+    scan_trace,
+)
+from repro.workloads.source import (
+    FileReplaySource,
+    SyntheticSource,
+    TraceSource,
+    WorkloadSource,
+    as_source,
+    descriptor_key,
+    resolve_source,
+)
+from repro.workloads.convert import (
+    convert_trace,
+    external_trace_source,
+    load_external_trace,
+)
 from repro.workloads.splash2_apps import (
     SPLASH2_APPS,
     build_app_workload,
@@ -33,8 +58,21 @@ __all__ = [
     "specjbb_profile",
     "specweb_profile",
     "build_workload",
+    "TraceFormatError",
     "load_trace",
+    "read_header",
     "save_trace",
+    "scan_trace",
+    "WorkloadSource",
+    "TraceSource",
+    "SyntheticSource",
+    "FileReplaySource",
+    "as_source",
+    "descriptor_key",
+    "resolve_source",
+    "convert_trace",
+    "external_trace_source",
+    "load_external_trace",
     "SPLASH2_APPS",
     "build_app_workload",
 ]

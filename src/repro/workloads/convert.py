@@ -1,0 +1,297 @@
+"""Converters from external simulator trace formats.
+
+The paper's evaluation is trace-driven; related infrastructures dump
+per-access text traces (gem5's ``--debug-flags=MemoryAccess`` style
+CSV, ChampSim's decoded LLC access logs).  This module converts those
+dumps into the native ``flexsnoop-trace`` format so the simulator can
+replay real-application streams through :class:`FileReplaySource`.
+
+Supported input formats (one access per line, ``#`` comments and
+blank lines ignored):
+
+``gem5``
+    ``tick,cpu,r|w,address`` - e.g. ``1000,0,r,0x1a2b40``.  Ticks
+    are converted to cycles via ``ticks_per_cycle`` (gem5's default
+    resolution is 1 ps, i.e. 1000 ticks per cycle at 1 GHz); the gap
+    between a CPU's consecutive accesses becomes the think time.
+
+``champsim``
+    ``cpu instr_id r|w address`` (whitespace-separated) - the
+    instruction-count gap between a CPU's consecutive accesses
+    approximates the think time in cycles.
+
+Byte addresses (``0x`` or decimal) are converted to line addresses
+with ``line_bytes`` (default 64).  Conversion is two-pass and
+bounded-memory: pass 1 counts cores and accesses, pass 2 streams
+chunked v2 records with at most one chunk buffered per core.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.workloads.io import (
+    DEFAULT_CHUNK_ACCESSES,
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    TraceFormatError,
+)
+from repro.workloads.trace import Access, WorkloadTrace
+
+__all__ = [
+    "EXTERNAL_FORMATS",
+    "iter_external_accesses",
+    "convert_trace",
+    "load_external_trace",
+    "external_trace_source",
+]
+
+#: Formats :func:`convert_trace` understands.
+EXTERNAL_FORMATS = ("gem5", "champsim")
+
+#: gem5's default tick resolution is 1 ps; at a 1 GHz core clock one
+#: cycle is 1000 ticks.
+DEFAULT_TICKS_PER_CYCLE = 1000
+
+
+def _parse_address(text: str) -> int:
+    return int(text, 16) if text.lower().startswith("0x") else int(text)
+
+
+def _parse_rw(text: str) -> bool:
+    kind = text.strip().lower()
+    if kind in ("r", "read", "ld", "load"):
+        return False
+    if kind in ("w", "write", "st", "store"):
+        return True
+    raise ValueError("unknown access kind %r" % text)
+
+
+def iter_external_accesses(
+    path: Union[str, Path],
+    fmt: str,
+    line_bytes: int = 64,
+    ticks_per_cycle: int = DEFAULT_TICKS_PER_CYCLE,
+) -> Iterator[Tuple[int, Access]]:
+    """Yield ``(cpu, access)`` pairs from an external trace file.
+
+    Single streaming pass; think times are derived from per-cpu time
+    gaps, so each cpu's first access has think time 0.  Malformed
+    lines raise ``path:line``-positioned :class:`TraceFormatError`.
+    """
+    if fmt not in EXTERNAL_FORMATS:
+        raise ValueError(
+            "unknown external trace format %r; known: %s"
+            % (fmt, ", ".join(EXTERNAL_FORMATS))
+        )
+    if line_bytes <= 0:
+        raise ValueError("line_bytes must be positive")
+    if ticks_per_cycle <= 0:
+        raise ValueError("ticks_per_cycle must be positive")
+    divisor = ticks_per_cycle if fmt == "gem5" else 1
+    path_str = str(path)
+    last_time: Dict[int, int] = {}
+    with open(path_str, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            fields = (
+                [f.strip() for f in text.split(",")]
+                if fmt == "gem5"
+                else text.split()
+            )
+            if len(fields) != 4:
+                raise TraceFormatError(
+                    "%s:%d: expected 4 %s fields, got %d"
+                    % (path_str, lineno, fmt, len(fields))
+                )
+            try:
+                if fmt == "gem5":
+                    time_text, cpu_text, kind_text, addr_text = fields
+                else:
+                    cpu_text, time_text, kind_text, addr_text = fields
+                when = int(time_text)
+                cpu = int(cpu_text)
+                is_write = _parse_rw(kind_text)
+                address = _parse_address(addr_text) // line_bytes
+                if cpu < 0:
+                    raise ValueError("negative cpu %d" % cpu)
+                previous = last_time.get(cpu)
+                think = (
+                    0
+                    if previous is None
+                    else max(0, (when - previous) // divisor)
+                )
+                last_time[cpu] = when
+                yield cpu, Access(
+                    address=address,
+                    is_write=is_write,
+                    think_time=think,
+                )
+            except (TypeError, ValueError) as exc:
+                raise TraceFormatError(
+                    "%s:%d: bad %s record %r: %s"
+                    % (path_str, lineno, fmt, text, exc)
+                ) from exc
+
+
+def _shape(
+    path: Union[str, Path],
+    fmt: str,
+    line_bytes: int,
+    ticks_per_cycle: int,
+    cores_per_cmp: int,
+) -> Tuple[int, List[int]]:
+    """Pass 1: (padded core count, per-core access counts)."""
+    counts: Dict[int, int] = {}
+    for cpu, _access in iter_external_accesses(
+        path, fmt, line_bytes=line_bytes, ticks_per_cycle=ticks_per_cycle
+    ):
+        counts[cpu] = counts.get(cpu, 0) + 1
+    if not counts:
+        raise TraceFormatError(
+            "no accesses found in %s trace %s" % (fmt, path)
+        )
+    num_cores = max(counts) + 1
+    # Pad to a whole number of CMPs; the extra cores are idle.
+    remainder = num_cores % cores_per_cmp
+    if remainder:
+        num_cores += cores_per_cmp - remainder
+    return num_cores, [counts.get(i, 0) for i in range(num_cores)]
+
+
+def convert_trace(
+    src: Union[str, Path],
+    dst: Union[str, Path],
+    fmt: str,
+    *,
+    cores_per_cmp: int = 1,
+    line_bytes: int = 64,
+    ticks_per_cycle: int = DEFAULT_TICKS_PER_CYCLE,
+    name: Optional[str] = None,
+    chunk_size: int = DEFAULT_CHUNK_ACCESSES,
+) -> Tuple[int, int]:
+    """Convert an external trace file to ``flexsnoop-trace`` v2.
+
+    Two streaming passes over ``src``; peak memory is one
+    ``chunk_size`` buffer per core regardless of trace length.
+    Returns ``(num_cores, total_accesses)``.
+    """
+    if cores_per_cmp <= 0:
+        raise ValueError("cores_per_cmp must be positive")
+    if chunk_size <= 0:
+        raise ValueError("chunk_size must be positive")
+    num_cores, counts = _shape(
+        src, fmt, line_bytes, ticks_per_cycle, cores_per_cmp
+    )
+    total = sum(counts)
+    if name is None:
+        name = "%s:%s" % (fmt, Path(src).name)
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": name,
+        "cores_per_cmp": cores_per_cmp,
+        "num_cores": num_cores,
+        "total_accesses": total,
+    }
+    buffers: List[List[List[int]]] = [[] for _ in range(num_cores)]
+    with open(str(dst), "w", encoding="utf-8") as out:
+        out.write(json.dumps(header) + "\n")
+
+        def flush(core: int) -> None:
+            if buffers[core]:
+                out.write(
+                    json.dumps(
+                        {"core": core, "accesses": buffers[core]}
+                    )
+                    + "\n"
+                )
+                buffers[core] = []
+
+        for cpu, access in iter_external_accesses(
+            src,
+            fmt,
+            line_bytes=line_bytes,
+            ticks_per_cycle=ticks_per_cycle,
+        ):
+            buffers[cpu].append(
+                [access.address, int(access.is_write), access.think_time]
+            )
+            if len(buffers[cpu]) >= chunk_size:
+                flush(cpu)
+        for core in range(num_cores):
+            flush(core)
+    return num_cores, total
+
+
+def load_external_trace(
+    path: Union[str, Path],
+    fmt: str,
+    *,
+    cores_per_cmp: int = 1,
+    line_bytes: int = 64,
+    ticks_per_cycle: int = DEFAULT_TICKS_PER_CYCLE,
+    name: Optional[str] = None,
+) -> WorkloadTrace:
+    """Materialize an external trace as a :class:`WorkloadTrace`.
+
+    Convenient for small traces (``--workload gem5:<path>``); convert
+    large files once with ``flexsnoop trace convert`` and replay the
+    result via ``file:`` to stay in bounded memory.
+    """
+    traces: List[List[Access]] = []
+    for cpu, access in iter_external_accesses(
+        path, fmt, line_bytes=line_bytes, ticks_per_cycle=ticks_per_cycle
+    ):
+        while len(traces) <= cpu:
+            traces.append([])
+        traces[cpu].append(access)
+    if not traces:
+        raise TraceFormatError(
+            "no accesses found in %s trace %s" % (fmt, path)
+        )
+    while len(traces) % cores_per_cmp:
+        traces.append([])
+    if name is None:
+        name = "%s:%s" % (fmt, Path(path).name)
+    workload = WorkloadTrace(
+        name=name, cores_per_cmp=cores_per_cmp, traces=traces
+    )
+    workload.validate()
+    return workload
+
+
+def external_trace_source(
+    path: Union[str, Path], fmt: str, **kwargs: object
+):
+    """Build a source for a ``gem5:``/``champsim:`` workload spec.
+
+    The descriptor hashes the *source file's* bytes plus the
+    conversion parameters, so converted runs share result-cache
+    entries with later runs of the same input.
+    """
+    import hashlib
+
+    from repro.workloads.source import TraceSource
+
+    digest = hashlib.sha256()
+    with open(str(path), "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    trace = load_external_trace(path, fmt, **kwargs)  # type: ignore[arg-type]
+    descriptor = {
+        "kind": fmt,
+        "sha256": digest.hexdigest(),
+        "cores_per_cmp": trace.cores_per_cmp,
+        "num_cores": trace.num_cores,
+        "params": {
+            key: kwargs[key]
+            for key in sorted(kwargs)
+            if key != "name"
+        },
+    }
+    return TraceSource(trace, descriptor=descriptor)

@@ -179,3 +179,17 @@ for _name, _factory in WORKLOAD_PROFILES.items():
         metadata={"display_name": _factory().name},
     )
 del _name, _factory
+
+# Per-application SPLASH-2 profiles ride the same registry kind, under
+# a "splash2/" prefix (the workload normalizer preserves "/"), so
+# `--workload splash2/barnes` resolves everywhere a workload name does.
+from repro.workloads import splash2_apps as _splash2_apps  # noqa: E402
+
+for _name, _factory in _splash2_apps.SPLASH2_APPS.items():
+    REGISTRY.register(
+        "workload",
+        "splash2/%s" % _name,
+        _factory,
+        metadata={"display_name": _factory().name},
+    )
+del _name, _factory

@@ -75,9 +75,11 @@ def _app(
     )
 
 
-def barnes(accesses_per_core: int = 1500) -> SharingProfile:
+def barnes(
+    accesses_per_core: int = 1500, seed: int = 101
+) -> SharingProfile:
     return _app(
-        "barnes", 101,
+        "barnes", seed,
         p_shared=0.45, p_cold=0.02, shared_lines=2048,
         private_lines=1500, write_fraction_shared=0.12,
         migratory_fraction=0.12, producer_consumer_fraction=0.08,
@@ -86,9 +88,11 @@ def barnes(accesses_per_core: int = 1500) -> SharingProfile:
     )
 
 
-def cholesky(accesses_per_core: int = 1500) -> SharingProfile:
+def cholesky(
+    accesses_per_core: int = 1500, seed: int = 102
+) -> SharingProfile:
     return _app(
-        "cholesky", 102,
+        "cholesky", seed,
         p_shared=0.35, p_cold=0.05, shared_lines=2048,
         private_lines=2000, write_fraction_shared=0.10,
         migratory_fraction=0.05, producer_consumer_fraction=0.25,
@@ -97,9 +101,11 @@ def cholesky(accesses_per_core: int = 1500) -> SharingProfile:
     )
 
 
-def fft(accesses_per_core: int = 1500) -> SharingProfile:
+def fft(
+    accesses_per_core: int = 1500, seed: int = 103
+) -> SharingProfile:
     return _app(
-        "fft", 103,
+        "fft", seed,
         p_shared=0.30, p_cold=0.10, shared_lines=4096,
         private_lines=2500, write_fraction_shared=0.08,
         migratory_fraction=0.0, producer_consumer_fraction=0.35,
@@ -108,9 +114,11 @@ def fft(accesses_per_core: int = 1500) -> SharingProfile:
     )
 
 
-def fmm(accesses_per_core: int = 1500) -> SharingProfile:
+def fmm(
+    accesses_per_core: int = 1500, seed: int = 104
+) -> SharingProfile:
     return _app(
-        "fmm", 104,
+        "fmm", seed,
         p_shared=0.35, p_cold=0.02, shared_lines=2048,
         private_lines=2000, write_fraction_shared=0.10,
         migratory_fraction=0.08, producer_consumer_fraction=0.10,
@@ -119,9 +127,11 @@ def fmm(accesses_per_core: int = 1500) -> SharingProfile:
     )
 
 
-def lu(accesses_per_core: int = 1500) -> SharingProfile:
+def lu(
+    accesses_per_core: int = 1500, seed: int = 105
+) -> SharingProfile:
     return _app(
-        "lu", 105,
+        "lu", seed,
         p_shared=0.40, p_cold=0.02, shared_lines=2048,
         private_lines=1500, write_fraction_shared=0.06,
         migratory_fraction=0.0, producer_consumer_fraction=0.30,
@@ -130,9 +140,11 @@ def lu(accesses_per_core: int = 1500) -> SharingProfile:
     )
 
 
-def ocean(accesses_per_core: int = 1500) -> SharingProfile:
+def ocean(
+    accesses_per_core: int = 1500, seed: int = 106
+) -> SharingProfile:
     return _app(
-        "ocean", 106,
+        "ocean", seed,
         p_shared=0.30, p_cold=0.12, shared_lines=4096,
         private_lines=4000, write_fraction_shared=0.15,
         migratory_fraction=0.04, producer_consumer_fraction=0.15,
@@ -141,9 +153,11 @@ def ocean(accesses_per_core: int = 1500) -> SharingProfile:
     )
 
 
-def radiosity(accesses_per_core: int = 1500) -> SharingProfile:
+def radiosity(
+    accesses_per_core: int = 1500, seed: int = 107
+) -> SharingProfile:
     return _app(
-        "radiosity", 107,
+        "radiosity", seed,
         p_shared=0.45, p_cold=0.02, shared_lines=1536,
         private_lines=1500, write_fraction_shared=0.15,
         migratory_fraction=0.22, producer_consumer_fraction=0.08,
@@ -152,9 +166,11 @@ def radiosity(accesses_per_core: int = 1500) -> SharingProfile:
     )
 
 
-def radix(accesses_per_core: int = 1500) -> SharingProfile:
+def radix(
+    accesses_per_core: int = 1500, seed: int = 108
+) -> SharingProfile:
     return _app(
-        "radix", 108,
+        "radix", seed,
         p_shared=0.25, p_cold=0.15, shared_lines=4096,
         private_lines=3000, write_fraction_shared=0.30,
         migratory_fraction=0.0, producer_consumer_fraction=0.30,
@@ -163,9 +179,11 @@ def radix(accesses_per_core: int = 1500) -> SharingProfile:
     )
 
 
-def raytrace(accesses_per_core: int = 1500) -> SharingProfile:
+def raytrace(
+    accesses_per_core: int = 1500, seed: int = 109
+) -> SharingProfile:
     return _app(
-        "raytrace", 109,
+        "raytrace", seed,
         p_shared=0.50, p_cold=0.03, shared_lines=3072,
         private_lines=1500, write_fraction_shared=0.03,
         migratory_fraction=0.04, producer_consumer_fraction=0.05,
@@ -174,9 +192,11 @@ def raytrace(accesses_per_core: int = 1500) -> SharingProfile:
     )
 
 
-def water_nsquared(accesses_per_core: int = 1500) -> SharingProfile:
+def water_nsquared(
+    accesses_per_core: int = 1500, seed: int = 110
+) -> SharingProfile:
     return _app(
-        "water-nsquared", 110,
+        "water-nsquared", seed,
         p_shared=0.40, p_cold=0.02, shared_lines=1536,
         private_lines=1500, write_fraction_shared=0.12,
         migratory_fraction=0.25, producer_consumer_fraction=0.05,
@@ -185,9 +205,11 @@ def water_nsquared(accesses_per_core: int = 1500) -> SharingProfile:
     )
 
 
-def water_spatial(accesses_per_core: int = 1500) -> SharingProfile:
+def water_spatial(
+    accesses_per_core: int = 1500, seed: int = 111
+) -> SharingProfile:
     return _app(
-        "water-spatial", 111,
+        "water-spatial", seed,
         p_shared=0.32, p_cold=0.02, shared_lines=1536,
         private_lines=1500, write_fraction_shared=0.10,
         migratory_fraction=0.15, producer_consumer_fraction=0.08,
@@ -213,7 +235,7 @@ SPLASH2_APPS: Dict[str, Callable[..., SharingProfile]] = {
 
 
 def build_app_workload(
-    app: str, accesses_per_core: int = 0
+    app: str, accesses_per_core: int = 0, seed: int = 0
 ) -> WorkloadTrace:
     """Generate the trace for one SPLASH-2 application profile."""
     if app not in SPLASH2_APPS:
@@ -222,10 +244,12 @@ def build_app_workload(
             % (app, ", ".join(sorted(SPLASH2_APPS)))
         )
     factory = SPLASH2_APPS[app]
-    profile = (
-        factory(accesses_per_core) if accesses_per_core else factory()
-    )
-    return generate_workload(profile)
+    kwargs = {}
+    if accesses_per_core:
+        kwargs["accesses_per_core"] = accesses_per_core
+    if seed:
+        kwargs["seed"] = seed
+    return generate_workload(factory(**kwargs))
 
 
 def geometric_mean(values: List[float]) -> float:

@@ -1,0 +1,179 @@
+"""Integration tests for streaming file replay through the full stack.
+
+The contract under test: a ``file:`` workload source feeds the cores
+lazy iterators and is *never* materialized by the simulator, yet the
+run is bit-identical to the in-memory generation it was saved from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, default_machine
+from repro.core.algorithms import build_algorithm
+from repro.harness.parallel import (
+    RunSpec,
+    _cached_source,
+    execute_spec,
+    run_specs,
+)
+from repro.harness.result_cache import ResultCache
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.io import save_trace
+from repro.workloads.source import FileReplaySource, resolve_source
+from repro.workloads.synthetic import SharingProfile, generate_workload
+
+
+def profile(seed=5):
+    return SharingProfile(
+        name="replay",
+        num_cores=8,
+        cores_per_cmp=1,
+        accesses_per_core=150,
+        p_shared=0.4,
+        shared_lines=48,
+        private_lines=96,
+        prewarm_fraction=0.5,
+        seed=seed,
+    )
+
+
+def machine_for(algorithm):
+    return default_machine(
+        algorithm=algorithm,
+        num_cmps=8,
+        cores_per_cmp=1,
+        cache=CacheConfig(num_lines=256, associativity=8),
+    )
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    workload = generate_workload(profile())
+    path = tmp_path / "replay.jsonl"
+    save_trace(workload, path, chunk_size=32)
+    return workload, path
+
+
+@pytest.mark.parametrize("algorithm", ["lazy", "subset", "exact"])
+def test_replay_bit_identical_to_memory(trace_file, algorithm):
+    workload, path = trace_file
+    direct = RingMultiprocessor(
+        machine_for(algorithm),
+        build_algorithm(algorithm),
+        workload,
+        warmup_fraction=0.35,
+    ).run()
+    replayed = RingMultiprocessor(
+        machine_for(algorithm),
+        build_algorithm(algorithm),
+        FileReplaySource(path),
+        warmup_fraction=0.35,
+    ).run()
+    assert replayed.summary() == direct.summary()
+    assert replayed.exec_time == direct.exec_time
+
+
+def test_streaming_run_never_materializes(trace_file, monkeypatch):
+    _workload, path = trace_file
+
+    def boom(self):
+        raise AssertionError(
+            "streaming replay must not materialize the trace"
+        )
+
+    monkeypatch.setattr(FileReplaySource, "materialize", boom)
+    source = FileReplaySource(path)
+    result = RingMultiprocessor(
+        machine_for("lazy"),
+        build_algorithm("lazy"),
+        source,
+        warmup_fraction=0.35,
+    ).run()
+    assert result.exec_time > 0
+
+
+def test_run_specs_accepts_file_spec(trace_file, tmp_path):
+    workload, path = trace_file
+    _cached_source.cache_clear()
+    spec = RunSpec(
+        "lazy",
+        "file:%s" % path,
+        warmup_fraction=0.35,
+        config=machine_for("lazy"),
+    )
+    direct = RingMultiprocessor(
+        machine_for("lazy"),
+        build_algorithm("lazy"),
+        workload,
+        warmup_fraction=0.35,
+    ).run()
+    cache = ResultCache(root=tmp_path / "cache")
+    (result,) = run_specs([spec], jobs=1, cache=cache)
+    assert result.summary() == direct.summary()
+    assert cache.stores == 1
+    # A warm-cache rerun serves the result without simulating.
+    (again,) = run_specs([spec], jobs=1, cache=cache)
+    assert cache.hits == 1
+    assert again.summary() == result.summary()
+    _cached_source.cache_clear()
+
+
+def test_cache_key_is_content_addressed(trace_file, tmp_path):
+    """Two paths holding the same bytes share one cache key; changing
+    the bytes changes the key even at the same path."""
+    _workload, path = trace_file
+    _cached_source.cache_clear()
+    base_key = RunSpec(
+        "lazy", "file:%s" % path, warmup_fraction=0.35
+    ).cache_key()
+
+    copy = tmp_path / "copy.jsonl"
+    copy.write_bytes(path.read_bytes())
+    copy_key = RunSpec(
+        "lazy", "file:%s" % copy, warmup_fraction=0.35
+    ).cache_key()
+    assert copy_key == base_key
+
+    other = generate_workload(profile(seed=6))
+    save_trace(other, copy)
+    _cached_source.cache_clear()  # drop the memoized scan of `copy`
+    changed_key = RunSpec(
+        "lazy", "file:%s" % copy, warmup_fraction=0.35
+    ).cache_key()
+    assert changed_key != base_key
+    _cached_source.cache_clear()
+
+
+def test_run_spec_shapes_machine_to_trace_geometry(tmp_path):
+    """A replayed file brings its own CMP count: a 4-core / 2-per-CMP
+    trace must build a 2-CMP default machine, not the paper's 8."""
+    _cached_source.cache_clear()
+    workload = generate_workload(
+        SharingProfile(
+            name="small-geometry",
+            num_cores=4,
+            cores_per_cmp=2,
+            accesses_per_core=60,
+            p_shared=0.3,
+            shared_lines=32,
+            private_lines=32,
+            seed=3,
+        )
+    )
+    path = tmp_path / "small.jsonl"
+    save_trace(workload, path)
+    spec = RunSpec("lazy", "file:%s" % path, warmup_fraction=0.0)
+    machine = spec.resolve_config(2, 2)
+    assert machine.num_cmps == 2
+    result = execute_spec(spec)
+    assert result.exec_time > 0
+    _cached_source.cache_clear()
+
+
+def test_resolve_source_geometry_without_materializing(trace_file):
+    _workload, path = trace_file
+    source = resolve_source("file:%s" % path)
+    assert source.num_cores == 8
+    assert source.cores_per_cmp == 1
+    assert source.streaming

@@ -297,3 +297,67 @@ def test_prewarm_memo_skipped_for_exact_predictor():
     workload = generate_workload(overflow_profile())
     build_for("exact", workload)
     assert not system_module._PREWARM_MEMOS
+
+
+def test_prewarm_memo_rekeyed_on_source_descriptor(monkeypatch):
+    """Two *distinct* sources with equal descriptors (same profile)
+    share one memo: the content-addressed key replaces the old
+    object-identity key whenever a source publishes a descriptor."""
+    from repro.workloads.source import SyntheticSource
+
+    system_module._PREWARM_MEMOS.clear()
+
+    restored = []
+    original = WarmupController._restore_prewarm
+
+    def spy(self, memo):
+        restored.append(memo)
+        return original(self, memo)
+
+    monkeypatch.setattr(WarmupController, "_restore_prewarm", spy)
+
+    first = build_for("subset", SyntheticSource(overflow_profile()))
+    assert not restored
+    assert len(system_module._PREWARM_MEMOS) == 1
+    (key,) = system_module._PREWARM_MEMOS
+    assert key[0] == "desc"
+
+    # A brand-new source object, equal profile: memo hit.
+    second = build_for("subset", SyntheticSource(overflow_profile()))
+    assert len(restored) == 1
+    assert machine_state(first) == machine_state(second)
+
+    # A different profile (other seed) misses and records a new memo.
+    build_for("subset", SyntheticSource(overflow_profile(seed=12)))
+    assert len(restored) == 1
+    assert len(system_module._PREWARM_MEMOS) == 2
+
+
+def test_prewarm_memo_shared_across_file_and_memory(tmp_path, monkeypatch):
+    """A file replay of a saved trace hits... a fresh memo keyed on
+    the file's content hash, and a second replay of the same file
+    (new source object, new scan) hits that memo."""
+    from repro.workloads.io import save_trace
+    from repro.workloads.source import FileReplaySource
+
+    system_module._PREWARM_MEMOS.clear()
+    workload = generate_workload(overflow_profile())
+    path = tmp_path / "overflow.jsonl"
+    save_trace(workload, path)
+
+    restored = []
+    original = WarmupController._restore_prewarm
+
+    def spy(self, memo):
+        restored.append(memo)
+        return original(self, memo)
+
+    monkeypatch.setattr(WarmupController, "_restore_prewarm", spy)
+
+    direct = build_for("subset", workload)
+    first = build_for("subset", FileReplaySource(path))
+    assert not restored  # identity key vs content key: distinct memos
+    second = build_for("subset", FileReplaySource(path))
+    assert len(restored) == 1
+    assert machine_state(first) == machine_state(second)
+    assert machine_state(first) == machine_state(direct)

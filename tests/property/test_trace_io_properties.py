@@ -1,0 +1,151 @@
+"""Property-based tests for trace file round-trips.
+
+Hypothesis generates arbitrary (valid) workload traces - ragged core
+lengths, empty cores, prewarm lists, any chunking - and the file
+layer must reproduce them exactly through both the materializing
+loader and the streaming scan/replay path.  A second property cuts
+v2 files at arbitrary byte positions: a strict prefix must never load
+as a complete trace.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.io import (
+    TraceFormatError,
+    iter_core_accesses,
+    load_trace,
+    save_trace,
+    scan_trace,
+)
+from repro.workloads.trace import Access, WorkloadTrace
+
+accesses = st.lists(
+    st.builds(
+        Access,
+        address=st.integers(0, 1 << 40),
+        is_write=st.booleans(),
+        think_time=st.integers(0, 1000),
+    ),
+    max_size=40,
+)
+
+
+@st.composite
+def workloads(draw, with_prewarm=None):
+    cores_per_cmp = draw(st.sampled_from([1, 2, 4]))
+    num_cmps = draw(st.integers(1, 3))
+    num_cores = cores_per_cmp * num_cmps
+    traces = draw(
+        st.lists(accesses, min_size=num_cores, max_size=num_cores)
+    )
+    prewarm = []
+    include_prewarm = (
+        draw(st.booleans()) if with_prewarm is None else with_prewarm
+    )
+    if include_prewarm:
+        prewarm = draw(
+            st.lists(
+                st.lists(st.integers(0, 1 << 20), max_size=10),
+                min_size=num_cores,
+                max_size=num_cores,
+            )
+        )
+    return WorkloadTrace(
+        name=draw(st.text(min_size=1, max_size=20)),
+        cores_per_cmp=cores_per_cmp,
+        traces=traces,
+        prewarm=prewarm,
+    )
+
+
+def _tmp_trace_path():
+    fd, path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    return path
+
+
+@given(workload=workloads(), chunk=st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_is_lossless(workload, chunk):
+    path = _tmp_trace_path()
+    try:
+        save_trace(workload, path, chunk_size=chunk)
+        loaded = load_trace(path)
+        assert loaded.name == workload.name
+        assert loaded.cores_per_cmp == workload.cores_per_cmp
+        assert loaded.traces == workload.traces
+        assert loaded.prewarm == workload.prewarm
+    finally:
+        os.unlink(path)
+
+
+@given(workload=workloads(), chunk=st.integers(1, 64))
+@settings(max_examples=60, deadline=None)
+def test_streaming_replay_equals_load(workload, chunk):
+    path = _tmp_trace_path()
+    try:
+        save_trace(workload, path, chunk_size=chunk)
+        scan = scan_trace(path)
+        assert scan.total_accesses == workload.total_accesses
+        assert scan.prewarm == workload.prewarm
+        for core in range(workload.num_cores):
+            assert (
+                list(iter_core_accesses(scan, core))
+                == workload.traces[core]
+            )
+    finally:
+        os.unlink(path)
+
+
+@given(
+    workload=workloads(with_prewarm=False),
+    cut=st.integers(0, 10_000_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_truncated_file_never_loads(workload, cut):
+    """Cutting a no-prewarm v2 file strictly inside its body must
+    raise: either a positioned parse error (mid-line cut) or the
+    header-total truncation check (clean line-boundary cut)."""
+    assume(workload.total_accesses > 0)
+    path = _tmp_trace_path()
+    try:
+        save_trace(workload, path, chunk_size=7)
+        raw = open(path, "rb").read()
+        header_end = raw.index(b"\n") + 1
+        # Cut strictly after the header and strictly before the last
+        # access record's final byte (len-1 is the trailing newline,
+        # which json-lines readers tolerate).
+        assume(header_end + 1 <= len(raw) - 2)
+        position = header_end + 1 + cut % (len(raw) - 2 - header_end)
+        with open(path, "wb") as handle:
+            handle.write(raw[:position])
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+        with pytest.raises(TraceFormatError):
+            scan_trace(path)
+    finally:
+        os.unlink(path)
+
+
+@given(workload=workloads(with_prewarm=True))
+@settings(max_examples=30, deadline=None)
+def test_prewarm_survives_replay_source(workload):
+    """The prewarm contract the warmup controller depends on: a file
+    replay source reports exactly the prewarm lists that were saved."""
+    from repro.workloads.source import FileReplaySource
+
+    path = _tmp_trace_path()
+    try:
+        save_trace(workload, path)
+        source = FileReplaySource(path)
+        assert source.prewarm() == workload.prewarm
+        assert source.total_accesses() == workload.total_accesses
+    finally:
+        os.unlink(path)

@@ -264,3 +264,143 @@ def test_cli_cache_clear_empty_store(tmp_path, monkeypatch, capsys):
     out = capsys.readouterr().out
     assert "removed 0" in out
     assert ResultCache().entry_count() == 0
+
+
+# ----------------------------------------------------------------------
+# Streaming sinks, conversion and cache pruning
+
+
+def test_cli_trace_record_streaming_sink(tmp_path, capsys):
+    from repro.obs.jsonl import read_trace
+
+    out = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "trace", "record",
+            "--algorithm", "lazy",
+            "--workload", "specjbb",
+            "--scale", "100",
+            "--out", str(out),
+            "--sink", "jsonl",
+            "--audit",
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "(streamed)" in printed
+    assert "audit: ok" in printed
+    meta, events = read_trace(out)
+    assert meta["algorithm"] == "lazy"
+    assert len(events) > 0
+
+
+def test_cli_trace_record_streamed_matches_memory(tmp_path):
+    from repro.obs.jsonl import read_trace
+
+    mem_out = tmp_path / "mem.jsonl"
+    stream_out = tmp_path / "stream.jsonl"
+    base = [
+        "trace", "record", "--algorithm", "subset",
+        "--workload", "specjbb", "--scale", "100",
+    ]
+    assert main(base + ["--out", str(mem_out)]) == 0
+    assert main(
+        base + ["--out", str(stream_out), "--sink", "jsonl"]
+    ) == 0
+    _meta_a, events_a = read_trace(mem_out)
+    _meta_b, events_b = read_trace(stream_out)
+    assert events_a == events_b
+
+
+def test_cli_trace_convert_and_replay(tmp_path, capsys):
+    src = tmp_path / "mem.trace"
+    dst = tmp_path / "mem.jsonl"
+    src.write_text(
+        "1000,0,r,0x1000\n2000,0,w,0x1040\n3000,1,r,0x2000\n"
+    )
+    code = main(
+        [
+            "trace", "convert",
+            "--format", "gem5",
+            "--in", str(src),
+            "--out", str(dst),
+            "--cores-per-cmp", "1",
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "2 cores, 3 accesses" in printed
+    loaded = load_trace(dst)
+    assert loaded.total_accesses == 3
+
+
+def test_cli_trace_convert_bad_input_exits_1(tmp_path, capsys):
+    src = tmp_path / "mem.trace"
+    src.write_text("definitely,not,right\n")
+    code = main(
+        [
+            "trace", "convert",
+            "--format", "gem5",
+            "--in", str(src),
+            "--out", str(tmp_path / "out.jsonl"),
+        ]
+    )
+    assert code == 1
+    assert "flexsnoop:" in capsys.readouterr().err
+
+
+def test_cli_run_replays_trace_file(tmp_path, capsys):
+    trace_path = tmp_path / "jbb.jsonl"
+    assert main(
+        ["trace", "workload", "--workload", "specjbb",
+         "--scale", "100", "--out", str(trace_path)]
+    ) == 0
+    capsys.readouterr()
+    code = main(
+        ["run", "--algorithm", "lazy",
+         "--workload", "file:%s" % trace_path, "--scale", "0"]
+    )
+    assert code == 0
+    assert "exec time" in capsys.readouterr().out
+
+
+def test_cli_cache_prune(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+    cache = ResultCache()
+    import os
+
+    for i, tag in enumerate("abcd"):
+        key = (tag * 64)[:64]
+        path = cache._path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"x" * 1024)
+        os.utime(path, (1_000_000 + i, 1_000_000 + i))
+
+    code = main(["cache", "prune", "--max-size", "2K"])
+    assert code == 0
+    assert "removed 2 entry(ies)" in capsys.readouterr().out
+    assert ResultCache().entry_count() == 2
+
+
+def test_cli_cache_prune_requires_max_size(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+    code = main(["cache", "prune"])
+    assert code == 2
+    assert "--max-size" in capsys.readouterr().err
+
+
+def test_cli_cache_prune_bad_size_exits_2(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+    with pytest.raises(SystemExit):
+        main(["cache", "prune", "--max-size", "lots"])
+
+
+@pytest.mark.parametrize(
+    "text, expected",
+    [("4096", 4096), ("64K", 65536), ("1M", 1 << 20),
+     ("2g", 2 << 30), ("1.5K", 1536)],
+)
+def test_parse_size(text, expected):
+    from repro.harness.cli import _parse_size
+
+    assert _parse_size(text) == expected

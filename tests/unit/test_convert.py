@@ -1,0 +1,138 @@
+"""Unit tests for external-trace conversion (gem5/ChampSim dialects)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.convert import (
+    convert_trace,
+    external_trace_source,
+    iter_external_accesses,
+    load_external_trace,
+)
+from repro.workloads.io import TraceFormatError, load_trace
+from repro.workloads.source import resolve_source
+from repro.workloads.trace import Access
+
+GEM5_LINES = """\
+# tick,cpu,kind,addr
+1000,0,r,0x1000
+2000,0,w,0x1040
+5000,1,read,4096
+9000,0,r,0x1080
+"""
+
+CHAMPSIM_LINES = """\
+# cpu instr kind addr
+0 10 load 0x2000
+0 25 store 0x2040
+1 5 r 8192
+"""
+
+
+def test_gem5_parsing(tmp_path):
+    path = tmp_path / "mem.trace"
+    path.write_text(GEM5_LINES)
+    pairs = list(iter_external_accesses(path, "gem5"))
+    assert pairs == [
+        # 0x1000 // 64 = 64; first access per cpu thinks 0.
+        (0, Access(64, False, 0)),
+        # (2000 - 1000) // 1000 ticks -> 1 cycle
+        (0, Access(65, True, 1)),
+        (1, Access(64, False, 0)),
+        (0, Access(66, False, 7)),
+    ]
+
+
+def test_champsim_parsing(tmp_path):
+    path = tmp_path / "mem.trace"
+    path.write_text(CHAMPSIM_LINES)
+    pairs = list(iter_external_accesses(path, "champsim"))
+    assert pairs == [
+        (0, Access(128, False, 0)),
+        (0, Access(129, True, 15)),  # instruction gap, divisor 1
+        (1, Access(128, False, 0)),
+    ]
+
+
+def test_unknown_format_rejected(tmp_path):
+    path = tmp_path / "mem.trace"
+    path.write_text(GEM5_LINES)
+    with pytest.raises(ValueError, match="unknown external"):
+        list(iter_external_accesses(path, "vhs"))
+
+
+def test_malformed_line_positions_error(tmp_path):
+    path = tmp_path / "mem.trace"
+    path.write_text("1000,0,r,0x1000\nnot,a,valid\n")
+    with pytest.raises(TraceFormatError, match=r"mem\.trace:2"):
+        list(iter_external_accesses(path, "gem5"))
+
+
+def test_bad_kind_positions_error(tmp_path):
+    path = tmp_path / "mem.trace"
+    path.write_text("1000,0,x,0x1000\n")
+    with pytest.raises(TraceFormatError, match=r"mem\.trace:1"):
+        list(iter_external_accesses(path, "gem5"))
+
+
+def test_load_external_trace_pads_to_cmps(tmp_path):
+    path = tmp_path / "mem.trace"
+    path.write_text(GEM5_LINES)
+    trace = load_external_trace(path, "gem5", cores_per_cmp=4)
+    assert trace.num_cores == 4  # 2 cpus padded to one whole CMP
+    assert trace.cores_per_cmp == 4
+    assert [len(t) for t in trace.traces] == [3, 1, 0, 0]
+
+
+def test_convert_trace_round_trips(tmp_path):
+    src = tmp_path / "mem.trace"
+    dst = tmp_path / "mem.jsonl"
+    src.write_text(GEM5_LINES)
+    num_cores, total = convert_trace(
+        src, dst, "gem5", cores_per_cmp=2, chunk_size=2
+    )
+    assert (num_cores, total) == (2, 4)
+    loaded = load_trace(dst)
+    direct = load_external_trace(src, "gem5", cores_per_cmp=2)
+    assert loaded.traces == direct.traces
+    assert loaded.name == direct.name
+
+
+def test_converted_file_replays_like_direct(tmp_path):
+    src = tmp_path / "mem.trace"
+    dst = tmp_path / "mem.jsonl"
+    src.write_text(CHAMPSIM_LINES)
+    convert_trace(src, dst, "champsim", cores_per_cmp=2)
+    replay = resolve_source("file:%s" % dst)
+    direct = resolve_source("champsim:%s" % src)
+    assert replay.total_accesses() == direct.total_accesses()
+    for core in range(replay.num_cores):
+        assert list(replay.core_stream(core)) == list(
+            direct.core_stream(core)
+        )
+
+
+def test_empty_external_trace_rejected(tmp_path):
+    src = tmp_path / "mem.trace"
+    src.write_text("# nothing here\n")
+    with pytest.raises(TraceFormatError, match="no accesses"):
+        convert_trace(src, tmp_path / "out.jsonl", "gem5")
+
+
+def test_external_source_descriptor_hashes_input(tmp_path):
+    src = tmp_path / "mem.trace"
+    src.write_text(GEM5_LINES)
+    a = external_trace_source(src, "gem5").descriptor()
+    b = external_trace_source(src, "gem5").descriptor()
+    assert a == b
+    src.write_text(GEM5_LINES + "12000,0,w,0x2000\n")
+    c = external_trace_source(src, "gem5").descriptor()
+    assert a != c
+
+
+def test_negative_time_gap_clamps_to_zero(tmp_path):
+    path = tmp_path / "mem.trace"
+    path.write_text("5000,0,r,0x1000\n1000,0,r,0x1040\n")
+    pairs = list(iter_external_accesses(path, "gem5"))
+    assert pairs[1][1].think_time == 0

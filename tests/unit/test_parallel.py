@@ -14,7 +14,7 @@ from repro.harness import parallel as parallel_module
 from repro.harness.experiments import ExperimentMatrix, run_experiment
 from repro.harness.parallel import (
     RunSpec,
-    _cached_trace,
+    _cached_source,
     default_jobs,
     execute_spec,
     run_specs,
@@ -101,18 +101,21 @@ def test_run_specs_jobs_zero_means_auto():
     assert results[0].algorithm == "lazy"
 
 
-def test_trace_built_once_per_workload(monkeypatch):
-    """A sweep/matrix over one workload must not regenerate the trace
-    per point (the old run_sweep rebuilt it for every swept value)."""
+def test_source_resolved_once_per_workload(monkeypatch):
+    """A sweep/matrix over one workload must not re-resolve the source
+    per point (the old run_sweep rebuilt the trace for every swept
+    value)."""
     calls = []
-    real = parallel_module.build_workload
+    real = parallel_module.resolve_source
 
     def counting(name, accesses_per_core=0, seed=0):
         calls.append((name, accesses_per_core, seed))
-        return real(name, accesses_per_core, seed)
+        return real(
+            name, accesses_per_core=accesses_per_core, seed=seed
+        )
 
-    _cached_trace.cache_clear()
-    monkeypatch.setattr(parallel_module, "build_workload", counting)
+    _cached_source.cache_clear()
+    monkeypatch.setattr(parallel_module, "resolve_source", counting)
     specs = [
         RunSpec(algorithm, "specjbb", accesses_per_core=TINY,
                 warmup_fraction=0.35)
@@ -120,21 +123,23 @@ def test_trace_built_once_per_workload(monkeypatch):
     ]
     run_specs(specs, jobs=1)
     assert calls == [("specjbb", TINY, 0)]
-    _cached_trace.cache_clear()
+    _cached_source.cache_clear()
 
 
-def test_sweep_builds_trace_once(monkeypatch):
+def test_sweep_resolves_source_once(monkeypatch):
     from repro.harness.sweep import sweep_ring_field
 
     calls = []
-    real = parallel_module.build_workload
+    real = parallel_module.resolve_source
 
     def counting(name, accesses_per_core=0, seed=0):
         calls.append(name)
-        return real(name, accesses_per_core, seed)
+        return real(
+            name, accesses_per_core=accesses_per_core, seed=seed
+        )
 
-    _cached_trace.cache_clear()
-    monkeypatch.setattr(parallel_module, "build_workload", counting)
+    _cached_source.cache_clear()
+    monkeypatch.setattr(parallel_module, "resolve_source", counting)
     sweep = sweep_ring_field(
         "snoop_time",
         [10, 55, 110],
@@ -145,7 +150,7 @@ def test_sweep_builds_trace_once(monkeypatch):
     )
     assert len(sweep.points) == 3
     assert calls == ["specjbb"]
-    _cached_trace.cache_clear()
+    _cached_source.cache_clear()
 
 
 def test_matrix_warm_cache_runs_zero_simulations(tmp_path):

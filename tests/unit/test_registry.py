@@ -33,7 +33,16 @@ def test_all_builtin_predictors_registered():
 
 
 def test_all_builtin_workloads_registered():
-    assert REGISTRY.names("workload") == sorted(WORKLOAD_PROFILES)
+    from repro.workloads.splash2_apps import SPLASH2_APPS
+
+    names = REGISTRY.names("workload")
+    # Every mix profile and every per-app SPLASH-2 factory resolves by
+    # name; nothing else sneaks into the builtin set.
+    expected = list(WORKLOAD_PROFILES) + [
+        REGISTRY.canonical("workload", "splash2/%s" % app)
+        for app in SPLASH2_APPS
+    ]
+    assert names == sorted(expected)
 
 
 @pytest.mark.parametrize(

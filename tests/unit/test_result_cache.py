@@ -222,3 +222,94 @@ def test_run_specs_deduplicates_identical_specs(cache):
     assert len(results) == 3
     assert cache.stores == 1
     assert results[0].stats == results[1].stats == results[2].stats
+
+
+# ----------------------------------------------------------------------
+# Size-bounded pruning (LRU by mtime)
+
+
+def _fake_entry(cache, tag, size=1000, mtime=None):
+    import os
+
+    key = (tag * 64)[:64]
+    path = cache._path_for(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"x" * size)
+    if mtime is not None:
+        os.utime(path, (mtime, mtime))
+    return path
+
+
+def test_prune_evicts_oldest_first(cache):
+    old = _fake_entry(cache, "a", size=1000, mtime=1_000_000)
+    mid = _fake_entry(cache, "b", size=1000, mtime=2_000_000)
+    new = _fake_entry(cache, "c", size=1000, mtime=3_000_000)
+    stats = cache.prune(max_size_bytes=2000)
+    assert stats["removed"] == 1
+    assert stats["freed_bytes"] == 1000
+    assert stats["size_bytes"] == 2000
+    assert not old.exists()
+    assert mid.exists() and new.exists()
+
+
+def test_prune_to_zero_empties_cache(cache):
+    _fake_entry(cache, "a")
+    _fake_entry(cache, "b")
+    stats = cache.prune(max_size_bytes=0)
+    assert stats["removed"] == 2
+    assert cache.entry_count() == 0
+    assert not cache._bucket_root.exists()  # emptied dirs removed
+
+
+def test_prune_under_budget_is_a_noop(cache):
+    path = _fake_entry(cache, "a", size=100)
+    stats = cache.prune(max_size_bytes=10_000)
+    assert stats == {"removed": 0, "freed_bytes": 0, "size_bytes": 100}
+    assert path.exists()
+
+
+def test_prune_ignores_stale_schema_entries(cache):
+    live = _fake_entry(cache, "a", size=1000, mtime=1_000_000)
+    stale = cache.root / "v1" / "ab" / ("ab" + "0" * 62 + ".pkl")
+    stale.parent.mkdir(parents=True)
+    stale.write_bytes(b"x" * 50_000)
+    stats = cache.prune(max_size_bytes=2000)
+    # The giant stale entry neither counts toward the budget nor gets
+    # evicted; the live entry already fits.
+    assert stats["removed"] == 0
+    assert live.exists() and stale.exists()
+
+
+def test_prune_rejects_negative_budget(cache):
+    with pytest.raises(ValueError):
+        cache.prune(max_size_bytes=-1)
+
+
+def test_get_refreshes_mtime_for_lru(cache):
+    import os
+
+    result = run_specs([SPEC], jobs=1)[0]
+    key = SPEC.cache_key()
+    cache.put(key, result)
+    path = cache._path_for(key)
+    os.utime(path, (1_000_000, 1_000_000))
+    assert cache.get(key) is not None
+    assert path.stat().st_mtime > 1_000_000
+
+
+def test_recently_served_entry_survives_prune(cache):
+    import os
+
+    result = run_specs([SPEC], jobs=1)[0]
+    key = SPEC.cache_key()
+    cache.put(key, result)
+    served = cache._path_for(key)
+    os.utime(served, (1_000_000, 1_000_000))
+    untouched = _fake_entry(
+        cache, "f", size=served.stat().st_size, mtime=2_000_000
+    )
+    cache.get(key)  # serving refreshes the mtime past the fake entry
+    stats = cache.prune(max_size_bytes=served.stat().st_size)
+    assert stats["removed"] == 1
+    assert served.exists()
+    assert not untouched.exists()

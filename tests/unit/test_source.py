@@ -1,0 +1,248 @@
+"""Unit tests for the workload-source seam (repro.workloads.source)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import REGISTRY, UnknownComponentError
+from repro.workloads.io import save_trace
+from repro.workloads.source import (
+    FileReplaySource,
+    SyntheticSource,
+    TraceSource,
+    WorkloadSource,
+    as_source,
+    descriptor_key,
+    resolve_source,
+)
+from repro.workloads.synthetic import SharingProfile, generate_workload
+from repro.workloads.trace import Access, WorkloadTrace
+
+
+def small_profile(**overrides):
+    params = dict(
+        name="source-test",
+        num_cores=4,
+        cores_per_cmp=2,
+        accesses_per_core=50,
+        p_shared=0.5,
+        shared_lines=16,
+        private_lines=16,
+        prewarm_fraction=0.5,
+        seed=7,
+    )
+    params.update(overrides)
+    return SharingProfile(**params)
+
+
+# ----------------------------------------------------------------------
+# Normalization
+
+
+def test_as_source_passes_sources_through():
+    source = SyntheticSource(small_profile())
+    assert as_source(source) is source
+
+
+def test_as_source_wraps_trace():
+    trace = generate_workload(small_profile())
+    source = as_source(trace)
+    assert isinstance(source, TraceSource)
+    assert source.materialize() is trace
+    assert source.descriptor() is None
+
+
+def test_as_source_wraps_profile():
+    source = as_source(small_profile())
+    assert isinstance(source, SyntheticSource)
+    assert source.name == "source-test"
+
+
+def test_as_source_rejects_other_types():
+    with pytest.raises(TypeError):
+        as_source(42)
+
+
+# ----------------------------------------------------------------------
+# Geometry and laziness
+
+
+def test_synthetic_source_geometry_is_lazy():
+    source = SyntheticSource(small_profile())
+    assert source.num_cores == 4
+    assert source.cores_per_cmp == 2
+    assert source.num_cmps == 2
+    assert source._trace is None  # geometry never generated anything
+
+
+def test_synthetic_source_materializes_once():
+    source = SyntheticSource(small_profile())
+    assert source.materialize() is source.materialize()
+
+
+def test_core_stream_matches_materialized():
+    source = SyntheticSource(small_profile())
+    trace = source.materialize()
+    for core in range(source.num_cores):
+        assert list(source.core_stream(core)) == trace.traces[core]
+
+
+def test_total_and_prewarm_delegate():
+    source = SyntheticSource(small_profile())
+    trace = source.materialize()
+    assert source.total_accesses() == trace.total_accesses
+    assert source.prewarm() == trace.prewarm
+
+
+# ----------------------------------------------------------------------
+# Descriptors
+
+
+def test_equal_profiles_share_descriptor():
+    a = SyntheticSource(small_profile())
+    b = SyntheticSource(small_profile())
+    assert a.descriptor() == b.descriptor()
+    assert descriptor_key(a.descriptor()) == descriptor_key(
+        b.descriptor()
+    )
+
+
+def test_different_seed_changes_descriptor():
+    a = SyntheticSource(small_profile())
+    b = SyntheticSource(small_profile(seed=8))
+    assert descriptor_key(a.descriptor()) != descriptor_key(
+        b.descriptor()
+    )
+
+
+def test_descriptor_key_is_order_independent():
+    assert descriptor_key({"a": 1, "b": 2}) == descriptor_key(
+        {"b": 2, "a": 1}
+    )
+
+
+# ----------------------------------------------------------------------
+# File replay
+
+
+def test_file_replay_source_streams(tmp_path):
+    trace = generate_workload(small_profile())
+    path = tmp_path / "trace.jsonl"
+    save_trace(trace, path, chunk_size=8)
+    source = FileReplaySource(path)
+    assert source.streaming
+    assert source.name == trace.name
+    assert source.num_cores == trace.num_cores
+    assert source.total_accesses() == trace.total_accesses
+    assert source.prewarm() == trace.prewarm
+    for core in range(trace.num_cores):
+        assert list(source.core_stream(core)) == trace.traces[core]
+
+
+def test_file_replay_descriptor_tracks_content(tmp_path):
+    trace = generate_workload(small_profile())
+    path_a = tmp_path / "a.jsonl"
+    path_b = tmp_path / "b.jsonl"
+    save_trace(trace, path_a)
+    save_trace(trace, path_b)
+    # Two copies of the same bytes share an identity...
+    assert (
+        FileReplaySource(path_a).descriptor()
+        == FileReplaySource(path_b).descriptor()
+    )
+    # ...and different content does not.
+    other = generate_workload(small_profile(seed=9))
+    save_trace(other, path_b)
+    assert (
+        FileReplaySource(path_a).descriptor()
+        != FileReplaySource(path_b).descriptor()
+    )
+
+
+def test_file_replay_materialize_round_trips(tmp_path):
+    trace = generate_workload(small_profile())
+    path = tmp_path / "trace.jsonl"
+    save_trace(trace, path)
+    assert FileReplaySource(path).materialize().traces == trace.traces
+
+
+# ----------------------------------------------------------------------
+# resolve_source
+
+
+def test_resolve_source_by_name():
+    source = resolve_source("splash2", accesses_per_core=50, seed=3)
+    assert isinstance(source, WorkloadSource)
+    assert source.name == "SPLASH-2"
+
+
+def test_resolve_source_registered_app():
+    source = resolve_source("splash2/barnes", accesses_per_core=50)
+    assert source.name == "splash2/barnes"
+
+
+def test_resolve_source_unknown_name():
+    with pytest.raises(UnknownComponentError):
+        resolve_source("no-such-workload")
+
+
+def test_resolve_source_file_scheme(tmp_path):
+    trace = generate_workload(small_profile())
+    path = tmp_path / "trace.jsonl"
+    save_trace(trace, path)
+    source = resolve_source("file:%s" % path)
+    assert isinstance(source, FileReplaySource)
+    assert source.total_accesses() == trace.total_accesses
+
+
+def test_resolve_source_file_scheme_needs_path():
+    with pytest.raises(ValueError):
+        resolve_source("file:")
+
+
+def test_resolve_source_passes_non_strings_through():
+    trace = WorkloadTrace(
+        name="t", cores_per_cmp=1, traces=[[Access(1, False, 0)]]
+    )
+    assert resolve_source(trace).materialize() is trace
+
+
+def test_resolve_source_default_scale_omits_kwargs():
+    """Scale/seed 0 means 'workload default': the registry factory is
+    called without the kwargs, so factories with their own defaults
+    (per-app seeds) keep them."""
+    direct = resolve_source("splash2/barnes")
+    scaled = resolve_source("splash2/barnes", accesses_per_core=123)
+    assert direct.profile.accesses_per_core == 1500  # app default kept
+    assert scaled.profile.accesses_per_core == 123
+    assert scaled.total_accesses() < direct.materialize().total_accesses
+
+
+def test_plugin_source_resolves_through_registry():
+    class TinySource(WorkloadSource):
+        @property
+        def name(self):
+            return "tiny"
+
+        @property
+        def num_cores(self):
+            return 2
+
+        @property
+        def cores_per_cmp(self):
+            return 1
+
+        def materialize(self):
+            return WorkloadTrace(
+                name="tiny",
+                cores_per_cmp=1,
+                traces=[[Access(1, False, 0)], [Access(2, True, 0)]],
+            )
+
+    REGISTRY.register("workload", "tiny-test-source", TinySource)
+    try:
+        source = resolve_source("tiny-test-source")
+        assert isinstance(source, TinySource)
+        assert list(source.core_stream(1)) == [Access(2, True, 0)]
+    finally:
+        REGISTRY.unregister("workload", "tiny-test-source")

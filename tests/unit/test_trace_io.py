@@ -134,3 +134,167 @@ def test_named_workload_roundtrip(tmp_path):
     loaded = load_trace(path)
     assert loaded.total_accesses == workload.total_accesses
     assert loaded.name == "SPECjbb"
+
+
+# ----------------------------------------------------------------------
+# Format v2: chunked records, streaming scan/replay
+
+
+def v1_file(tmp_path, traces, prewarm=None, cores_per_cmp=1):
+    """Hand-write a version-1 file (one combined record per core)."""
+    lines = [
+        json.dumps({
+            "format": "flexsnoop-trace", "version": 1, "name": "v1",
+            "cores_per_cmp": cores_per_cmp, "num_cores": len(traces),
+        })
+    ]
+    for core, accesses in enumerate(traces):
+        lines.append(json.dumps({
+            "core": core,
+            "accesses": [
+                [a.address, int(a.is_write), a.think_time]
+                for a in accesses
+            ],
+        }))
+    for core, warm in enumerate(prewarm or []):
+        lines.append(json.dumps({"core": core, "prewarm": warm}))
+    path = tmp_path / "v1.jsonl"
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def test_save_trace_writes_v2_chunks(tmp_path):
+    workload = small_workload()
+    path = tmp_path / "trace.jsonl"
+    save_trace(workload, path, chunk_size=16)
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    assert header["version"] == 2
+    assert header["total_accesses"] == workload.total_accesses
+    access_records = [
+        json.loads(line) for line in lines[1:]
+        if "accesses" in json.loads(line)
+    ]
+    # 100 accesses per core at chunk 16 -> 7 chunks per core.
+    assert len(access_records) == workload.num_cores * 7
+    assert all(len(r["accesses"]) <= 16 for r in access_records)
+
+
+def test_v1_file_still_loads(tmp_path):
+    traces = [[Access(1, False, 2), Access(3, True, 0)],
+              [Access(2, True, 1)]]
+    prewarm = [[1, 3], [2]]
+    path = v1_file(tmp_path, traces, prewarm)
+    loaded = load_trace(path)
+    assert loaded.traces == traces
+    assert loaded.prewarm == prewarm
+
+
+def test_v1_file_scans_and_streams(tmp_path):
+    from repro.workloads.io import iter_core_accesses, scan_trace
+
+    traces = [[Access(1, False, 2), Access(3, True, 0)],
+              [Access(2, True, 1)]]
+    path = v1_file(tmp_path, traces, [[7], []])
+    scan = scan_trace(path)
+    assert scan.version == 1
+    assert scan.total_accesses == 3
+    assert scan.prewarm == [[7], []]
+    assert list(iter_core_accesses(scan, 0)) == traces[0]
+    assert list(iter_core_accesses(scan, 1)) == traces[1]
+
+
+def test_scan_matches_load(tmp_path):
+    from repro.workloads.io import iter_core_accesses, scan_trace
+
+    workload = small_workload()
+    path = tmp_path / "trace.jsonl"
+    save_trace(workload, path, chunk_size=8)
+    scan = scan_trace(path)
+    assert scan.name == workload.name
+    assert scan.total_accesses == workload.total_accesses
+    assert scan.prewarm == workload.prewarm
+    for core in range(workload.num_cores):
+        assert list(iter_core_accesses(scan, core)) == \
+            workload.traces[core]
+
+
+def test_read_header_peeks_geometry(tmp_path):
+    from repro.workloads.io import read_header
+
+    workload = small_workload()
+    path = tmp_path / "trace.jsonl"
+    save_trace(workload, path)
+    header = read_header(path)
+    assert header["num_cores"] == workload.num_cores
+    assert header["cores_per_cmp"] == workload.cores_per_cmp
+
+
+def test_truncated_v2_file_rejected(tmp_path):
+    workload = small_workload()
+    path = tmp_path / "trace.jsonl"
+    save_trace(workload, path, chunk_size=8)
+    lines = path.read_text().splitlines(keepends=True)
+    # Drop the last access record (the file ends with prewarm
+    # records): the header's total no longer matches.
+    last = max(
+        i for i, line in enumerate(lines) if '"accesses"' in line
+    )
+    path.write_text("".join(lines[:last] + lines[last + 1:]))
+    with pytest.raises(TraceFormatError, match="truncated"):
+        load_trace(path)
+    from repro.workloads.io import scan_trace
+    with pytest.raises(TraceFormatError, match="truncated"):
+        scan_trace(path)
+
+
+def test_errors_carry_line_numbers(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    lines = [
+        json.dumps({"format": "flexsnoop-trace", "version": 2,
+                    "name": "x", "cores_per_cmp": 1, "num_cores": 1,
+                    "total_accesses": 1}),
+        json.dumps({"core": 0, "accesses": [[1, 0, 0]]}),
+        "{broken",
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(TraceFormatError, match=r"bad\.jsonl:3"):
+        load_trace(path)
+
+
+def test_bad_access_value_positions_error(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    lines = [
+        json.dumps({"format": "flexsnoop-trace", "version": 2,
+                    "name": "x", "cores_per_cmp": 1, "num_cores": 1,
+                    "total_accesses": 1}),
+        json.dumps({"core": 0, "accesses": [[1, 0, -5]]}),
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(TraceFormatError, match=r"bad\.jsonl:2"):
+        load_trace(path)
+
+
+def test_blank_line_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    lines = [
+        json.dumps({"format": "flexsnoop-trace", "version": 2,
+                    "name": "x", "cores_per_cmp": 1, "num_cores": 1,
+                    "total_accesses": 0}),
+        "",
+        json.dumps({"core": 0, "accesses": []}),
+    ]
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(TraceFormatError, match=":2"):
+        load_trace(path)
+
+
+def test_bad_geometry_rejected(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        json.dumps({"format": "flexsnoop-trace", "version": 2,
+                    "name": "x", "cores_per_cmp": 3, "num_cores": 4,
+                    "total_accesses": 0}) + "\n"
+    )
+    with pytest.raises(TraceFormatError, match="geometry"):
+        load_trace(path)
