@@ -274,6 +274,21 @@ class ExactPredictor(SupplierPredictor):
         self.updates += 1
         self._table.remove(address)
 
+    def prewarm_snapshot(self) -> Optional[object]:
+        return (
+            self.lookups,
+            self.updates,
+            self.downgrades,
+            self._table.snapshot(),
+        )
+
+    def prewarm_restore(self, snapshot: object) -> None:
+        lookups, updates, downgrades, sets = snapshot  # type: ignore[misc]
+        self.lookups = lookups
+        self.updates = updates
+        self.downgrades = downgrades
+        self._table.restore(sets)
+
     def __contains__(self, address: int) -> bool:
         return self._table.contains(address, touch=False)
 

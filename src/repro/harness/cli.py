@@ -105,6 +105,15 @@ def _add_component_options(
     )
 
 
+def _add_core_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--core",
+        default="object",
+        help="simulation-core implementation (known: %s; both produce "
+        "bit-identical summaries)" % ", ".join(REGISTRY.names("core")),
+    )
+
+
 def _add_matrix_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs",
@@ -127,6 +136,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         predictor=args.predictor,
         accesses_per_core=args.scale,
         seed=args.seed,
+        core=args.core,
     )
     print("algorithm : %s" % result.algorithm)
     print("workload  : %s" % result.workload)
@@ -143,6 +153,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         result_cache=_make_cache(args),
+        core=args.core,
     )
     number = args.number
     if number == 6:
@@ -227,6 +238,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         seed=args.seed,
         jobs=args.jobs,
         result_cache=_make_cache(args),
+        core=args.core,
     )
     figures = (
         [int(f) for f in args.figures.split(",")]
@@ -467,7 +479,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         DEFAULT_BENCH_SCALE,
         DEFAULT_TOLERANCE,
         check_regression,
+        format_breakdown,
         load_snapshot,
+        measure_breakdown,
         run_snapshot,
         write_snapshot,
     )
@@ -476,14 +490,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     tolerance = (
         args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE
     )
+    if args.breakdown:
+        buckets = measure_breakdown(
+            accesses_per_core=scale, seed=args.seed, core=args.core
+        )
+        print(format_breakdown(buckets))
+        return 0
     snapshot = run_snapshot(
         trials=args.trials,
         accesses_per_core=scale,
         seed=args.seed,
+        core=args.core,
     )
+    print("core          : %s" % snapshot.core)
     print("matrix wall   : %.3f s" % snapshot.matrix_wall_s)
     print("accesses/sec  : %.1f" % snapshot.accesses_per_sec)
     print("events/sec    : %.1f" % snapshot.events_per_sec)
+    if snapshot.env:
+        print(
+            "environment   : %s, %s cpu(s), python %s"
+            % (
+                snapshot.env.get("cpu_model"),
+                snapshot.env.get("cpu_count"),
+                snapshot.env.get("python"),
+            )
+        )
     if args.out:
         write_snapshot(snapshot, args.out)
         print("wrote %s" % args.out)
@@ -519,6 +550,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one simulation")
     _add_component_options(run_parser, "lazy", "splash2")
+    _add_core_option(run_parser)
     run_parser.add_argument("--scale", type=int, default=2000,
                             help="accesses per core")
     run_parser.add_argument("--seed", type=int, default=0)
@@ -531,6 +563,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument("--scale", type=int, default=2000)
     figure_parser.add_argument("--seed", type=int, default=0)
     _add_matrix_options(figure_parser)
+    _add_core_option(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
 
     table_parser = sub.add_parser(
@@ -552,6 +585,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--out", default="")
     _add_matrix_options(report_parser)
+    _add_core_option(report_parser)
     report_parser.set_defaults(func=_cmd_report)
 
     cache_parser = sub.add_parser(
@@ -606,6 +640,12 @@ def build_parser() -> argparse.ArgumentParser:
         "regression beyond --tolerance, 0 if the file is absent",
     )
     bench_parser.add_argument("--tolerance", type=float, default=None)
+    _add_core_option(bench_parser)
+    bench_parser.add_argument(
+        "--breakdown", action="store_true",
+        help="profile one matrix run and print per-subsystem time "
+        "(walker/datapath/predictor/engine) instead of a snapshot",
+    )
     bench_parser.set_defaults(func=_cmd_bench)
 
     trace_parser = sub.add_parser(

@@ -61,6 +61,7 @@ def run_experiment(
     seed: int = 0,
     config: Optional[MachineConfig] = None,
     warmup_fraction: float = DEFAULT_WARMUP,
+    core: str = "object",
 ) -> SimulationResult:
     """Run one (algorithm, workload) cell of the evaluation matrix.
 
@@ -74,6 +75,8 @@ def run_experiment(
         config: full machine config override (advanced use; its
             predictor field is still replaced when ``predictor`` or
             the algorithm default says so).
+        core: simulation-core implementation (registry kind ``core``):
+            ``object`` (default) or ``soa``.
     """
     return execute_spec(
         RunSpec(
@@ -84,6 +87,7 @@ def run_experiment(
             seed=seed,
             warmup_fraction=warmup_fraction,
             config=config,
+            core=core,
         )
     )
 
@@ -114,6 +118,7 @@ class ExperimentMatrix:
     workloads: Sequence[str] = WORKLOADS
     jobs: Optional[int] = 1
     result_cache: Optional[ResultCache] = None
+    core: str = "object"
     _cache: Dict[MatrixCell, SimulationResult] = field(
         default_factory=dict
     )
@@ -127,6 +132,7 @@ class ExperimentMatrix:
             accesses_per_core=self.accesses_per_core,
             seed=self.seed,
             warmup_fraction=DEFAULT_WARMUP,
+            core=self.core,
         )
 
     def ensure(self, cells: Sequence[MatrixCell]) -> None:

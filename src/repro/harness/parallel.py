@@ -39,7 +39,7 @@ from repro.harness.result_cache import (
     config_fingerprint,
     fingerprint_key,
 )
-from repro.sim.system import RingMultiprocessor, SimulationResult
+from repro.sim.system import SimulationResult
 from repro.workloads.source import WorkloadSource, resolve_source
 
 
@@ -63,6 +63,12 @@ class RunSpec:
     seed: int = 0
     warmup_fraction: float = 0.0
     config: Optional[MachineConfig] = None
+    #: Simulation-core implementation (registry kind ``core``):
+    #: ``"object"`` (default) or ``"soa"``.  Both produce bit-identical
+    #: summaries; ``soa`` additionally pins diagnostic event counts
+    #: that differ from the object engine, so non-default cores get
+    #: their own result-cache entries.
+    core: str = "object"
 
     def resolve_config(
         self, cores_per_cmp: int, num_cmps: int = 8
@@ -111,6 +117,10 @@ class RunSpec:
                 self.resolve_config(cores_per_cmp, num_cmps)
             ),
         }
+        if self.core != "object":
+            # Default-core keys stay byte-stable across this field's
+            # introduction, so existing caches remain warm.
+            payload["core"] = REGISTRY.canonical("core", self.core)
         if source_descriptor is not None:
             payload["source"] = source_descriptor
         else:
@@ -172,7 +182,9 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
         spec.workload, spec.accesses_per_core, spec.seed
     )
     machine = spec.resolve_config(source.cores_per_cmp, source.num_cmps)
-    system = RingMultiprocessor(
+    system = REGISTRY.create(
+        "core",
+        spec.core,
         machine,
         build_algorithm(spec.algorithm),
         source,

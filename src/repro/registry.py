@@ -66,6 +66,7 @@ ENTRY_POINT_GROUPS: Dict[str, str] = {
     "predictor": "flexsnoop.predictors",
     "workload": "flexsnoop.workloads",
     "sink": "flexsnoop.sinks",
+    "core": "flexsnoop.cores",
 }
 
 #: Kind -> module whose import registers the built-in components.
@@ -77,6 +78,7 @@ _BUILTIN_MODULES: Dict[str, str] = {
     "predictor": "repro.config",
     "workload": "repro.workloads.profiles",
     "sink": "repro.obs.trace",
+    "core": "repro.sim.cores",
 }
 
 
@@ -98,6 +100,7 @@ _NORMALIZERS: Dict[str, Callable[[str], str]] = {
     "predictor": _normalize_exact,
     "workload": _normalize_workload,
     "sink": _normalize_algorithm,  # case-insensitive, like algorithms
+    "core": _normalize_algorithm,  # case-insensitive, like algorithms
 }
 
 
