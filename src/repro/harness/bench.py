@@ -6,7 +6,7 @@ records the serial (``jobs=1``) throughput of the main fig8 matrix -
 all seven algorithms over the three paper workloads - at a fixed
 benchmark scale::
 
-    {"pr": 6, "core": "soa", "accesses_per_sec": ...,
+    {"pr": 7, "core": "jit", "accesses_per_sec": ...,
      "events_per_sec": ..., "matrix_wall_s": ...,
      "env": {"cpu_model": ..., "cpu_count": ..., "python": ...}}
 
@@ -51,7 +51,7 @@ from repro.harness.experiments import ExperimentMatrix
 from repro.harness.result_cache import ResultCache
 
 #: PR number stamped into snapshots written by the current code.
-SNAPSHOT_PR = 6
+SNAPSHOT_PR = 7
 
 #: Accesses per core for the benchmark matrix.  Large enough that the
 #: simulation (not trace generation or interpreter warmup) dominates,
@@ -86,9 +86,26 @@ def environment_fingerprint() -> Dict[str, object]:
     """
     return {
         "cpu_model": _cpu_model(),
-        "cpu_count": os.cpu_count() or 1,
+        "cpu_count": _available_cpus(),
         "python": platform.python_version(),
     }
+
+
+def _available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    ``os.cpu_count()`` reports the whole machine even when the process
+    is pinned to a subset (containers, ``taskset``, CI runners) - the
+    same trap ``default_jobs()`` avoids - and a pinned run is not
+    comparable to a whole-machine run, so the fingerprint must record
+    the affinity-aware count.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
 
 
 def same_environment(a: Optional[Dict], b: Optional[Dict]) -> bool:
@@ -244,6 +261,7 @@ _SUBSYSTEM_FILES: Dict[str, str] = {
     "system.py": "engine",
     "warmup.py": "engine",
     "soa.py": "soa-core",
+    "jit.py": "jit-core",
 }
 
 

@@ -45,6 +45,7 @@ from repro.harness.experiments import (
 )
 from repro.harness.result_cache import ResultCache
 from repro.registry import REGISTRY, UnknownComponentError
+from repro.sim.soa import SoaUnsupportedError
 
 
 def _make_cache(args: argparse.Namespace) -> ResultCache:
@@ -109,8 +110,14 @@ def _add_core_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--core",
         default="object",
-        help="simulation-core implementation (known: %s; both produce "
+        help="simulation-core implementation (known: %s; all produce "
         "bit-identical summaries)" % ", ".join(REGISTRY.names("core")),
+    )
+    parser.add_argument(
+        "--strict-core",
+        action="store_true",
+        help="fail instead of falling back to core=object when the "
+        "requested core does not support the configuration",
     )
 
 
@@ -784,7 +791,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return args.func(args)
+        try:
+            return args.func(args)
+        except SoaUnsupportedError as exc:
+            # An array core refused the configuration at construction.
+            # The object core runs everything, so fall back to it with
+            # a one-line notice unless the user asked for the hard
+            # error (--strict-core).
+            if (
+                getattr(args, "strict_core", False)
+                or getattr(args, "core", "object") == "object"
+            ):
+                raise
+            print(
+                "flexsnoop: %s; falling back to core=object "
+                "(use --strict-core to fail instead)" % exc,
+                file=sys.stderr,
+            )
+            args.core = "object"
+            return args.func(args)
+    except SoaUnsupportedError as exc:
+        print("flexsnoop: %s" % exc, file=sys.stderr)
+        return 2
     except UnknownComponentError as exc:
         print("flexsnoop: %s" % exc, file=sys.stderr)
         return 2

@@ -76,7 +76,8 @@ def run_experiment(
             predictor field is still replaced when ``predictor`` or
             the algorithm default says so).
         core: simulation-core implementation (registry kind ``core``):
-            ``object`` (default) or ``soa``.
+            ``object`` (default), ``soa``, or ``jit`` (numba-compiled
+            kernel with a pure-Python fallback).
     """
     return execute_spec(
         RunSpec(

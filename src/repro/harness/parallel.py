@@ -64,10 +64,11 @@ class RunSpec:
     warmup_fraction: float = 0.0
     config: Optional[MachineConfig] = None
     #: Simulation-core implementation (registry kind ``core``):
-    #: ``"object"`` (default) or ``"soa"``.  Both produce bit-identical
-    #: summaries; ``soa`` additionally pins diagnostic event counts
-    #: that differ from the object engine, so non-default cores get
-    #: their own result-cache entries.
+    #: ``"object"`` (default), ``"soa"``, or ``"jit"`` (numba-compiled
+    #: flat-array kernel with a pure-Python fallback).  All produce
+    #: bit-identical summaries; the array cores additionally pin
+    #: diagnostic event counts that differ from the object engine, so
+    #: non-default cores get their own result-cache entries.
     core: str = "object"
 
     def resolve_config(

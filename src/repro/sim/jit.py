@@ -1,0 +1,2245 @@
+"""Compiled-kernel fused simulation core (``core=jit``).
+
+The third tier of the ``core`` registry kind: the SoA core's fused
+event loop re-expressed over **preallocated flat integer arrays** so
+the whole hot path - issue, ring walk, snoop, fill, invalidate,
+retire - is one monomorphic kernel that `numba`_ can compile with
+``@njit``.  When numba is not importable (the default container has
+only numpy) the *same kernel body* runs as plain Python over lists:
+one code body, two execution modes, bit-identical results either way.
+
+Layout
+------
+
+* **Cache lines** live in three parallel arrays ``way_addr`` /
+  ``way_state`` / ``way_ver`` with a fixed-capacity set layout
+  (``(core * num_sets + set) * assoc + way``); ``set_len`` holds the
+  fill level and LRU order is positional (victim at way 0, MRU last).
+* **Addresses are dense**: every address the run can ever touch
+  (trace, prewarm image, predictor tables) is remapped to a compact
+  ``0..U-1`` index so registries (``sup_cmp``/``sup_loc``,
+  ``holders``, ``down_flag``, ``mem_ver``, active-transaction lists)
+  become direct-indexed arrays instead of dicts.  ``raw_of`` keeps
+  the original address for set/home/bloom arithmetic.
+* **The event heap** is an integer array-heap of five parallel arrays
+  ``(time, seq, op, a, b)`` with the exact ``(time, seq)``
+  lexicographic order of the SoA core's tuple heap (``seq`` is
+  unique, so the order is total and identical).
+* **Transactions** are rows of a flat ``tx`` array (stride
+  :data:`_NT`); MSHR waiters sit in a per-transaction strip of
+  ``tw``; per-address active lists are intrusive doubly-linked lists
+  threaded through transaction slots.
+* **Predictor state** is flattened per kind: subset/exact tables and
+  the superset Exclude cache as fixed-associativity address arrays,
+  the counting Bloom filter as one counter array per CMP, superset
+  reference counts as a dense ``num_cmps x U`` array.
+
+Equivalence contract
+--------------------
+
+Identical to the SoA core's: every counter increments at the same
+simulated instant in the same relative event order, and every float
+output is a sum of identically-ordered additions of one constant per
+accumulator.  Two restructurings are proven order-neutral: the
+warmup reset is deferred to the end of the dispatch iteration (no
+counter-bearing code runs between ``complete_access`` and the arm
+end in any arm), and the ring walk / write commit run as single
+funnel blocks after dispatch (each arm sets at most one of them and
+nothing follows them in their arm).
+
+Envelope
+--------
+
+Everything outside the SoA envelope is outside this one too, plus
+algorithms whose ``choose`` is not a pure function of the prediction
+(the kernel cannot call back into Python).  The built-in seven and
+``superset_hybrid`` without an energy-pressure source are supported;
+:func:`check_jit_supported` raises :class:`JitUnsupportedError`
+(a :class:`SoaUnsupportedError` subclass, so ``except`` sites and
+the CLI fallback treat the two cores uniformly).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.coherence.protocol import CoherenceError
+from repro.config import MachineConfig
+from repro.core.algorithms import SnoopingAlgorithm
+from repro.core.predictors import PerfectPredictor
+from repro.energy.model import EnergyModel
+from repro.metrics.histogram import LatencyHistogram
+from repro.metrics.stats import PredictorAccuracy, RunStats
+from repro.ring.topology import TorusTopology
+from repro.sim.soa import (
+    _P_FTS,
+    _P_FWD,
+    _PRIM_INT,
+    _PURE_CHOICE,
+    SoaRingMultiprocessor,
+    SoaUnsupportedError,
+    check_soa_supported,
+)
+from repro.sim.system import SimulationResult
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:  # pragma: no cover
+    _numba = None
+
+#: True when the ``@njit`` path is available in this interpreter.
+NUMBA_AVAILABLE = _numba is not None
+
+#: Environment variable forcing the pure-Python fallback even when
+#: numba is importable (the CI fallback leg and A/B tests use it).
+JIT_DISABLE_ENV = "FLEXSNOOP_JIT_DISABLE"
+
+__all__ = [
+    "JitRingMultiprocessor",
+    "JitUnsupportedError",
+    "NUMBA_AVAILABLE",
+    "check_jit_supported",
+]
+
+
+class JitUnsupportedError(SoaUnsupportedError):
+    """The requested configuration needs the object (or SoA) core."""
+
+
+def check_jit_supported(
+    config: MachineConfig,
+    algorithm: Optional[SnoopingAlgorithm] = None,
+    trace_sink: object = None,
+) -> None:
+    """Raise :class:`JitUnsupportedError` unless ``config`` (and
+    ``algorithm``, when given) fit the compiled kernel's envelope.
+
+    The config envelope is exactly the SoA core's.  On top of it the
+    kernel requires the snooping algorithm's ``choose`` to be a pure
+    function of the prediction: the built-in seven qualify, and
+    ``superset_hybrid`` qualifies while it has no energy-pressure
+    source (its ``choose`` is then constant-True -> aggressive).
+    """
+    try:
+        check_soa_supported(config, trace_sink)
+    except SoaUnsupportedError as error:
+        raise JitUnsupportedError(
+            str(error).replace("core=soa", "core=jit")
+        ) from None
+    if algorithm is None:
+        return
+    if algorithm.name in _PURE_CHOICE:
+        return
+    if (
+        algorithm.name == "superset_hybrid"
+        and getattr(algorithm, "_energy_pressure", None) is None
+    ):
+        return
+    raise JitUnsupportedError(
+        "core=jit does not support: algorithm %r (dynamic choose()); "
+        "use core=object" % algorithm.name
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel layout constants.
+
+#: Transaction row stride.  Slots 0-15 mirror the SoA ``_T_*`` slots
+#: (``DA`` uses -1 for "no data arrival yet"); 16-19 are the intrusive
+#: active-list links and the MSHR waiter count.
+_NT = 20
+# 0 write  1 addr(dense)  2 req cmp  3 core  4 issue  5 needs
+# 6 da(-1) 7 sver  8 pref  9 retired  10 next node  11 split
+# 12 reply 13 sat  14 satr  15 squashed
+# 16 active-next  17 active-prev  18 in-active-list  19 waiter count
+
+# Event op codes (identical to the SoA core's).
+_OP_ISSUE = 0
+_OP_STEP = 1
+_OP_WALKDONE = 2
+_OP_INVAL = 3
+_OP_RETRY = 4
+_OP_DELIVER_READ = 5
+_OP_DELIVER_MEM = 6
+_OP_COMMIT = 7
+_OP_RETIRE = 8
+_OP_REISSUE = 9
+
+# Predictor kind codes.
+_PK_NONE = 0
+_PK_PERFECT = 1
+_PK_SUBSET = 2
+_PK_EXACT = 3
+_PK_SUPERSET = 4
+_PKIND_OF = {
+    "none": _PK_NONE,
+    "perfect": _PK_PERFECT,
+    "subset": _PK_SUBSET,
+    "exact": _PK_EXACT,
+    "superset": _PK_SUPERSET,
+}
+
+
+def _build(decorate, alloc_i64):
+    """Build the kernel helper suite + main kernel.
+
+    ``decorate`` is ``numba.njit`` or the identity; ``alloc_i64``
+    allocates a zeroed int64 buffer (numpy array or plain list) and
+    must itself be callable from decorated code.  Every helper below
+    mutates arrays in place and reports scalar effects through return
+    values, because the compiled mode has no closures or nonlocals.
+    """
+
+    @decorate
+    def _heap_push(ht, hs, ho, ha, hb, n, t, s, op, a, b):
+        """Push ``(t, s, op, a, b)``; returns the new size.  Order is
+        lexicographic on ``(time, seq)`` - ``seq`` is unique, so this
+        reproduces the tuple heap's total order exactly."""
+        i = n
+        while i > 0:
+            p = (i - 1) >> 1
+            if ht[p] < t or (ht[p] == t and hs[p] < s):
+                break
+            ht[i] = ht[p]
+            hs[i] = hs[p]
+            ho[i] = ho[p]
+            ha[i] = ha[p]
+            hb[i] = hb[p]
+            i = p
+        ht[i] = t
+        hs[i] = s
+        ho[i] = op
+        ha[i] = a
+        hb[i] = b
+        return n + 1
+
+    @decorate
+    def _heap_pop(ht, hs, ho, ha, hb, n):
+        """Pop the minimum; returns ``(t, s, op, a, b, new_size)``."""
+        rt = ht[0]
+        rs = hs[0]
+        rop = ho[0]
+        ra = ha[0]
+        rb = hb[0]
+        n -= 1
+        if n > 0:
+            t = ht[n]
+            s = hs[n]
+            op = ho[n]
+            a = ha[n]
+            b = hb[n]
+            i = 0
+            while True:
+                c = 2 * i + 1
+                if c >= n:
+                    break
+                r = c + 1
+                if r < n and (
+                    ht[r] < ht[c] or (ht[r] == ht[c] and hs[r] < hs[c])
+                ):
+                    c = r
+                if ht[c] < t or (ht[c] == t and hs[c] < s):
+                    ht[i] = ht[c]
+                    hs[i] = hs[c]
+                    ho[i] = ho[c]
+                    ha[i] = ha[c]
+                    hb[i] = hb[c]
+                    i = c
+                else:
+                    break
+            ht[i] = t
+            hs[i] = s
+            ho[i] = op
+            ha[i] = a
+            hb[i] = b
+        return rt, rs, rop, ra, rb, n
+
+    @decorate
+    def _find_way(way_addr, off, ln, d):
+        """Index of dense address ``d`` within a set, or -1."""
+        for w in range(ln):
+            if way_addr[off + w] == d:
+                return w
+        return -1
+
+    @decorate
+    def _touch_way(way_addr, way_state, way_ver, off, ln, w):
+        """Move way ``w`` to the MRU position (end of the set)."""
+        last = ln - 1
+        if w == last:
+            return
+        a = way_addr[off + w]
+        s = way_state[off + w]
+        v = way_ver[off + w]
+        for i in range(w, last):
+            way_addr[off + i] = way_addr[off + i + 1]
+            way_state[off + i] = way_state[off + i + 1]
+            way_ver[off + i] = way_ver[off + i + 1]
+        way_addr[off + last] = a
+        way_state[off + last] = s
+        way_ver[off + last] = v
+
+    # -- set-associative predictor tables (subset/exact/exclude) ------
+    # Layout: pt[(cmp * psets + set) * passoc + way], LRU-first like
+    # the ``_AddressCache`` lists they mirror.
+
+    @decorate
+    def _pt_contains_touch(pt, ptlen, psets, passoc, cmp, raw, d):
+        s = raw % psets
+        b = cmp * psets + s
+        off = b * passoc
+        ln = ptlen[b]
+        for w in range(ln):
+            if pt[off + w] == d:
+                last = ln - 1
+                if w != last:
+                    for i in range(w, last):
+                        pt[off + i] = pt[off + i + 1]
+                    pt[off + last] = d
+                return 1
+        return 0
+
+    @decorate
+    def _pt_insert(pt, ptlen, psets, passoc, cmp, raw, d):
+        """Insert; returns the evicted victim (dense) or -1."""
+        s = raw % psets
+        b = cmp * psets + s
+        off = b * passoc
+        ln = ptlen[b]
+        for w in range(ln):
+            if pt[off + w] == d:
+                last = ln - 1
+                if w != last:
+                    for i in range(w, last):
+                        pt[off + i] = pt[off + i + 1]
+                    pt[off + last] = d
+                return -1
+        if ln >= passoc:
+            victim = pt[off]
+            for i in range(ln - 1):
+                pt[off + i] = pt[off + i + 1]
+            pt[off + ln - 1] = d
+            return victim
+        pt[off + ln] = d
+        ptlen[b] = ln + 1
+        return -1
+
+    @decorate
+    def _pt_remove(pt, ptlen, psets, passoc, cmp, raw, d):
+        s = raw % psets
+        b = cmp * psets + s
+        off = b * passoc
+        ln = ptlen[b]
+        for w in range(ln):
+            if pt[off + w] == d:
+                for i in range(w, ln - 1):
+                    pt[off + i] = pt[off + i + 1]
+                ptlen[b] = ln - 1
+                return
+
+    # -- counting Bloom filter (superset) -----------------------------
+    # Layout: bl[cmp * ncnt + bloff[f] + field_index(raw, f)].
+
+    @decorate
+    def _bloom_add(bl, bloff, blshift, blmask, nf, ncnt, cmp, raw):
+        base = cmp * ncnt
+        for f in range(nf):
+            bl[base + bloff[f] + ((raw >> blshift[f]) & blmask[f])] += 1
+
+    @decorate
+    def _bloom_discard(bl, bloff, blshift, blmask, nf, ncnt, cmp, raw):
+        base = cmp * ncnt
+        for f in range(nf):
+            i = base + bloff[f] + ((raw >> blshift[f]) & blmask[f])
+            if bl[i] <= 0:
+                raise ValueError("bloom counter underflow")
+            bl[i] -= 1
+
+    @decorate
+    def _bloom_query(bl, bloff, blshift, blmask, nf, ncnt, cmp, raw):
+        base = cmp * ncnt
+        for f in range(nf):
+            if bl[base + bloff[f] + ((raw >> blshift[f]) & blmask[f])] <= 0:
+                return 0
+        return 1
+
+    # -- predictor operations -----------------------------------------
+
+    @decorate
+    def _pred_lookup(
+        pkind, pt, ptlen, psets, passoc,
+        bl, bloff, blshift, blmask, nf, ncnt,
+        ex, exlen, esets, easc, ex_hits,
+        pred_lookups, cmp, raw, d,
+    ):
+        """Predictor lookup for table kinds (subset/exact/superset);
+        returns the prediction as 0/1."""
+        pred_lookups[cmp] += 1
+        if pkind == 4:
+            if _bloom_query(bl, bloff, blshift, blmask, nf, ncnt, cmp, raw) == 0:
+                return 0
+            if esets > 0 and _pt_contains_touch(
+                ex, exlen, esets, easc, cmp, raw, d
+            ):
+                ex_hits[cmp] += 1
+                return 0
+            return 1
+        return _pt_contains_touch(pt, ptlen, psets, passoc, cmp, raw, d)
+
+    @decorate
+    def _pred_remove(
+        pkind, pt, ptlen, psets, passoc,
+        bl, bloff, blshift, blmask, nf, ncnt,
+        pres, nU, pred_updates, cmp, raw, d,
+    ):
+        """Training removal; idempotent exactly like the objects."""
+        if pkind == 4:
+            c = pres[cmp * nU + d]
+            if c <= 0:
+                return
+            pred_updates[cmp] += 1
+            _bloom_discard(bl, bloff, blshift, blmask, nf, ncnt, cmp, raw)
+            pres[cmp * nU + d] = c - 1
+            return
+        pred_updates[cmp] += 1
+        _pt_remove(pt, ptlen, psets, passoc, cmp, raw, d)
+
+    @decorate
+    def _pred_insert(
+        pkind, pt, ptlen, psets, passoc,
+        bl, bloff, blshift, blmask, nf, ncnt,
+        ex, exlen, esets, easc,
+        pres, nU, pextra, pred_updates,
+        raw_of, way_addr, way_state, way_ver, set_len,
+        sup_cmp, sup_loc, mem_ver, down_flag,
+        num_sets, assoc, cpc, cmp, raw, d,
+    ):
+        """Training insert.  Returns ``(downgrades, downgrade_wbs)``
+        increments (0/1 each) from the Exact predictor's conflict
+        cascade; all other effects are in-place."""
+        if pkind == 4:
+            pred_updates[cmp] += 1
+            _bloom_add(bl, bloff, blshift, blmask, nf, ncnt, cmp, raw)
+            pres[cmp * nU + d] += 1
+            if esets > 0:
+                _pt_remove(ex, exlen, esets, easc, cmp, raw, d)
+            return 0, 0
+        pred_updates[cmp] += 1
+        victim = _pt_insert(pt, ptlen, psets, passoc, cmp, raw, d)
+        if victim < 0:
+            return 0, 0
+        pextra[cmp] += 1
+        if pkind == 2:
+            # Subset: the conflict silently drops the entry.
+            return 0, 0
+        # Exact: downgrade the victim line in the CMP (the run-phase
+        # transliteration of ``_make_run_downgrade``).
+        vraw = raw_of[victim]
+        si = vraw % num_sets
+        base = cmp * cpc
+        floc = -1
+        fw = -1
+        for local in range(cpc):
+            sl = (base + local) * num_sets + si
+            off = sl * assoc
+            w = _find_way(way_addr, off, set_len[sl], victim)
+            if w >= 0 and way_state[off + w] >= 2:
+                floc = local
+                fw = off + w
+                break
+        if floc < 0:
+            return 0, 0
+        dgwb = 0
+        if way_state[fw] >= 4:
+            ver = way_ver[fw]
+            if ver >= mem_ver[victim]:
+                mem_ver[victim] = ver
+            dgwb = 1
+        way_state[fw] = 1
+        # remove(victim): updates++, then (idempotent) table removal.
+        pred_updates[cmp] += 1
+        _pt_remove(pt, ptlen, psets, passoc, cmp, vraw, victim)
+        if sup_cmp[victim] == cmp and sup_loc[victim] == floc:
+            sup_cmp[victim] = -1
+            sup_loc[victim] = -1
+        down_flag[victim] = 1
+        return 1, dgwb
+
+    @decorate
+    def _fill(
+        core, cmp, local, d, raw, state, version,
+        way_addr, way_state, way_ver, set_len,
+        sup_cmp, sup_loc, holders, mem_ver, down_flag,
+        raw_of, num_sets, assoc, cpc,
+        pkind, pt, ptlen, psets, passoc,
+        bl, bloff, blshift, blmask, nf, ncnt,
+        ex, exlen, esets, easc, pres, nU, pextra, pred_updates,
+    ):
+        """Line fill; returns ``(dirty_evictions, writebacks,
+        downgrades, downgrade_writebacks)`` increments (each 0/1)."""
+        si = raw % num_sets
+        sl = core * num_sets + si
+        off = sl * assoc
+        ln = set_len[sl]
+        w = _find_way(way_addr, off, ln, d)
+        if w >= 0:
+            old = way_state[off + w]
+            way_state[off + w] = state
+            dg = 0
+            dgwb = 0
+            if old >= 2:
+                if state < 2:
+                    # supplier loss: predictor, then registry.
+                    if pkind >= 2:
+                        _pred_remove(
+                            pkind, pt, ptlen, psets, passoc,
+                            bl, bloff, blshift, blmask, nf, ncnt,
+                            pres, nU, pred_updates, cmp, raw, d,
+                        )
+                    if sup_cmp[d] == cmp and sup_loc[d] == local:
+                        sup_cmp[d] = -1
+                        sup_loc[d] = -1
+            elif state >= 2:
+                if sup_cmp[d] >= 0 and (
+                    sup_cmp[d] != cmp or sup_loc[d] != local
+                ):
+                    raise CoherenceError(
+                        "line gained a supplier while another still holds it"
+                    )
+                sup_cmp[d] = cmp
+                sup_loc[d] = local
+                if pkind >= 2:
+                    dg, dgwb = _pred_insert(
+                        pkind, pt, ptlen, psets, passoc,
+                        bl, bloff, blshift, blmask, nf, ncnt,
+                        ex, exlen, esets, easc,
+                        pres, nU, pextra, pred_updates,
+                        raw_of, way_addr, way_state, way_ver, set_len,
+                        sup_cmp, sup_loc, mem_ver, down_flag,
+                        num_sets, assoc, cpc, cmp, raw, d,
+                    )
+            way_ver[off + w] = version
+            _touch_way(way_addr, way_state, way_ver, off, ln, w)
+            return 0, 0, dg, dgwb
+        de = 0
+        wb = 0
+        if ln >= assoc:
+            vd = way_addr[off]
+            vst = way_state[off]
+            vver = way_ver[off]
+            for i in range(ln - 1):
+                way_addr[off + i] = way_addr[off + i + 1]
+                way_state[off + i] = way_state[off + i + 1]
+                way_ver[off + i] = way_ver[off + i + 1]
+            ln -= 1
+            set_len[sl] = ln
+            if vst >= 2:
+                if pkind >= 2:
+                    _pred_remove(
+                        pkind, pt, ptlen, psets, passoc,
+                        bl, bloff, blshift, blmask, nf, ncnt,
+                        pres, nU, pred_updates, cmp, raw_of[vd], vd,
+                    )
+                if sup_cmp[vd] == cmp and sup_loc[vd] == local:
+                    sup_cmp[vd] = -1
+                    sup_loc[vd] = -1
+            c = holders[vd] - 1
+            holders[vd] = 0 if c <= 0 else c
+            if vst >= 4:
+                de = 1
+                if vver >= mem_ver[vd]:
+                    mem_ver[vd] = vver
+                wb = 1
+        way_addr[off + ln] = d
+        way_state[off + ln] = state
+        way_ver[off + ln] = version
+        set_len[sl] = ln + 1
+        holders[d] += 1
+        dg = 0
+        dgwb = 0
+        if state >= 2:
+            if sup_cmp[d] >= 0 and (
+                sup_cmp[d] != cmp or sup_loc[d] != local
+            ):
+                raise CoherenceError(
+                    "line gained a supplier while another still holds it"
+                )
+            sup_cmp[d] = cmp
+            sup_loc[d] = local
+            if pkind >= 2:
+                dg, dgwb = _pred_insert(
+                    pkind, pt, ptlen, psets, passoc,
+                    bl, bloff, blshift, blmask, nf, ncnt,
+                    ex, exlen, esets, easc,
+                    pres, nU, pextra, pred_updates,
+                    raw_of, way_addr, way_state, way_ver, set_len,
+                    sup_cmp, sup_loc, mem_ver, down_flag,
+                    num_sets, assoc, cpc, cmp, raw, d,
+                )
+        return de, wb, dg, dgwb
+
+    @decorate
+    def _invalidate_all(
+        cmp, d, raw,
+        way_addr, way_state, way_ver, set_len,
+        sup_cmp, sup_loc, holders,
+        raw_of, num_sets, assoc, cpc,
+        pkind, pt, ptlen, psets, passoc,
+        bl, bloff, blshift, blmask, nf, ncnt,
+        pres, nU, pred_updates,
+    ):
+        si = raw % num_sets
+        base = cmp * cpc
+        for local in range(cpc):
+            sl = (base + local) * num_sets + si
+            off = sl * assoc
+            ln = set_len[sl]
+            w = _find_way(way_addr, off, ln, d)
+            if w < 0:
+                continue
+            st = way_state[off + w]
+            for i in range(off + w, off + ln - 1):
+                way_addr[i] = way_addr[i + 1]
+                way_state[i] = way_state[i + 1]
+                way_ver[i] = way_ver[i + 1]
+            set_len[sl] = ln - 1
+            if st >= 2:
+                if pkind >= 2:
+                    _pred_remove(
+                        pkind, pt, ptlen, psets, passoc,
+                        bl, bloff, blshift, blmask, nf, ncnt,
+                        pres, nU, pred_updates, cmp, raw, d,
+                    )
+                if sup_cmp[d] == cmp and sup_loc[d] == local:
+                    sup_cmp[d] = -1
+                    sup_loc[d] = -1
+            c = holders[d] - 1
+            holders[d] = 0 if c <= 0 else c
+
+    @decorate
+    def _kernel(
+        num_cmps, cpc, num_sets, assoc, nU,
+        hop, snoop_time, batching, hit_latency, local_master_latency,
+        squash_backoff, prefetch_on_snoop,
+        mem_local, mem_remote, mem_prefetched,
+        warmup_target, max_events, collect_perfect,
+        uses_pred, is_perfect, prim_true, prim_false,
+        decouple, is_superset, pred_latency, pkind, count_hybrid,
+        cost_ring, cost_snoop, cost_dop, cost_dmem,
+        init_downgrades, init_dg_writebacks, init_e_dops, init_e_dmem,
+        torus, raw_of,
+        acc_addr, acc_write, acc_think, core_start, fin,
+        way_addr, way_state, way_ver, set_len,
+        sup_cmp, sup_loc, holders, down_flag, mem_ver,
+        pt, ptlen, psets, passoc, pextra,
+        bl, bloff, blshift, blmask, nf, ncnt,
+        ex, exlen, esets, easc, ex_hits, ex_ins,
+        pres, pred_lookups, pred_updates,
+    ):
+        """The fused event loop over flat arrays.  A line-for-line
+        transliteration of ``SoaRingMultiprocessor.run``'s dispatch
+        loop; the ring walk and the write commit run as funnel blocks
+        after dispatch and the warmup reset is deferred to the end of
+        the iteration (both proven order-neutral, see module doc)."""
+        NT = 20
+        num_cores = num_cmps * cpc
+
+        # -- measurement state ----------------------------------------
+        reads = 0
+        writes = 0
+        read_hits_local_cache = 0
+        read_hits_local_master = 0
+        write_hits_exclusive = 0
+        read_ring_transactions = 0
+        read_snoops = 0
+        read_ring_crossings = 0
+        reads_supplied_by_cache = 0
+        reads_supplied_by_memory = 0
+        reads_prefetched = 0
+        write_ring_transactions = 0
+        write_snoops = 0
+        write_ring_crossings = 0
+        writes_supplied_by_cache = 0
+        writes_supplied_by_memory = 0
+        squashes = 0
+        retries = 0
+        mshr_queued = 0
+        a_tp = 0
+        a_tn = 0
+        a_fp = 0
+        a_fn = 0
+        p_tp = 0
+        p_tn = 0
+        writebacks = 0
+        dirty_evictions = 0
+        downgrades = init_downgrades
+        downgrade_writebacks = init_dg_writebacks
+        downgrade_rereads = 0
+        read_miss_latency_sum = 0
+        read_miss_count = 0
+        supplier_latency_sum = 0
+        supplier_latency_count = 0
+        e_ring = 0.0
+        e_snoop = 0.0
+        e_dops = init_e_dops
+        e_dmem = init_e_dmem
+        hyb_agg = 0
+
+        # -- machine state --------------------------------------------
+        heap_cap = 1024
+        ht = alloc_i64(heap_cap)
+        hs = alloc_i64(heap_cap)
+        ho = alloc_i64(heap_cap)
+        ha = alloc_i64(heap_cap)
+        hb = alloc_i64(heap_cap)
+        heap_n = 0
+        txn_cap = 256
+        tx = alloc_i64(txn_cap * NT)
+        tw = alloc_i64(txn_cap * cpc)
+        txn_n = 0
+        lat_cap = 1024
+        lat = alloc_i64(lat_cap)
+        lat_len = 0
+        act_head = alloc_i64(nU)
+        act_tail = alloc_i64(nU)
+        for i in range(nU):
+            act_head[i] = -1
+            act_tail[i] = -1
+        core_pos = alloc_i64(num_cores)
+        seq = 0
+        now = 0
+        processed = 0
+        write_counter = 0
+        in_warmup = 1 if warmup_target > 0 else 0
+        completed = 0
+        warmup_end_time = 0
+
+        # -- start: every core's first access -------------------------
+        for c in range(num_cores):
+            p = core_start[c]
+            core_pos[c] = p
+            if p < core_start[c + 1]:
+                seq += 1
+                heap_n = _heap_push(
+                    ht, hs, ho, ha, hb, heap_n,
+                    acc_think[p], seq, 0, c, 0,
+                )
+            else:
+                fin[c] = 0
+
+        # -- the event loop -------------------------------------------
+        spare = cpc + 8
+        while heap_n > 0:
+            if max_events >= 0 and processed >= max_events:
+                break
+            # Capacity is only ever grown here, at the loop top, so
+            # the helpers never need to reallocate or rebind.
+            if heap_n + spare > heap_cap:
+                nc = heap_cap * 2
+                while heap_n + spare > nc:
+                    nc *= 2
+                nht = alloc_i64(nc)
+                nhs = alloc_i64(nc)
+                nho = alloc_i64(nc)
+                nha = alloc_i64(nc)
+                nhb = alloc_i64(nc)
+                for i in range(heap_n):
+                    nht[i] = ht[i]
+                    nhs[i] = hs[i]
+                    nho[i] = ho[i]
+                    nha[i] = ha[i]
+                    nhb[i] = hb[i]
+                ht = nht
+                hs = nhs
+                ho = nho
+                ha = nha
+                hb = nhb
+                heap_cap = nc
+            if txn_n + 1 > txn_cap:
+                nc = txn_cap * 2
+                ntx = alloc_i64(nc * NT)
+                ntw = alloc_i64(nc * cpc)
+                for i in range(txn_n * NT):
+                    ntx[i] = tx[i]
+                for i in range(txn_n * cpc):
+                    ntw[i] = tw[i]
+                tx = ntx
+                tw = ntw
+                txn_cap = nc
+            if lat_len + 2 > lat_cap:
+                nc = lat_cap * 2
+                nlat = alloc_i64(nc)
+                for i in range(lat_len):
+                    nlat[i] = lat[i]
+                lat = nlat
+                lat_cap = nc
+
+            now, _s, op, a, b, heap_n = _heap_pop(
+                ht, hs, ho, ha, hb, heap_n
+            )
+            processed += 1
+            pending_reset = 0
+            walk_ti = -1
+            walk_node = 0
+            walk_at = 0
+            walk_entering = 0
+            commit_ti = -1
+            commit_at = 0
+
+            if op == 1:  # STEP
+                walk_ti = a
+                walk_node = tx[a * NT + 10]
+                walk_at = now
+                walk_entering = 1
+            elif op == 0 or op == 4 or op == 9:  # ISSUE / RETRY / REISSUE
+                if op == 4:
+                    retries += 1
+                    c = tx[a * NT + 3]
+                else:
+                    c = a
+                cur = core_pos[c]
+                is_w = acc_write[cur]
+                if op != 0:
+                    if is_w:
+                        writes -= 1
+                    else:
+                        reads -= 1
+                d = acc_addr[cur]
+                raw = raw_of[d]
+                si = raw % num_sets
+                cmp = c // cpc
+                sl = c * num_sets + si
+                off = sl * assoc
+                ln = set_len[sl]
+                w = _find_way(way_addr, off, ln, d)
+                go_ring = 0
+                if is_w:
+                    writes += 1
+                    st = way_state[off + w] if w >= 0 else -1
+                    if st == 3 or st == 4:  # E or D
+                        write_hits_exclusive += 1
+                        write_counter += 1
+                        way_state[off + w] = 4
+                        way_ver[off + w] = write_counter
+                        _touch_way(way_addr, way_state, way_ver, off, ln, w)
+                        # complete_access(core, now + hit_latency)
+                        cat = now + hit_latency
+                        p = core_pos[c] + 1
+                        core_pos[c] = p
+                        completed += 1
+                        if in_warmup and completed >= warmup_target:
+                            pending_reset = 1
+                        if p >= core_start[c + 1]:
+                            fin[c] = cat
+                        else:
+                            if cat < now:
+                                cat = now
+                            seq += 1
+                            heap_n = _heap_push(
+                                ht, hs, ho, ha, hb, heap_n,
+                                cat + acc_think[p], seq, 0, c, 0,
+                            )
+                    else:
+                        go_ring = 1
+                else:
+                    reads += 1
+                    if w >= 0:
+                        read_hits_local_cache += 1
+                        _touch_way(way_addr, way_state, way_ver, off, ln, w)
+                        cat = now + hit_latency
+                        p = core_pos[c] + 1
+                        core_pos[c] = p
+                        completed += 1
+                        if in_warmup and completed >= warmup_target:
+                            pending_reset = 1
+                        if p >= core_start[c + 1]:
+                            fin[c] = cat
+                        else:
+                            if cat < now:
+                                cat = now
+                            seq += 1
+                            heap_n = _heap_push(
+                                ht, hs, ho, ha, hb, heap_n,
+                                cat + acc_think[p], seq, 0, c, 0,
+                            )
+                    elif cpc == 1:
+                        go_ring = 1
+                    else:
+                        base = cmp * cpc
+                        floc = -1
+                        fw = -1
+                        foff = 0
+                        fln = 0
+                        for local in range(cpc):
+                            sl2 = (base + local) * num_sets + si
+                            off2 = sl2 * assoc
+                            ln2 = set_len[sl2]
+                            w2 = _find_way(way_addr, off2, ln2, d)
+                            if w2 >= 0 and way_state[off2 + w2] >= 1:
+                                floc = local
+                                fw = w2
+                                foff = off2
+                                fln = ln2
+                                break
+                        if floc >= 0:
+                            mst = way_state[foff + fw]
+                            mver = way_ver[foff + fw]
+                            _touch_way(
+                                way_addr, way_state, way_ver, foff, fln, fw
+                            )
+                            read_hits_local_master += 1
+                            if mst >= 2:
+                                pos = foff + fln - 1
+                                way_state[pos] = (
+                                    2 if mst == 3 else (5 if mst >= 4 else mst)
+                                )
+                            de, wb, dg, dgwb = _fill(
+                                c, cmp, c - cmp * cpc, d, raw, 0, mver,
+                                way_addr, way_state, way_ver, set_len,
+                                sup_cmp, sup_loc, holders, mem_ver, down_flag,
+                                raw_of, num_sets, assoc, cpc,
+                                pkind, pt, ptlen, psets, passoc,
+                                bl, bloff, blshift, blmask, nf, ncnt,
+                                ex, exlen, esets, easc, pres, nU,
+                                pextra, pred_updates,
+                            )
+                            dirty_evictions += de
+                            writebacks += wb
+                            if dg:
+                                downgrades += 1
+                                e_dops += cost_dop
+                            if dgwb:
+                                downgrade_writebacks += 1
+                                e_dmem += cost_dmem
+                            cat = now + local_master_latency
+                            p = core_pos[c] + 1
+                            core_pos[c] = p
+                            completed += 1
+                            if in_warmup and completed >= warmup_target:
+                                pending_reset = 1
+                            if p >= core_start[c + 1]:
+                                fin[c] = cat
+                            else:
+                                if cat < now:
+                                    cat = now
+                                seq += 1
+                                heap_n = _heap_push(
+                                    ht, hs, ho, ha, hb, heap_n,
+                                    cat + acc_think[p], seq, 0, c, 0,
+                                )
+                        else:
+                            go_ring = 1
+                if go_ring:
+                    # start_ring(core, address, is_write)
+                    head = act_head[d]
+                    waiting = 0
+                    squashed = 0
+                    if head >= 0:
+                        t = head
+                        while t >= 0:
+                            if tx[t * NT + 2] == cmp:
+                                tw[t * cpc + tx[t * NT + 19]] = c
+                                tx[t * NT + 19] += 1
+                                mshr_queued += 1
+                                waiting = 1
+                                break
+                            t = tx[t * NT + 16]
+                        if waiting == 0:
+                            t = head
+                            while t >= 0:
+                                o2 = t * NT
+                                if (
+                                    tx[o2 + 9] == 0
+                                    and tx[o2 + 15] == 0
+                                    and (is_w or tx[o2 + 0])
+                                ):
+                                    squashed = 1
+                                    break
+                                t = tx[o2 + 16]
+                    if waiting == 0:
+                        ti = txn_n
+                        txn_n += 1
+                        o2 = ti * NT
+                        tx[o2 + 0] = is_w
+                        tx[o2 + 1] = d
+                        tx[o2 + 2] = cmp
+                        tx[o2 + 3] = c
+                        tx[o2 + 4] = now
+                        tx[o2 + 5] = 0
+                        tx[o2 + 6] = -1
+                        tx[o2 + 7] = 0
+                        tx[o2 + 8] = 0
+                        tx[o2 + 9] = 0
+                        tx[o2 + 10] = 0
+                        tx[o2 + 11] = 0
+                        tx[o2 + 12] = 0
+                        tx[o2 + 13] = 0
+                        tx[o2 + 14] = 0
+                        tx[o2 + 15] = squashed
+                        tx[o2 + 19] = 0
+                        if is_w:
+                            needs = 1
+                            base = cmp * cpc
+                            for local in range(cpc):
+                                sl2 = (base + local) * num_sets + si
+                                if (
+                                    _find_way(
+                                        way_addr, sl2 * assoc,
+                                        set_len[sl2], d,
+                                    )
+                                    >= 0
+                                ):
+                                    needs = 0
+                                    break
+                            tx[o2 + 5] = needs
+                        old_tail = act_tail[d]
+                        tx[o2 + 17] = old_tail
+                        tx[o2 + 16] = -1
+                        tx[o2 + 18] = 1
+                        if old_tail >= 0:
+                            tx[old_tail * NT + 16] = ti
+                        else:
+                            act_head[d] = ti
+                        act_tail[d] = ti
+                        if squashed == 0:
+                            if is_w:
+                                write_ring_transactions += 1
+                            else:
+                                read_ring_transactions += 1
+                        walk_ti = ti
+                        walk_node = cmp
+                        walk_at = now
+                        walk_entering = 0
+            elif op == 2:  # WALKDONE
+                ti = a
+                o = ti * NT
+                if tx[o + 15]:  # squashed
+                    # retire(txn)
+                    if tx[o + 9] == 0:
+                        tx[o + 9] = 1
+                        rd = tx[o + 1]
+                        if tx[o + 18]:
+                            pv = tx[o + 17]
+                            nx = tx[o + 16]
+                            if pv >= 0:
+                                tx[pv * NT + 16] = nx
+                            else:
+                                act_head[rd] = nx
+                            if nx >= 0:
+                                tx[nx * NT + 17] = pv
+                            else:
+                                act_tail[rd] = pv
+                            tx[o + 18] = 0
+                        wn = tx[o + 19]
+                        if wn > 0:
+                            tx[o + 19] = 0
+                            for wi in range(wn):
+                                seq += 1
+                                heap_n = _heap_push(
+                                    ht, hs, ho, ha, hb, heap_n,
+                                    now, seq, 9, tw[ti * cpc + wi], 0,
+                                )
+                    squashes += 1
+                    seq += 1
+                    heap_n = _heap_push(
+                        ht, hs, ho, ha, hb, heap_n,
+                        now + squash_backoff, seq, 4, ti, 0,
+                    )
+                elif tx[o + 0]:  # write_done
+                    if tx[o + 5]:
+                        da = tx[o + 6]
+                        if da >= 0:
+                            complete_at = da if da > now else now
+                        else:
+                            raw = raw_of[tx[o + 1]]
+                            requester = tx[o + 2]
+                            if raw % num_cmps == requester:
+                                latency = mem_local
+                            elif tx[o + 8] and prefetch_on_snoop:
+                                latency = mem_prefetched
+                            else:
+                                latency = mem_remote
+                            writes_supplied_by_memory += 1
+                            complete_at = now + latency
+                    else:
+                        complete_at = now
+                    if complete_at > now:
+                        seq += 1
+                        heap_n = _heap_push(
+                            ht, hs, ho, ha, hb, heap_n,
+                            complete_at, seq, 7, ti, complete_at,
+                        )
+                    else:
+                        commit_ti = ti
+                        commit_at = complete_at
+                else:  # read_done
+                    if tx[o + 13] or tx[o + 14]:
+                        da = tx[o + 6]
+                        if da > now:
+                            seq += 1
+                            heap_n = _heap_push(
+                                ht, hs, ho, ha, hb, heap_n,
+                                da, seq, 8, ti, 0,
+                            )
+                        else:
+                            # retire(txn)
+                            if tx[o + 9] == 0:
+                                tx[o + 9] = 1
+                                rd = tx[o + 1]
+                                if tx[o + 18]:
+                                    pv = tx[o + 17]
+                                    nx = tx[o + 16]
+                                    if pv >= 0:
+                                        tx[pv * NT + 16] = nx
+                                    else:
+                                        act_head[rd] = nx
+                                    if nx >= 0:
+                                        tx[nx * NT + 17] = pv
+                                    else:
+                                        act_tail[rd] = pv
+                                    tx[o + 18] = 0
+                                wn = tx[o + 19]
+                                if wn > 0:
+                                    tx[o + 19] = 0
+                                    for wi in range(wn):
+                                        seq += 1
+                                        heap_n = _heap_push(
+                                            ht, hs, ho, ha, hb, heap_n,
+                                            now, seq, 9,
+                                            tw[ti * cpc + wi], 0,
+                                        )
+                    else:
+                        d = tx[o + 1]
+                        raw = raw_of[d]
+                        requester = tx[o + 2]
+                        home = raw % num_cmps
+                        if home == requester:
+                            latency = mem_local
+                        elif tx[o + 8] and prefetch_on_snoop:
+                            latency = mem_prefetched
+                        else:
+                            latency = mem_remote
+                        if tx[o + 8] and home != requester:
+                            reads_prefetched += 1
+                        reads_supplied_by_memory += 1
+                        if down_flag[d]:
+                            if holders[d] > 0:
+                                e_dmem += cost_dmem
+                                downgrade_rereads += 1
+                            down_flag[d] = 0
+                        da = now + latency
+                        tx[o + 6] = da
+                        seq += 1
+                        heap_n = _heap_push(
+                            ht, hs, ho, ha, hb, heap_n,
+                            da, seq, 6, ti, 0,
+                        )
+            elif op == 5:  # DELIVER_READ
+                ti = a
+                o = ti * NT
+                c = tx[o + 3]
+                d = tx[o + 1]
+                raw = raw_of[d]
+                cmp = c // cpc
+                de, wb, dg, dgwb = _fill(
+                    c, cmp, c - cmp * cpc, d, raw, 1, tx[o + 7],
+                    way_addr, way_state, way_ver, set_len,
+                    sup_cmp, sup_loc, holders, mem_ver, down_flag,
+                    raw_of, num_sets, assoc, cpc,
+                    pkind, pt, ptlen, psets, passoc,
+                    bl, bloff, blshift, blmask, nf, ncnt,
+                    ex, exlen, esets, easc, pres, nU,
+                    pextra, pred_updates,
+                )
+                dirty_evictions += de
+                writebacks += wb
+                if dg:
+                    downgrades += 1
+                    e_dops += cost_dop
+                if dgwb:
+                    downgrade_writebacks += 1
+                    e_dmem += cost_dmem
+                latency = tx[o + 6] - tx[o + 4]
+                read_miss_latency_sum += latency
+                read_miss_count += 1
+                lat[lat_len] = latency
+                lat_len += 1
+                cat = now
+                p = core_pos[c] + 1
+                core_pos[c] = p
+                completed += 1
+                if in_warmup and completed >= warmup_target:
+                    pending_reset = 1
+                if p >= core_start[c + 1]:
+                    fin[c] = cat
+                else:
+                    seq += 1
+                    heap_n = _heap_push(
+                        ht, hs, ho, ha, hb, heap_n,
+                        cat + acc_think[p], seq, 0, c, 0,
+                    )
+            elif op == 6:  # DELIVER_MEM
+                ti = a
+                o = ti * NT
+                c = tx[o + 3]
+                d = tx[o + 1]
+                raw = raw_of[d]
+                cmp = c // cpc
+                if sup_cmp[d] >= 0:
+                    sid = sup_cmp[d] * cpc + sup_loc[d]
+                    sl2 = sid * num_sets + raw % num_sets
+                    off2 = sl2 * assoc
+                    w2 = _find_way(way_addr, off2, set_len[sl2], d)
+                    if w2 < 0:
+                        raise CoherenceError(
+                            "supplier registry points at a missing line"
+                        )
+                    st2 = way_state[off2 + w2]
+                    way_state[off2 + w2] = (
+                        2 if st2 == 3 else (5 if st2 >= 4 else st2)
+                    )
+                    version = way_ver[off2 + w2]
+                    state = 1
+                else:
+                    version = mem_ver[d]
+                    state = 2 if holders[d] > 0 else 3
+                de, wb, dg, dgwb = _fill(
+                    c, cmp, c - cmp * cpc, d, raw, state, version,
+                    way_addr, way_state, way_ver, set_len,
+                    sup_cmp, sup_loc, holders, mem_ver, down_flag,
+                    raw_of, num_sets, assoc, cpc,
+                    pkind, pt, ptlen, psets, passoc,
+                    bl, bloff, blshift, blmask, nf, ncnt,
+                    ex, exlen, esets, easc, pres, nU,
+                    pextra, pred_updates,
+                )
+                dirty_evictions += de
+                writebacks += wb
+                if dg:
+                    downgrades += 1
+                    e_dops += cost_dop
+                if dgwb:
+                    downgrade_writebacks += 1
+                    e_dmem += cost_dmem
+                latency = tx[o + 6] - tx[o + 4]
+                read_miss_latency_sum += latency
+                read_miss_count += 1
+                lat[lat_len] = latency
+                lat_len += 1
+                cat = now
+                p = core_pos[c] + 1
+                core_pos[c] = p
+                completed += 1
+                if in_warmup and completed >= warmup_target:
+                    pending_reset = 1
+                if p >= core_start[c + 1]:
+                    fin[c] = cat
+                else:
+                    seq += 1
+                    heap_n = _heap_push(
+                        ht, hs, ho, ha, hb, heap_n,
+                        cat + acc_think[p], seq, 0, c, 0,
+                    )
+                # retire(txn)
+                if tx[o + 9] == 0:
+                    tx[o + 9] = 1
+                    rd = tx[o + 1]
+                    if tx[o + 18]:
+                        pv = tx[o + 17]
+                        nx = tx[o + 16]
+                        if pv >= 0:
+                            tx[pv * NT + 16] = nx
+                        else:
+                            act_head[rd] = nx
+                        if nx >= 0:
+                            tx[nx * NT + 17] = pv
+                        else:
+                            act_tail[rd] = pv
+                        tx[o + 18] = 0
+                    wn = tx[o + 19]
+                    if wn > 0:
+                        tx[o + 19] = 0
+                        for wi in range(wn):
+                            seq += 1
+                            heap_n = _heap_push(
+                                ht, hs, ho, ha, hb, heap_n,
+                                now, seq, 9, tw[ti * cpc + wi], 0,
+                            )
+            elif op == 3:  # INVAL
+                _invalidate_all(
+                    a, b, raw_of[b],
+                    way_addr, way_state, way_ver, set_len,
+                    sup_cmp, sup_loc, holders,
+                    raw_of, num_sets, assoc, cpc,
+                    pkind, pt, ptlen, psets, passoc,
+                    bl, bloff, blshift, blmask, nf, ncnt,
+                    pres, nU, pred_updates,
+                )
+            elif op == 7:  # COMMIT
+                commit_ti = a
+                commit_at = b
+            else:  # op == 8: RETIRE
+                ti = a
+                o = ti * NT
+                if tx[o + 9] == 0:
+                    tx[o + 9] = 1
+                    rd = tx[o + 1]
+                    if tx[o + 18]:
+                        pv = tx[o + 17]
+                        nx = tx[o + 16]
+                        if pv >= 0:
+                            tx[pv * NT + 16] = nx
+                        else:
+                            act_head[rd] = nx
+                        if nx >= 0:
+                            tx[nx * NT + 17] = pv
+                        else:
+                            act_tail[rd] = pv
+                        tx[o + 18] = 0
+                    wn = tx[o + 19]
+                    if wn > 0:
+                        tx[o + 19] = 0
+                        for wi in range(wn):
+                            seq += 1
+                            heap_n = _heap_push(
+                                ht, hs, ho, ha, hb, heap_n,
+                                now, seq, 9, tw[ti * cpc + wi], 0,
+                            )
+
+            # -- commit_write funnel ----------------------------------
+            if commit_ti >= 0:
+                o = commit_ti * NT
+                write_counter += 1
+                c = tx[o + 3]
+                d = tx[o + 1]
+                raw = raw_of[d]
+                cmp = c // cpc
+                _invalidate_all(
+                    cmp, d, raw,
+                    way_addr, way_state, way_ver, set_len,
+                    sup_cmp, sup_loc, holders,
+                    raw_of, num_sets, assoc, cpc,
+                    pkind, pt, ptlen, psets, passoc,
+                    bl, bloff, blshift, blmask, nf, ncnt,
+                    pres, nU, pred_updates,
+                )
+                de, wb, dg, dgwb = _fill(
+                    c, cmp, c - cmp * cpc, d, raw, 4, write_counter,
+                    way_addr, way_state, way_ver, set_len,
+                    sup_cmp, sup_loc, holders, mem_ver, down_flag,
+                    raw_of, num_sets, assoc, cpc,
+                    pkind, pt, ptlen, psets, passoc,
+                    bl, bloff, blshift, blmask, nf, ncnt,
+                    ex, exlen, esets, easc, pres, nU,
+                    pextra, pred_updates,
+                )
+                dirty_evictions += de
+                writebacks += wb
+                if dg:
+                    downgrades += 1
+                    e_dops += cost_dop
+                if dgwb:
+                    downgrade_writebacks += 1
+                    e_dmem += cost_dmem
+                cat = commit_at
+                p = core_pos[c] + 1
+                core_pos[c] = p
+                completed += 1
+                if in_warmup and completed >= warmup_target:
+                    pending_reset = 1
+                if p >= core_start[c + 1]:
+                    fin[c] = cat
+                else:
+                    if cat < now:
+                        cat = now
+                    seq += 1
+                    heap_n = _heap_push(
+                        ht, hs, ho, ha, hb, heap_n,
+                        cat + acc_think[p], seq, 0, c, 0,
+                    )
+                # retire(txn)
+                if tx[o + 9] == 0:
+                    tx[o + 9] = 1
+                    rd = tx[o + 1]
+                    if tx[o + 18]:
+                        pv = tx[o + 17]
+                        nx = tx[o + 16]
+                        if pv >= 0:
+                            tx[pv * NT + 16] = nx
+                        else:
+                            act_head[rd] = nx
+                        if nx >= 0:
+                            tx[nx * NT + 17] = pv
+                        else:
+                            act_tail[rd] = pv
+                        tx[o + 18] = 0
+                    wn = tx[o + 19]
+                    if wn > 0:
+                        tx[o + 19] = 0
+                        for wi in range(wn):
+                            seq += 1
+                            heap_n = _heap_push(
+                                ht, hs, ho, ha, hb, heap_n,
+                                now, seq, 9, tw[commit_ti * cpc + wi], 0,
+                            )
+
+            # -- ring walk funnel -------------------------------------
+            if walk_ti >= 0:
+                o = walk_ti * NT
+                requester = tx[o + 2]
+                is_w = tx[o + 0]
+                d = tx[o + 1]
+                raw = raw_of[d]
+                node = walk_node
+                at = walk_at
+                entering = walk_entering
+                while True:
+                    if entering:
+                        if node == requester:
+                            # _walk_returned: the final reply crossing.
+                            if tx[o + 11]:
+                                info = tx[o + 12] + hop
+                                e_ring += cost_ring
+                                if is_w:
+                                    write_ring_crossings += 1
+                                else:
+                                    read_ring_crossings += 1
+                            else:
+                                info = at
+                            if info < at:
+                                info = at
+                            seq += 1
+                            heap_n = _heap_push(
+                                ht, hs, ho, ha, hb, heap_n,
+                                info, seq, 2, walk_ti, 0,
+                            )
+                            break
+                        if tx[o + 11]:
+                            # Advance the trailing reply into this node.
+                            tx[o + 12] += hop
+                            e_ring += cost_ring
+                            if is_w:
+                                write_ring_crossings += 1
+                            else:
+                                read_ring_crossings += 1
+                        if tx[o + 15] or tx[o + 13]:
+                            departure = at
+                        elif is_w:
+                            # ------------- write step ----------------
+                            supplier_here = 1 if sup_cmp[d] == node else 0
+                            snoop_done = at + snoop_time
+                            if decouple:
+                                # FORWARD_THEN_SNOOP
+                                if tx[o + 11]:
+                                    rt = tx[o + 12]
+                                    if snoop_done > rt:
+                                        rt = snoop_done
+                                else:
+                                    rt = snoop_done
+                                tx[o + 11] = 1
+                                tx[o + 12] = rt
+                                departure = at
+                            else:
+                                # SNOOP_THEN_FORWARD
+                                if tx[o + 11]:
+                                    departure = tx[o + 12]
+                                    if snoop_done > departure:
+                                        departure = snoop_done
+                                    if tx[o + 14]:
+                                        tx[o + 13] = 1
+                                    tx[o + 11] = 0
+                                    tx[o + 12] = 0
+                                else:
+                                    departure = snoop_done
+                            write_snoops += 1
+                            e_snoop += cost_snoop
+                            if (
+                                supplier_here
+                                and tx[o + 5]
+                                and tx[o + 6] < 0
+                            ):
+                                # capture_write_supply
+                                base = node * cpc
+                                si = raw % num_sets
+                                sver = -1
+                                for local in range(cpc):
+                                    sl2 = (base + local) * num_sets + si
+                                    off2 = sl2 * assoc
+                                    w2 = _find_way(
+                                        way_addr, off2, set_len[sl2], d
+                                    )
+                                    if (
+                                        w2 >= 0
+                                        and way_state[off2 + w2] >= 2
+                                    ):
+                                        sver = way_ver[off2 + w2]
+                                        break
+                                if sver < 0:
+                                    raise CoherenceError(
+                                        "write supply found no supplier line"
+                                    )
+                                tx[o + 7] = sver
+                                tx[o + 6] = snoop_done + torus[
+                                    node * num_cmps + requester
+                                ]
+                                writes_supplied_by_cache += 1
+                            seq += 1
+                            heap_n = _heap_push(
+                                ht, hs, ho, ha, hb, heap_n,
+                                snoop_done, seq, 3, node, d,
+                            )
+                        else:
+                            # ------------- read step -----------------
+                            supplier_here = 1 if sup_cmp[d] == node else 0
+                            if (
+                                collect_perfect
+                                and tx[o + 14] == 0
+                                and tx[o + 13] == 0
+                            ):
+                                if supplier_here:
+                                    p_tp += 1
+                                else:
+                                    p_tn += 1
+                            if uses_pred:
+                                if is_perfect:
+                                    pred_lookups[node] += 1
+                                    prediction = supplier_here
+                                elif pkind == 0:
+                                    # NullPredictor.lookup: always True,
+                                    # no lookup counter.
+                                    prediction = 1
+                                    if supplier_here:
+                                        a_tp += 1
+                                    else:
+                                        a_fp += 1
+                                else:
+                                    prediction = _pred_lookup(
+                                        pkind, pt, ptlen, psets, passoc,
+                                        bl, bloff, blshift, blmask, nf, ncnt,
+                                        ex, exlen, esets, easc, ex_hits,
+                                        pred_lookups, node, raw, d,
+                                    )
+                                    if prediction:
+                                        if supplier_here:
+                                            a_tp += 1
+                                        else:
+                                            a_fp += 1
+                                    else:
+                                        if supplier_here:
+                                            a_fn += 1
+                                        else:
+                                            a_tn += 1
+                                plat = pred_latency
+                            else:
+                                prediction = 1
+                                plat = 0
+                            primitive = prim_true if prediction else prim_false
+                            if count_hybrid and prediction:
+                                hyb_agg += 1
+                            if primitive == 0:  # FORWARD
+                                if supplier_here:
+                                    raise CoherenceError(
+                                        "algorithm filtered the snoop at "
+                                        "the supplier node (false negative)"
+                                    )
+                                if (
+                                    prefetch_on_snoop
+                                    and node == raw % num_cmps
+                                    and tx[o + 8] == 0
+                                    and tx[o + 14] == 0
+                                ):
+                                    tx[o + 8] = 1
+                                departure = at + plat
+                            else:
+                                start = at + plat
+                                snoop_done = start + snoop_time
+                                supplied = 0
+                                if primitive == 2:  # SNOOP_THEN_FORWARD
+                                    if supplier_here:
+                                        tx[o + 13] = 1
+                                        tx[o + 14] = 1
+                                        tx[o + 11] = 0
+                                        tx[o + 12] = 0
+                                        departure = snoop_done
+                                        supplied = 1
+                                    elif tx[o + 11]:
+                                        departure = tx[o + 12]
+                                        if snoop_done > departure:
+                                            departure = snoop_done
+                                        if tx[o + 14]:
+                                            tx[o + 13] = 1
+                                        tx[o + 11] = 0
+                                        tx[o + 12] = 0
+                                    else:
+                                        departure = snoop_done
+                                else:  # FORWARD_THEN_SNOOP
+                                    if tx[o + 11]:
+                                        rt = tx[o + 12]
+                                        if snoop_done > rt:
+                                            rt = snoop_done
+                                    else:
+                                        rt = snoop_done
+                                    if supplier_here:
+                                        tx[o + 14] = 1
+                                        supplied = 1
+                                    tx[o + 11] = 1
+                                    tx[o + 12] = rt
+                                    departure = start
+                                read_snoops += 1
+                                e_snoop += cost_snoop
+                                if (
+                                    is_superset
+                                    and uses_pred
+                                    and supplier_here == 0
+                                    and prediction
+                                ):
+                                    # observe_false_positive
+                                    if esets > 0:
+                                        _pt_insert(
+                                            ex, exlen, esets, easc,
+                                            node, raw, d,
+                                        )
+                                        ex_ins[node] += 1
+                                        pred_updates[node] += 1
+                                if supplied:
+                                    # supply_read
+                                    base = node * cpc
+                                    si = raw % num_sets
+                                    fpos = -1
+                                    for local in range(cpc):
+                                        sl2 = (
+                                            (base + local) * num_sets + si
+                                        )
+                                        off2 = sl2 * assoc
+                                        w2 = _find_way(
+                                            way_addr, off2,
+                                            set_len[sl2], d,
+                                        )
+                                        if (
+                                            w2 >= 0
+                                            and way_state[off2 + w2] >= 2
+                                        ):
+                                            fpos = off2 + w2
+                                            break
+                                    if fpos < 0:
+                                        raise CoherenceError(
+                                            "read supply found no supplier "
+                                            "line"
+                                        )
+                                    st2 = way_state[fpos]
+                                    way_state[fpos] = (
+                                        2
+                                        if st2 == 3
+                                        else (5 if st2 >= 4 else st2)
+                                    )
+                                    tx[o + 7] = way_ver[fpos]
+                                    da = snoop_done + torus[
+                                        node * num_cmps + requester
+                                    ]
+                                    tx[o + 6] = da
+                                    reads_supplied_by_cache += 1
+                                    supplier_latency_sum += (
+                                        snoop_done - tx[o + 4]
+                                    )
+                                    supplier_latency_count += 1
+                                    seq += 1
+                                    heap_n = _heap_push(
+                                        ht, hs, ho, ha, hb, heap_n,
+                                        da, seq, 5, walk_ti, 0,
+                                    )
+                                if (
+                                    prefetch_on_snoop
+                                    and node == raw % num_cmps
+                                    and tx[o + 8] == 0
+                                    and tx[o + 14] == 0
+                                ):
+                                    tx[o + 8] = 1
+                    else:
+                        departure = at
+                        entering = 1
+                    # ------------------- forward_request -------------
+                    e_ring += cost_ring
+                    if is_w:
+                        write_ring_crossings += 1
+                    else:
+                        read_ring_crossings += 1
+                    arrival = departure + hop
+                    to_node = node + 1
+                    if to_node == num_cmps:
+                        to_node = 0
+                    if (
+                        batching
+                        and in_warmup == 0
+                        and (tx[o + 15] or tx[o + 13])
+                        and to_node != requester
+                    ):
+                        node = to_node
+                        at = arrival
+                        continue
+                    tx[o + 10] = to_node
+                    seq += 1
+                    heap_n = _heap_push(
+                        ht, hs, ho, ha, hb, heap_n,
+                        arrival, seq, 1, walk_ti, 0,
+                    )
+                    break
+
+            # -- deferred end_warmup ----------------------------------
+            if pending_reset:
+                in_warmup = 0
+                warmup_end_time = now
+                reads = 0
+                writes = 0
+                read_hits_local_cache = 0
+                read_hits_local_master = 0
+                write_hits_exclusive = 0
+                read_ring_transactions = 0
+                read_snoops = 0
+                read_ring_crossings = 0
+                reads_supplied_by_cache = 0
+                reads_supplied_by_memory = 0
+                reads_prefetched = 0
+                write_ring_transactions = 0
+                write_snoops = 0
+                write_ring_crossings = 0
+                writes_supplied_by_cache = 0
+                writes_supplied_by_memory = 0
+                squashes = 0
+                retries = 0
+                mshr_queued = 0
+                a_tp = 0
+                a_tn = 0
+                a_fp = 0
+                a_fn = 0
+                p_tp = 0
+                p_tn = 0
+                writebacks = 0
+                dirty_evictions = 0
+                downgrades = 0
+                downgrade_writebacks = 0
+                downgrade_rereads = 0
+                read_miss_latency_sum = 0
+                read_miss_count = 0
+                supplier_latency_sum = 0
+                supplier_latency_count = 0
+                lat_len = 0
+                e_ring = 0.0
+                e_snoop = 0.0
+                e_dops = 0.0
+                e_dmem = 0.0
+                for i in range(num_cmps):
+                    pred_lookups[i] = 0
+                    pred_updates[i] = 0
+
+        return (
+            reads, writes,
+            read_hits_local_cache, read_hits_local_master,
+            write_hits_exclusive,
+            read_ring_transactions, read_snoops, read_ring_crossings,
+            reads_supplied_by_cache, reads_supplied_by_memory,
+            reads_prefetched,
+            write_ring_transactions, write_snoops, write_ring_crossings,
+            writes_supplied_by_cache, writes_supplied_by_memory,
+            squashes, retries, mshr_queued,
+            a_tp, a_tn, a_fp, a_fn, p_tp, p_tn,
+            writebacks, dirty_evictions,
+            downgrades, downgrade_writebacks, downgrade_rereads,
+            read_miss_latency_sum, read_miss_count,
+            supplier_latency_sum, supplier_latency_count,
+            e_ring, e_snoop, e_dops, e_dmem,
+            warmup_end_time, seq, processed, hyb_agg,
+            lat, lat_len,
+        )
+
+    return _kernel
+
+
+# Lazily-built kernel cache: {True: njit kernel, False: python kernel}.
+_KERNELS: Dict[bool, Any] = {}
+
+
+def _get_kernel(use_numba: bool):
+    kernel = _KERNELS.get(use_numba)
+    if kernel is None:
+        if use_numba:
+            if _numba is None:  # pragma: no cover - guarded by caller
+                raise RuntimeError("numba is not importable")
+            alloc = _numba.njit(cache=False)(
+                lambda n: np.zeros(n, np.int64)
+            )
+            kernel = _build(_numba.njit(cache=False), alloc)
+        else:
+            kernel = _build(lambda f: f, lambda n: [0] * n)
+        _KERNELS[use_numba] = kernel
+    return kernel
+
+
+class JitRingMultiprocessor(SoaRingMultiprocessor):
+    """Compiled-kernel core: the SoA machine exported to flat arrays.
+
+    Construction (geometry checks, prewarm walk/memo, predictor
+    training) is inherited from :class:`SoaRingMultiprocessor`;
+    :meth:`run` exports that state into preallocated integer arrays
+    (``export_cache_image`` plus a dense address remap) and hands the
+    whole event loop to the kernel built by :func:`_build` - compiled
+    with numba when importable, executed as plain Python otherwise.
+    Only predictor/algorithm *counters* flow back out: the flat tables
+    are authoritative during the run and are discarded with it.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        algorithm: SnoopingAlgorithm,
+        workload: object,
+        collect_perfect: bool = True,
+        warmup_fraction: float = 0.0,
+        trace_sink: object = None,
+    ) -> None:
+        check_jit_supported(config, algorithm, trace_sink)
+        super().__init__(
+            config,
+            algorithm,
+            workload,
+            collect_perfect,
+            warmup_fraction,
+            trace_sink,
+        )
+
+    def run(self, max_events: Optional[int] = None) -> SimulationResult:
+        if self._ran:
+            raise RuntimeError("a JitRingMultiprocessor can only run once")
+        self._ran = True
+
+        config = self.config
+        algorithm = self.algorithm
+        source = self.source
+        num_cmps = config.num_cmps
+        cpc = config.cores_per_cmp
+        num_cores = num_cmps * cpc
+        num_sets = config.cache.num_sets
+        assoc = config.cache.associativity
+        kind = config.predictor.kind
+        pkind = _PKIND_OF[kind]
+
+        torus = TorusTopology(num_cmps, config.data_network)
+        torus_flat = [
+            torus.transfer_latency(src, dst)
+            for src in range(num_cmps)
+            for dst in range(num_cmps)
+        ]
+
+        uses_pred = algorithm.uses_predictor()
+        if algorithm.name in _PURE_CHOICE:
+            prim_true = _PRIM_INT[algorithm.choose(True)]
+            prim_false = _PRIM_INT[algorithm.choose(False)]
+            count_hybrid = 0
+        else:
+            # superset_hybrid with no energy-pressure source (the only
+            # dynamic algorithm inside the envelope): choose(True) is
+            # always the counted aggressive FTS arm, choose(False) is
+            # FORWARD.  Never call choose() here - it mutates counters.
+            prim_true = _P_FTS
+            prim_false = _P_FWD
+            count_hybrid = 1
+        predictors = self._predictors
+        is_perfect = isinstance(predictors[0], PerfectPredictor)
+        is_superset = kind == "superset"
+        pred_latency = 0 if is_perfect else predictors[0].latency
+
+        # -- materialize per-core access streams ------------------------
+        acc_addr: List[int] = []
+        acc_write: List[int] = []
+        acc_think: List[int] = []
+        core_start = [0] * (num_cores + 1)
+        for i in range(num_cores):
+            core_start[i] = len(acc_addr)
+            for access in source.core_stream(i):
+                acc_addr.append(access.address)
+                acc_write.append(1 if access.is_write else 0)
+                acc_think.append(access.think_time)
+        core_start[num_cores] = len(acc_addr)
+
+        # -- dense address remap ----------------------------------------
+        # Only what the run can observe is flattened: the trace, the
+        # prewarm content of the cache/predictor sets those addresses
+        # map to (Bloom counters are positional - no addresses), plus,
+        # for the Exact predictor, the cache sets of potential conflict
+        # victims (its eviction cascade downgrades the victim's own
+        # line).  The untouched remainder of a large prewarm footprint
+        # can never be read or written by the kernel, so it stays
+        # behind in the dict/array form the warmup memo shares.
+        accessed = set(acc_addr)
+        touched_sets = {raw % num_sets for raw in accessed}
+        image = list(self.export_cache_image(touched_sets))
+        universe = set(accessed)
+        for _core, _si, addresses, _states in image:
+            universe.update(addresses)
+        table_snaps: List[List[List[int]]] = []
+        exclude_snaps: List[List[List[int]]] = []
+        present_dicts: List[Dict[int, int]] = []
+        bloom_snaps: List[List[List[int]]] = []
+        touched_pred: set = set()
+        touched_ex: set = set()
+        psets = passoc = 1
+        esets = 0
+        easc = 1
+        if pkind in (_PK_SUBSET, _PK_EXACT):
+            psets = config.predictor.entries // config.predictor.associativity
+            passoc = config.predictor.associativity
+            touched_pred = {raw % psets for raw in universe}
+            for p in predictors:
+                table_snaps.append(p._table.snapshot())  # type: ignore
+            pred_entries: set = set()
+            for snap in table_snaps:
+                for s in touched_pred:
+                    pred_entries.update(snap[s])
+            universe.update(pred_entries)
+            if pkind == _PK_EXACT:
+                extra = {e % num_sets for e in pred_entries} - touched_sets
+                if extra:
+                    more = list(self.export_cache_image(extra))
+                    image.extend(more)
+                    for _core, _si, addresses, _states in more:
+                        universe.update(addresses)
+        elif pkind == _PK_SUPERSET:
+            for p in predictors:
+                bloom_snaps.append(p.filter.snapshot()[0])  # type: ignore
+                present_dicts.append(p._present)  # type: ignore
+                if p.exclude is not None:  # type: ignore[attr-defined]
+                    exclude_snaps.append(p.exclude.snapshot())  # type: ignore
+            if exclude_snaps:
+                esets = (
+                    config.predictor.exclude_entries
+                    // config.predictor.exclude_associativity
+                )
+                easc = config.predictor.exclude_associativity
+                touched_ex = {raw % esets for raw in universe}
+                for snap in exclude_snaps:
+                    for s in touched_ex:
+                        universe.update(snap[s])
+        # Dense ids are an arbitrary bijection: the kernel orders
+        # events by (time, seq) and derives set/field indices from the
+        # raw address, so no sort is needed.
+        raw_sorted = list(universe)
+        dmap = {raw: i for i, raw in enumerate(raw_sorted)}
+        nU = max(1, len(raw_sorted))
+        raw_of = raw_sorted if raw_sorted else [0]
+        acc_addr = [dmap[a] for a in acc_addr]
+
+        # -- cache arrays -----------------------------------------------
+        way_addr = [0] * (num_cores * num_sets * assoc)
+        way_state = [0] * (num_cores * num_sets * assoc)
+        way_ver = [0] * (num_cores * num_sets * assoc)
+        set_len = [0] * (num_cores * num_sets)
+        for core_id, set_index, addresses, states in image:
+            sl = core_id * num_sets + set_index
+            off = sl * assoc
+            for w, (addr, st) in enumerate(zip(addresses, states)):
+                way_addr[off + w] = dmap[addr]
+                way_state[off + w] = st
+            set_len[sl] = len(addresses)
+
+        # Iterate the (small) universe, not the (footprint-sized)
+        # registries: entries outside the universe are unobservable.
+        supplier_of = self._supplier_of
+        holder_count = self._holder_count
+        downgraded = self._downgraded
+        mem_versions = self._mem_versions
+        sup_cmp = [-1] * nU
+        sup_loc = [-1] * nU
+        holders = [0] * nU
+        down_flag = [0] * nU
+        mem_ver = [0] * nU
+        sup_get = supplier_of.get
+        hold_get = holder_count.get
+        check_down = bool(downgraded)
+        check_ver = bool(mem_versions)
+        for d, raw in enumerate(raw_sorted):
+            entry = sup_get(raw)
+            if entry is not None:
+                sup_cmp[d] = entry[0]
+                sup_loc[d] = entry[1]
+            count = hold_get(raw)
+            if count:
+                holders[d] = count
+            if check_down and raw in downgraded:
+                down_flag[d] = 1
+            if check_ver:
+                version = mem_versions.get(raw)
+                if version:
+                    mem_ver[d] = version
+
+        # -- predictor arrays (size-1 dummies for unused kinds) ---------
+        pt = [0]
+        ptlen = [0]
+        bl = [0]
+        bloff = [0]
+        blshift = [0]
+        blmask = [0]
+        nf = 0
+        ncnt = 1
+        ex = [0]
+        exlen = [0]
+        pres = [0]
+        pextra = [0] * num_cmps
+        ex_hits = [0] * num_cmps
+        ex_ins = [0] * num_cmps
+        pred_lookups = [p.lookups for p in predictors]
+        pred_updates = [p.updates for p in predictors]
+        if pkind in (_PK_SUBSET, _PK_EXACT):
+            pt = [0] * (num_cmps * psets * passoc)
+            ptlen = [0] * (num_cmps * psets)
+            for cmp_id, snap in enumerate(table_snaps):
+                for s in touched_pred:
+                    entries = snap[s]
+                    if not entries:
+                        continue
+                    b = cmp_id * psets + s
+                    off = b * passoc
+                    for w, addr in enumerate(entries):
+                        pt[off + w] = dmap[addr]
+                    ptlen[b] = len(entries)
+            if pkind == _PK_SUBSET:
+                pextra = [p.conflict_drops for p in predictors]  # type: ignore
+            else:
+                pextra = [p.downgrades for p in predictors]  # type: ignore
+        elif pkind == _PK_SUPERSET:
+            fields = config.predictor.bloom_fields
+            nf = len(fields)
+            blshift = []
+            blmask = []
+            bloff = []
+            shift = 0
+            offset = 0
+            for bits in fields:
+                blshift.append(shift)
+                blmask.append((1 << bits) - 1)
+                bloff.append(offset)
+                shift += bits
+                offset += 1 << bits
+            ncnt = offset
+            bl = [0] * (num_cmps * ncnt)
+            for cmp_id, tables in enumerate(bloom_snaps):
+                base = cmp_id * ncnt
+                for f, table in enumerate(tables):
+                    o = base + bloff[f]
+                    for i, value in enumerate(table):
+                        bl[o + i] = value
+            pres = [0] * (num_cmps * nU)
+            for cmp_id, present in enumerate(present_dicts):
+                base = cmp_id * nU
+                get = present.get
+                for d, raw in enumerate(raw_sorted):
+                    count = get(raw)
+                    if count:
+                        pres[base + d] = count
+            if exclude_snaps:
+                ex = [0] * (num_cmps * esets * easc)
+                exlen = [0] * (num_cmps * esets)
+                for cmp_id, snap in enumerate(exclude_snaps):
+                    for s in touched_ex:
+                        entries = snap[s]
+                        if not entries:
+                            continue
+                        b = cmp_id * esets + s
+                        off = b * easc
+                        for w, addr in enumerate(entries):
+                            ex[off + w] = dmap[addr]
+                        exlen[b] = len(entries)
+            ex_hits = [p.exclude_hits for p in predictors]  # type: ignore
+            ex_ins = [p.exclude_inserts for p in predictors]  # type: ignore
+
+        fin = [-1] * num_cores
+        total_accesses = source.total_accesses()
+        warmup_target = (
+            int(total_accesses * self.warmup_fraction)
+            if self.warmup_fraction > 0.0
+            else 0
+        )
+
+        use_numba = NUMBA_AVAILABLE and os.environ.get(
+            JIT_DISABLE_ENV, ""
+        ) in ("", "0")
+        kernel = _get_kernel(use_numba)
+        if use_numba:
+            def conv(values: List[int]) -> Any:
+                return np.asarray(values, dtype=np.int64)
+
+            torus_flat = conv(torus_flat)
+            raw_of = conv(raw_of)
+            acc_addr = conv(acc_addr)
+            acc_write = conv(acc_write)
+            acc_think = conv(acc_think)
+            core_start = conv(core_start)
+            fin = conv(fin)
+            way_addr = conv(way_addr)
+            way_state = conv(way_state)
+            way_ver = conv(way_ver)
+            set_len = conv(set_len)
+            sup_cmp = conv(sup_cmp)
+            sup_loc = conv(sup_loc)
+            holders = conv(holders)
+            down_flag = conv(down_flag)
+            mem_ver = conv(mem_ver)
+            pt = conv(pt)
+            ptlen = conv(ptlen)
+            pextra = conv(pextra)
+            bl = conv(bl)
+            bloff = conv(bloff)
+            blshift = conv(blshift)
+            blmask = conv(blmask)
+            ex = conv(ex)
+            exlen = conv(exlen)
+            ex_hits = conv(ex_hits)
+            ex_ins = conv(ex_ins)
+            pres = conv(pres)
+            pred_lookups = conv(pred_lookups)
+            pred_updates = conv(pred_updates)
+
+        (
+            reads, writes,
+            read_hits_local_cache, read_hits_local_master,
+            write_hits_exclusive,
+            read_ring_transactions, read_snoops, read_ring_crossings,
+            reads_supplied_by_cache, reads_supplied_by_memory,
+            reads_prefetched,
+            write_ring_transactions, write_snoops, write_ring_crossings,
+            writes_supplied_by_cache, writes_supplied_by_memory,
+            squashes, retries, mshr_queued,
+            a_tp, a_tn, a_fp, a_fn, p_tp, p_tn,
+            writebacks, dirty_evictions,
+            downgrades, downgrade_writebacks, downgrade_rereads,
+            read_miss_latency_sum, read_miss_count,
+            supplier_latency_sum, supplier_latency_count,
+            e_ring, e_snoop, e_dops, e_dmem,
+            warmup_end_time, seq, processed, hyb_agg,
+            lat, lat_len,
+        ) = kernel(
+            num_cmps, cpc, num_sets, assoc, nU,
+            config.ring.hop_latency, config.ring.snoop_time,
+            1 if config.ring.hop_batching else 0,
+            config.cache.hit_latency, config.cache.local_master_latency,
+            config.squash_backoff,
+            1 if config.memory.prefetch_on_snoop else 0,
+            config.memory.local_round_trip,
+            config.memory.remote_round_trip,
+            config.memory.remote_round_trip_prefetched,
+            warmup_target, -1 if max_events is None else max_events,
+            1 if self.collect_perfect else 0,
+            1 if uses_pred else 0, 1 if is_perfect else 0,
+            prim_true, prim_false,
+            1 if algorithm.decouple_writes else 0,
+            1 if is_superset else 0,
+            pred_latency, pkind, count_hybrid,
+            config.energy.ring_link_message, config.energy.cmp_snoop,
+            config.energy.downgrade_cache_access,
+            config.energy.memory_line_access,
+            self._init_downgrades, self._init_downgrade_writebacks,
+            self._init_e_downgrade_ops, self._init_e_downgrade_memory,
+            torus_flat, raw_of,
+            acc_addr, acc_write, acc_think, core_start, fin,
+            way_addr, way_state, way_ver, set_len,
+            sup_cmp, sup_loc, holders, down_flag, mem_ver,
+            pt, ptlen, psets, passoc, pextra,
+            bl, bloff, blshift, blmask, nf, ncnt,
+            ex, exlen, esets, easc, ex_hits, ex_ins,
+            pres, pred_lookups, pred_updates,
+        )
+
+        # -- counters back out ------------------------------------------
+        histogram = LatencyHistogram()
+        for i in range(int(lat_len)):
+            histogram.record(int(lat[i]))
+        for cmp_id, predictor in enumerate(predictors):
+            predictor.lookups = int(pred_lookups[cmp_id])
+            predictor.updates = int(pred_updates[cmp_id])
+        if pkind == _PK_SUBSET:
+            for cmp_id, predictor in enumerate(predictors):
+                predictor.conflict_drops = int(pextra[cmp_id])  # type: ignore
+        elif pkind == _PK_EXACT:
+            for cmp_id, predictor in enumerate(predictors):
+                predictor.downgrades = int(pextra[cmp_id])  # type: ignore
+        elif pkind == _PK_SUPERSET:
+            for cmp_id, predictor in enumerate(predictors):
+                predictor.exclude_hits = int(ex_hits[cmp_id])  # type: ignore
+                predictor.exclude_inserts = int(  # type: ignore
+                    ex_ins[cmp_id]
+                )
+        if count_hybrid:
+            algorithm.aggressive_choices += int(  # type: ignore
+                hyb_agg
+            )
+
+        # -- finalize (mirrors the SoA core line for line) --------------
+        stats = RunStats()
+        stats.reads = int(reads)
+        stats.writes = int(writes)
+        stats.read_hits_local_cache = int(read_hits_local_cache)
+        stats.read_hits_local_master = int(read_hits_local_master)
+        stats.write_hits_exclusive = int(write_hits_exclusive)
+        stats.read_ring_transactions = int(read_ring_transactions)
+        stats.read_snoops = int(read_snoops)
+        stats.read_ring_crossings = int(read_ring_crossings)
+        stats.reads_supplied_by_cache = int(reads_supplied_by_cache)
+        stats.reads_supplied_by_memory = int(reads_supplied_by_memory)
+        stats.reads_prefetched = int(reads_prefetched)
+        stats.write_ring_transactions = int(write_ring_transactions)
+        stats.write_snoops = int(write_snoops)
+        stats.write_ring_crossings = int(write_ring_crossings)
+        stats.writes_supplied_by_cache = int(writes_supplied_by_cache)
+        stats.writes_supplied_by_memory = int(writes_supplied_by_memory)
+        stats.squashes = int(squashes)
+        stats.retries = int(retries)
+        stats.mshr_queued = int(mshr_queued)
+        stats.accuracy = PredictorAccuracy(
+            int(a_tp), int(a_tn), int(a_fp), int(a_fn)
+        )
+        stats.perfect_accuracy = PredictorAccuracy(int(p_tp), int(p_tn), 0, 0)
+        stats.writebacks = int(writebacks)
+        stats.dirty_evictions = int(dirty_evictions)
+        stats.downgrades = int(downgrades)
+        stats.downgrade_writebacks = int(downgrade_writebacks)
+        stats.downgrade_rereads = int(downgrade_rereads)
+        stats.read_miss_latency_sum = int(read_miss_latency_sum)
+        stats.read_miss_count = int(read_miss_count)
+        stats.supplier_latency_sum = int(supplier_latency_sum)
+        stats.supplier_latency_count = int(supplier_latency_count)
+        stats.read_miss_histogram = histogram
+        stats.core_finish_times = [int(value) for value in fin]
+        unfinished = [
+            core_id
+            for core_id, value in enumerate(stats.core_finish_times)
+            if value < 0
+        ]
+        if unfinished:
+            raise RuntimeError(
+                "simulation ended with unfinished cores: %s" % unfinished
+            )
+        finish = max(stats.core_finish_times, default=0)
+        stats.exec_time = max(finish - int(warmup_end_time), 0)
+        stats.events_scheduled = int(seq)
+        stats.events_fired = int(processed)
+
+        energy = EnergyModel(config.energy, kind)
+        breakdown = energy.breakdown
+        breakdown.ring_links = float(e_ring)
+        breakdown.snoops = float(e_snoop)
+        breakdown.downgrade_ops = float(e_dops)
+        breakdown.downgrade_memory = float(e_dmem)
+        for predictor in predictors:
+            energy.charge_predictor_lookup(predictor.lookups)
+            energy.charge_predictor_update(predictor.updates)
+
+        return SimulationResult(
+            algorithm=algorithm.name,
+            workload=source.name,
+            stats=stats,
+            energy=breakdown.as_dict(),
+            exec_time=stats.exec_time,
+            events=int(processed),
+            config=config,
+        )

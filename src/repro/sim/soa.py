@@ -631,6 +631,61 @@ class SoaRingMultiprocessor:
         memo.predictor_snapshots[self.config.predictor] = snapshots
 
     # ------------------------------------------------------------------
+    # Array-image export seam
+
+    def export_cache_image(self, set_indices=None):
+        """Yield ``(core_id, set_index, addresses, states)`` for every
+        non-empty cache set, addresses in LRU-first order with
+        integer-coded states.
+
+        This is the construction-time image - materialized dicts plus
+        lazily-pending prewarm arrays (whose ``None`` state array means
+        all-``E``) - and is the seam a flat-array core (``core=jit``)
+        imports its state through.  All versions are 0 at this point:
+        prewarm installs version-0 lines only.
+
+        ``set_indices`` restricts the export to those set indices (in
+        every core): a run can only observe sets its address universe
+        maps to, and skipping the untouched majority of a large
+        prewarm footprint is what keeps flat-array construction
+        proportional to the workload, not the prewarm.
+        """
+        if set_indices is None:
+            indices = None
+        else:
+            indices = sorted(set_indices)
+        for core_id, sets in enumerate(self._core_sets):
+            pending = self._pending_sets[core_id]
+            for set_index in (
+                range(len(sets)) if indices is None else indices
+            ):
+                cache_set = sets[set_index]
+                if cache_set is not None:
+                    if not cache_set:
+                        continue
+                    lines = list(cache_set.values())
+                    yield (
+                        core_id,
+                        set_index,
+                        [line[0] for line in lines],
+                        [line[1] for line in lines],
+                    )
+                else:
+                    entry = pending.get(set_index)
+                    if entry is None:
+                        continue
+                    addresses, states = entry
+                    address_list = addresses.tolist()
+                    yield (
+                        core_id,
+                        set_index,
+                        address_list,
+                        [_E] * len(address_list)
+                        if states is None
+                        else states.tolist(),
+                    )
+
+    # ------------------------------------------------------------------
     # The fused run loop
 
     def run(self, max_events: Optional[int] = None) -> SimulationResult:

@@ -1,0 +1,91 @@
+"""Golden-equivalence tests for the compiled-kernel core.
+
+The jit core (``core=jit``) exports the SoA machine's construction
+state into flat integer arrays and replays the whole event loop in one
+kernel - numba-compiled when the package is importable, plain Python
+otherwise, with the *same* code body on both paths.  These tests pin
+whichever path the environment provides (CI runs both legs) to the
+same golden capture the object and SoA cores are pinned to:
+
+* every golden cell, executed through the normal harness path with
+  ``RunSpec(core="jit")``, produces a summary bit-identical to the
+  golden capture;
+* the jit fingerprint differs from both other cores', so the result
+  cache never serves one core's entry for another;
+* setting ``FLEXSNOOP_JIT_DISABLE=1`` forces the Python fallback and
+  still reproduces the golden summary (trivially true on machines
+  without numba, a real check on the numba CI leg).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness.parallel import RunSpec, execute_spec
+from repro.sim.jit import JIT_DISABLE_ENV, NUMBA_AVAILABLE
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "summaries.json")
+
+#: Accesses per core the golden cells were captured at.
+GOLDEN_SCALE = 200
+
+with open(GOLDEN_PATH, "r", encoding="utf-8") as _handle:
+    GOLDEN_CELLS = json.load(_handle)
+
+
+def _cell_id(cell) -> str:
+    return "%s-%s-warmup%s" % (
+        cell["algorithm"],
+        cell["workload"],
+        cell["warmup_fraction"],
+    )
+
+
+def _jit_spec(cell) -> RunSpec:
+    return RunSpec(
+        algorithm=cell["algorithm"],
+        workload=cell["workload"],
+        accesses_per_core=GOLDEN_SCALE,
+        seed=0,
+        warmup_fraction=cell["warmup_fraction"],
+        core="jit",
+    )
+
+
+@pytest.mark.parametrize("cell", GOLDEN_CELLS, ids=_cell_id)
+def test_jit_summary_matches_golden(cell):
+    result = execute_spec(_jit_spec(cell))
+    assert result.summary() == cell["summary"]
+
+
+def test_jit_fingerprint_differs_from_other_cores():
+    cell = GOLDEN_CELLS[0]
+    jit = _jit_spec(cell)
+    others = [
+        RunSpec(
+            algorithm=cell["algorithm"],
+            workload=cell["workload"],
+            accesses_per_core=GOLDEN_SCALE,
+            seed=0,
+            warmup_fraction=cell["warmup_fraction"],
+            core=core,
+        )
+        for core in ("object", "soa")
+    ]
+    for other in others:
+        assert jit.fingerprint(cores_per_cmp=1) != other.fingerprint(
+            cores_per_cmp=1
+        )
+
+
+@pytest.mark.skipif(
+    not NUMBA_AVAILABLE, reason="fallback is already the only path"
+)
+def test_jit_fallback_env_matches_golden(monkeypatch):
+    monkeypatch.setenv(JIT_DISABLE_ENV, "1")
+    cell = GOLDEN_CELLS[0]
+    result = execute_spec(_jit_spec(cell))
+    assert result.summary() == cell["summary"]

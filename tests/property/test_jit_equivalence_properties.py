@@ -1,0 +1,137 @@
+"""Property-based equivalence of the object and jit cores.
+
+Same attack as ``test_soa_equivalence_properties`` aimed at the
+compiled-kernel core: random workload profiles and machine shapes
+inside the jit envelope must produce summaries bit-identical to the
+object core - on whichever kernel path (numba or Python fallback) the
+environment provides, since both run the same code body.
+
+The scenario space deliberately mirrors the SoA property file so a
+divergence localizes to the array flattening/kernel, not to scenario
+coverage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import default_machine
+from repro.core.algorithms import build_algorithm
+from repro.registry import REGISTRY
+from repro.sim.jit import JitRingMultiprocessor
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.source import SyntheticSource
+from repro.workloads.synthetic import SharingProfile
+
+ALGORITHMS = [
+    "lazy",
+    "eager",
+    "oracle",
+    "subset",
+    "superset_con",
+    "superset_agg",
+    "exact",
+]
+
+profiles = st.builds(
+    SharingProfile,
+    name=st.just("prop"),
+    num_cores=st.just(0),  # replaced below: num_cmps * cores_per_cmp
+    cores_per_cmp=st.sampled_from([1, 2]),
+    accesses_per_core=st.integers(20, 60),
+    p_shared=st.floats(0.1, 0.6),
+    p_cold=st.floats(0.0, 0.2),
+    shared_lines=st.integers(16, 64),
+    private_lines=st.integers(16, 64),
+    write_fraction_shared=st.floats(0.0, 0.5),
+    migratory_fraction=st.one_of(st.just(0.0), st.floats(0.05, 0.3)),
+    producer_consumer_fraction=st.one_of(st.just(0.0), st.floats(0.05, 0.3)),
+    burst_mean=st.floats(1.0, 3.0),
+    prewarm_fraction=st.floats(0.0, 0.6),
+    think_mean=st.floats(1.0, 8.0),
+    seed=st.integers(0, 2**16),
+)
+
+
+@st.composite
+def scenarios(draw):
+    profile = draw(profiles)
+    num_cmps = draw(st.integers(2, 4))
+    profile = dataclasses.replace(
+        profile, num_cores=num_cmps * profile.cores_per_cmp
+    )
+    algorithm = draw(st.sampled_from(ALGORITHMS))
+    warmup = draw(st.sampled_from([0.0, 0.3]))
+    return profile, algorithm, warmup
+
+
+@given(scenarios())
+@settings(max_examples=40, deadline=None)
+def test_cores_agree_bit_identically(scenario):
+    profile, algorithm_name, warmup = scenario
+    source = SyntheticSource(profile)
+    machine = default_machine(
+        algorithm=algorithm_name,
+        cores_per_cmp=profile.cores_per_cmp,
+        num_cmps=profile.num_cores // profile.cores_per_cmp,
+    )
+    object_result = RingMultiprocessor(
+        machine,
+        build_algorithm(algorithm_name),
+        source,
+        warmup_fraction=warmup,
+    ).run()
+    jit_result = JitRingMultiprocessor(
+        machine,
+        build_algorithm(algorithm_name),
+        source,
+        warmup_fraction=warmup,
+    ).run()
+    assert jit_result.summary() == object_result.summary()
+
+
+def test_superset_hybrid_matches_object_core():
+    """The hybrid algorithm is outside ``_PURE_CHOICE``: the kernel
+    counts aggressive choices itself and folds them into the algorithm
+    object after the run, so both the summary and the counter must
+    match the object core."""
+    profile = SharingProfile(
+        name="hyb",
+        num_cores=8,
+        cores_per_cmp=2,
+        accesses_per_core=150,
+        seed=3,
+    )
+    machine = default_machine(
+        algorithm="superset_hybrid", cores_per_cmp=2, num_cmps=4
+    )
+    for warmup in (0.0, 0.3):
+        object_algorithm = build_algorithm("superset_hybrid")
+        jit_algorithm = build_algorithm("superset_hybrid")
+        object_result = RingMultiprocessor(
+            machine,
+            object_algorithm,
+            SyntheticSource(profile),
+            warmup_fraction=warmup,
+        ).run()
+        jit_result = JitRingMultiprocessor(
+            machine,
+            jit_algorithm,
+            SyntheticSource(profile),
+            warmup_fraction=warmup,
+        ).run()
+        assert jit_result.summary() == object_result.summary()
+        assert (
+            jit_algorithm.aggressive_choices
+            == object_algorithm.aggressive_choices
+        )
+
+
+def test_registry_builds_all_cores():
+    assert set(REGISTRY.names("core")) >= {"object", "soa", "jit"}
+    assert REGISTRY.canonical("core", "JIT") == "jit"
+    assert REGISTRY.canonical("core", "compiled") == "jit"
+    assert REGISTRY.canonical("core", "kernel") == "jit"

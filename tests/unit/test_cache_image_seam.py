@@ -1,0 +1,79 @@
+"""The array-image export seam used by the compiled-kernel core.
+
+``WarmupController.export_cache_image`` (object core) and
+``SoaRingMultiprocessor.export_cache_image`` (SoA/jit cores) must
+describe the same construction-time prewarm state in the same
+integer-coded format: if the images diverge, the jit kernel starts
+from a different machine than the object core and bit-identical
+summaries are impossible.  Diffing the images directly localizes such
+a failure to the seam instead of to a full-run summary mismatch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import default_machine
+from repro.core.algorithms import build_algorithm
+from repro.sim.soa import SoaRingMultiprocessor
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.source import SyntheticSource
+from repro.workloads.synthetic import SharingProfile
+
+
+def _image(core) -> dict:
+    image = {}
+    for core_id, set_index, addresses, states in core.export_cache_image():
+        assert len(addresses) == len(states)
+        assert addresses, "empty sets must not be yielded"
+        image[(core_id, set_index)] = (list(addresses), list(states))
+    return image
+
+
+@pytest.mark.parametrize("algorithm", ["lazy", "exact", "superset_con"])
+@pytest.mark.parametrize("prewarm", [0.0, 0.5])
+def test_object_and_soa_images_agree(algorithm, prewarm):
+    profile = SharingProfile(
+        name="seam",
+        num_cores=4,
+        cores_per_cmp=2,
+        accesses_per_core=60,
+        prewarm_fraction=prewarm,
+        seed=11,
+    )
+    machine = default_machine(
+        algorithm=algorithm, cores_per_cmp=2, num_cmps=2
+    )
+    object_core = RingMultiprocessor(
+        machine, build_algorithm(algorithm), SyntheticSource(profile)
+    )
+    soa_core = SoaRingMultiprocessor(
+        machine, build_algorithm(algorithm), SyntheticSource(profile)
+    )
+    object_image = _image(object_core.warmup)
+    soa_image = _image(soa_core)
+    assert object_image == soa_image
+    if prewarm > 0.0:
+        assert object_image, "prewarmed machines must export lines"
+
+
+def test_soa_image_covers_pending_and_materialized_sets():
+    """The memo-restore path keeps prewarm content in lazy pending
+    arrays; a second construction of the same workload must export the
+    identical image it did when the sets were walked eagerly."""
+    profile = SharingProfile(
+        name="seam-memo",
+        num_cores=4,
+        cores_per_cmp=1,
+        accesses_per_core=60,
+        prewarm_fraction=0.5,
+        seed=7,
+    )
+    machine = default_machine(algorithm="lazy", cores_per_cmp=1, num_cmps=4)
+    first = SoaRingMultiprocessor(
+        machine, build_algorithm("lazy"), SyntheticSource(profile)
+    )
+    second = SoaRingMultiprocessor(
+        machine, build_algorithm("lazy"), SyntheticSource(profile)
+    )
+    assert _image(first) == _image(second)

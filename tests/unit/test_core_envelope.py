@@ -1,0 +1,131 @@
+"""The unsupported-configuration envelope, flag by flag.
+
+Both array cores (``soa`` and ``jit``) declare an explicit envelope:
+every excluded feature must raise a clean, named
+``SoaUnsupportedError`` at construction - never a mid-run crash or a
+silently wrong result - while the object core runs the identical
+configuration to completion.  One parametrized matrix pins each flag
+to that contract, so adding an envelope hole or a new flag without
+updating ``check_soa_supported``/``check_jit_supported`` fails loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config import default_machine
+from repro.core.algorithms import build_algorithm
+from repro.obs.trace import InMemorySink
+from repro.registry import REGISTRY
+from repro.sim.jit import JitUnsupportedError, check_jit_supported
+from repro.sim.soa import SoaUnsupportedError
+from repro.workloads.source import SyntheticSource
+from repro.workloads.synthetic import SharingProfile
+
+
+def _machine(**overrides):
+    machine = default_machine(algorithm="lazy", cores_per_cmp=1, num_cmps=2)
+    ring_overrides = {
+        key: overrides.pop(key)
+        for key in ("link_occupancy", "serialize_snoop_port")
+        if key in overrides
+    }
+    tracing_overrides = {
+        key: overrides.pop(key)
+        for key in ("enabled", "sample_window")
+        if key in overrides
+    }
+    if ring_overrides:
+        machine = dataclasses.replace(
+            machine, ring=dataclasses.replace(machine.ring, **ring_overrides)
+        )
+    if tracing_overrides:
+        machine = dataclasses.replace(
+            machine,
+            tracing=dataclasses.replace(machine.tracing, **tracing_overrides),
+        )
+    if overrides:
+        machine = dataclasses.replace(machine, **overrides)
+    return machine
+
+
+def _source():
+    return SyntheticSource(
+        SharingProfile(
+            name="envelope",
+            num_cores=2,
+            cores_per_cmp=1,
+            accesses_per_core=20,
+            seed=5,
+        )
+    )
+
+
+#: (flag id, machine kwargs, extra constructor kwargs).
+ENVELOPE_FLAGS = [
+    ("link_occupancy", {"link_occupancy": True}, {}),
+    ("serialize_snoop_port", {"serialize_snoop_port": True}, {}),
+    ("filter_write_snoops", {"filter_write_snoops": True}, {}),
+    ("check_invariants", {"check_invariants": True}, {}),
+    ("track_versions", {"track_versions": True}, {}),
+    ("tracing", {}, {"trace_sink": InMemorySink()}),
+    ("sample_window", {"sample_window": 50}, {}),
+]
+
+
+def _flag_id(entry) -> str:
+    return entry[0]
+
+
+@pytest.mark.parametrize("core", ["soa", "jit"])
+@pytest.mark.parametrize("entry", ENVELOPE_FLAGS, ids=_flag_id)
+def test_array_cores_raise_cleanly_outside_envelope(core, entry):
+    flag, machine_kwargs, extra = entry
+    machine = _machine(**machine_kwargs)
+    with pytest.raises(SoaUnsupportedError) as excinfo:
+        REGISTRY.create(
+            "core",
+            core,
+            machine,
+            build_algorithm("lazy"),
+            _source(),
+            **extra,
+        )
+    message = str(excinfo.value)
+    assert "core=%s does not support" % core in message
+    assert "use core=object" in message
+
+
+@pytest.mark.parametrize("entry", ENVELOPE_FLAGS, ids=_flag_id)
+def test_object_core_runs_every_envelope_flag(entry):
+    flag, machine_kwargs, extra = entry
+    machine = _machine(**machine_kwargs)
+    result = REGISTRY.create(
+        "core",
+        "object",
+        machine,
+        build_algorithm("lazy"),
+        _source(),
+        **extra,
+    ).run()
+    assert result.stats.reads + result.stats.writes > 0
+
+
+def test_jit_error_is_a_soa_error_subclass():
+    """CLI fallback handling catches ``SoaUnsupportedError`` once and
+    covers both array cores."""
+    assert issubclass(JitUnsupportedError, SoaUnsupportedError)
+
+
+def test_jit_rejects_dynamic_choose_algorithms():
+    """Algorithms whose ``choose`` consults a live pressure source
+    cannot be table-compiled; the jit envelope names them."""
+
+    machine = _machine()
+    algorithm = build_algorithm("superset_hybrid")
+    algorithm._energy_pressure = lambda: 0.0
+    with pytest.raises(SoaUnsupportedError) as excinfo:
+        check_jit_supported(machine, algorithm)
+    assert "dynamic choose()" in str(excinfo.value)
