@@ -69,6 +69,51 @@ class DataNetworkConfig:
     torus_shape: Tuple[int, int] = (4, 2)
 
 
+#: The stock 8-CMP torus; :class:`MachineConfig` auto-grows this (and
+#: only this) shape when a larger machine is requested.
+_DEFAULT_TORUS_SHAPE: Tuple[int, int] = (4, 2)
+
+
+def derive_torus_shape(num_cmps: int) -> Tuple[int, int]:
+    """Smallest near-square ``(rows, cols)`` torus holding ``num_cmps``
+    nodes, with ``rows >= cols`` like the stock (4, 2) shape."""
+    cols = 1
+    while cols * cols < num_cmps:
+        cols += 1
+    rows = (num_cmps + cols - 1) // cols
+    if rows < cols:
+        rows, cols = cols, rows
+    return rows, cols
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Shape of the snoop interconnect (registry kind ``topology``).
+
+    ``kind`` names a topology registered under the ``topology``
+    registry kind (builtins: ``ring``, ``hier_ring``; plugins via the
+    ``flexsnoop.topologies`` entry-point group).  The remaining fields
+    parameterize the two-level ``hier_ring`` builtin: ``local_rings``
+    local rings of ``num_cmps // local_rings`` CMPs each, joined by a
+    global ring through one bridge node per local ring.  A hop latency
+    of 0 means "inherit ``RingConfig.hop_latency``", so the default
+    hier_ring machine is directly comparable to the flat ring.
+    """
+
+    kind: str = "ring"
+    local_rings: int = 4
+    local_hop_latency: int = 0
+    global_hop_latency: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ValueError("topology kind must be a non-empty name")
+        if self.local_rings < 1:
+            raise ValueError("local_rings must be >= 1")
+        if self.local_hop_latency < 0 or self.global_hop_latency < 0:
+            raise ValueError("topology hop latencies must be >= 0")
+
+
 @dataclass(frozen=True)
 class MemoryConfig:
     """Main-memory timing (Table 4 of the paper).
@@ -271,6 +316,7 @@ class MachineConfig:
     num_cmps: int = 8
     cores_per_cmp: int = 4
     ring: RingConfig = field(default_factory=RingConfig)
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
     data_network: DataNetworkConfig = field(default_factory=DataNetworkConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
@@ -299,10 +345,25 @@ class MachineConfig:
             raise ValueError("need at least 1 core per CMP")
         rows, cols = self.data_network.torus_shape
         if rows * cols < self.num_cmps:
-            raise ValueError(
-                "torus shape %s too small for %d CMPs"
-                % (self.data_network.torus_shape, self.num_cmps)
-            )
+            if self.data_network.torus_shape == _DEFAULT_TORUS_SHAPE:
+                # The default 4x2 torus only fits 8 CMPs.  Machines are
+                # shaped to their workload source's CMP count, so a
+                # >8-CMP replay would otherwise die here; grow the
+                # default to a near-square shape that fits.  Explicit
+                # non-default shapes still fail loudly below.
+                object.__setattr__(
+                    self,
+                    "data_network",
+                    dataclasses.replace(
+                        self.data_network,
+                        torus_shape=derive_torus_shape(self.num_cmps),
+                    ),
+                )
+            else:
+                raise ValueError(
+                    "torus shape %s too small for %d CMPs"
+                    % (self.data_network.torus_shape, self.num_cmps)
+                )
 
     def replace(self, **kwargs) -> "MachineConfig":
         """Return a copy of this config with selected fields replaced."""

@@ -51,7 +51,7 @@ from repro.harness.experiments import ExperimentMatrix
 from repro.harness.result_cache import ResultCache
 
 #: PR number stamped into snapshots written by the current code.
-SNAPSHOT_PR = 7
+SNAPSHOT_PR = 8
 
 #: Accesses per core for the benchmark matrix.  Large enough that the
 #: simulation (not trace generation or interpreter warmup) dominates,
@@ -129,6 +129,10 @@ class PerfSnapshot:
     events_per_sec: float
     matrix_wall_s: float
     core: str = "object"
+    #: Snoop topology the matrix ran on; "ring" is the comparable
+    #: default (snapshots taken on hier_ring simulate different
+    #: machines and are not ratio-comparable against ring baselines).
+    topology: str = "ring"
     env: Optional[Dict[str, object]] = field(default=None)
 
     def to_json(self) -> str:
@@ -139,6 +143,7 @@ def measure_matrix(
     accesses_per_core: int = DEFAULT_BENCH_SCALE,
     seed: int = 0,
     core: str = "object",
+    topology: Optional[str] = None,
 ) -> PerfSnapshot:
     """Run the main matrix once, serially and uncached, and time it."""
     matrix = ExperimentMatrix(
@@ -147,6 +152,7 @@ def measure_matrix(
         jobs=1,
         result_cache=ResultCache(enabled=False),
         core=core,
+        topology=topology,
     )
     start = time.perf_counter()
     matrix.run_main_matrix()
@@ -160,6 +166,7 @@ def measure_matrix(
         events_per_sec=round(events / wall, 1),
         matrix_wall_s=round(wall, 3),
         core=core,
+        topology=topology if topology is not None else "ring",
         env=environment_fingerprint(),
     )
 
@@ -169,13 +176,14 @@ def run_snapshot(
     accesses_per_core: int = DEFAULT_BENCH_SCALE,
     seed: int = 0,
     core: str = "object",
+    topology: Optional[str] = None,
 ) -> PerfSnapshot:
     """Best-of-``trials`` matrix measurement."""
     if trials < 1:
         raise ValueError("need at least one trial")
     best: Optional[PerfSnapshot] = None
     for _ in range(trials):
-        snapshot = measure_matrix(accesses_per_core, seed, core)
+        snapshot = measure_matrix(accesses_per_core, seed, core, topology)
         if best is None or snapshot.accesses_per_sec > best.accesses_per_sec:
             best = snapshot
     assert best is not None
@@ -199,6 +207,7 @@ def load_snapshot(path: str) -> PerfSnapshot:
         events_per_sec=float(data["events_per_sec"]),
         matrix_wall_s=float(data["matrix_wall_s"]),
         core=str(data.get("core", "object")),
+        topology=str(data.get("topology", "ring")),
         env=dict(env) if isinstance(env, dict) else None,
     )
 
@@ -229,6 +238,12 @@ def check_regression(
             ratio,
         )
     )
+    if current.topology != baseline.topology:
+        return (
+            verdict
+            + " [advisory: snapshots simulate different topologies "
+            "(%s vs %s)]" % (current.topology, baseline.topology)
+        )
     if not same_environment(current.env, baseline.env):
         return (
             verdict
@@ -269,6 +284,7 @@ def measure_breakdown(
     accesses_per_core: int = DEFAULT_BENCH_SCALE,
     seed: int = 0,
     core: str = "object",
+    topology: Optional[str] = None,
 ) -> Dict[str, float]:
     """One profiled matrix run, aggregated to per-subsystem seconds.
 
@@ -294,6 +310,7 @@ def measure_breakdown(
         jobs=1,
         result_cache=ResultCache(enabled=False),
         core=core,
+        topology=topology,
     )
     profiler = cProfile.Profile()
     profiler.enable()

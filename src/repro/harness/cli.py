@@ -106,6 +106,46 @@ def _add_component_options(
     )
 
 
+def _add_topology_option(
+    parser: argparse.ArgumentParser, with_num_cmps: bool = False
+) -> None:
+    parser.add_argument(
+        "--topology",
+        default=None,
+        help="snoop topology (known: %s; default: the machine's "
+        "single embedded ring)" % ", ".join(REGISTRY.names("topology")),
+    )
+    if with_num_cmps:
+        parser.add_argument(
+            "--num-cmps",
+            type=int,
+            default=0,
+            help="reshape the synthetic workload across this many "
+            "CMPs (0 = the workload's own geometry; defaults to 16 "
+            "when --topology hier_ring is selected)",
+        )
+
+
+def _resolved_num_cmps(args: argparse.Namespace) -> int:
+    """``--num-cmps``, defaulted to the two-level reference machine.
+
+    An unset ``--num-cmps`` combined with ``--topology hier_ring``
+    means the 16-CMP machine of the hierarchical evaluation rather
+    than the workload's 8-CMP paper geometry, which would leave the
+    hierarchy nearly degenerate (local rings of two).
+    """
+    num_cmps = getattr(args, "num_cmps", 0)
+    topology = getattr(args, "topology", None)
+    if not num_cmps and topology is not None:
+        try:
+            canonical = REGISTRY.canonical("topology", topology)
+        except UnknownComponentError:
+            return num_cmps  # surfaced with the uniform error later
+        if canonical == "hier_ring":
+            return 16
+    return num_cmps
+
+
 def _add_core_option(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--core",
@@ -144,6 +184,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         accesses_per_core=args.scale,
         seed=args.seed,
         core=args.core,
+        topology=args.topology,
+        num_cmps=_resolved_num_cmps(args),
     )
     print("algorithm : %s" % result.algorithm)
     print("workload  : %s" % result.workload)
@@ -155,14 +197,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number == "topology":
+        from repro.harness.experiments import (
+            compare_topologies,
+            format_topology_comparison,
+        )
+
+        table = compare_topologies(
+            accesses_per_core=args.scale,
+            seed=args.seed,
+            num_cmps=_resolved_num_cmps(args),
+            jobs=args.jobs,
+            result_cache=_make_cache(args),
+            core=args.core,
+        )
+        print(format_topology_comparison(table))
+        return 0
+    try:
+        number = int(args.number)
+    except ValueError:
+        print(
+            "unknown figure %r (know 6-11 and 'topology')"
+            % args.number,
+            file=sys.stderr,
+        )
+        return 2
     matrix = ExperimentMatrix(
         accesses_per_core=args.scale,
         seed=args.seed,
         jobs=args.jobs,
         result_cache=_make_cache(args),
         core=args.core,
+        topology=args.topology,
+        num_cmps=_resolved_num_cmps(args),
     )
-    number = args.number
     if number == 6:
         print(
             format_by_workload(
@@ -206,7 +274,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     elif number == 11:
         print(format_accuracy_table(matrix.fig11_accuracy()))
     else:
-        print("unknown figure %d (know 6-11)" % number, file=sys.stderr)
+        print(
+            "unknown figure %d (know 6-11 and 'topology')" % number,
+            file=sys.stderr,
+        )
         return 2
     return 0
 
@@ -246,6 +317,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         result_cache=_make_cache(args),
         core=args.core,
+        topology=args.topology,
+        num_cmps=_resolved_num_cmps(args),
     )
     figures = (
         [int(f) for f in args.figures.split(",")]
@@ -305,6 +378,8 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
         check_invariants=args.check_invariants,
         sample_window=args.sample_window,
         sink=sink_spec,
+        topology=args.topology,
+        num_cmps=_resolved_num_cmps(args),
     )
     if streamed:
         # Events went straight to disk during the run; nothing is
@@ -331,7 +406,10 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
             # the streamed file reads back.
             _meta, events = read_trace(out_path)
         transactions = len({e.txn for e in events if e.txn >= 0})
-        auditor = TraceAuditor(num_cmps=traced.meta["num_cmps"])
+        auditor = TraceAuditor(
+            num_cmps=traced.meta["num_cmps"],
+            successors=traced.meta.get("successors"),
+        )
         violations = auditor.audit(events)
         if violations:
             print(
@@ -398,7 +476,13 @@ def _cmd_trace_audit(args: argparse.Namespace) -> int:
 
     meta, events = read_trace(args.file)
     num_cmps = args.num_cmps or meta.get("num_cmps") or 8
-    violations = TraceAuditor(num_cmps=num_cmps).audit(events)
+    # Traces recorded on a non-ring topology persist their successor
+    # cycle in the header; an explicit --num-cmps override means the
+    # header geometry is being second-guessed, so ignore it then.
+    successors = None if args.num_cmps else meta.get("successors")
+    violations = TraceAuditor(
+        num_cmps=num_cmps, successors=successors
+    ).audit(events)
     transactions = len({e.txn for e in events if e.txn >= 0})
     if violations:
         print("audit: %d violation(s)" % len(violations), file=sys.stderr)
@@ -499,7 +583,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     if args.breakdown:
         buckets = measure_breakdown(
-            accesses_per_core=scale, seed=args.seed, core=args.core
+            accesses_per_core=scale,
+            seed=args.seed,
+            core=args.core,
+            topology=args.topology,
         )
         print(format_breakdown(buckets))
         return 0
@@ -508,8 +595,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         accesses_per_core=scale,
         seed=args.seed,
         core=args.core,
+        topology=args.topology,
     )
     print("core          : %s" % snapshot.core)
+    print("topology      : %s" % snapshot.topology)
     print("matrix wall   : %.3f s" % snapshot.matrix_wall_s)
     print("accesses/sec  : %.1f" % snapshot.accesses_per_sec)
     print("events/sec    : %.1f" % snapshot.events_per_sec)
@@ -558,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run one simulation")
     _add_component_options(run_parser, "lazy", "splash2")
     _add_core_option(run_parser)
+    _add_topology_option(run_parser, with_num_cmps=True)
     run_parser.add_argument("--scale", type=int, default=2000,
                             help="accesses per core")
     run_parser.add_argument("--seed", type=int, default=0)
@@ -566,11 +656,16 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser = sub.add_parser(
         "figure", help="regenerate one of the paper's figures"
     )
-    figure_parser.add_argument("number", type=int)
+    figure_parser.add_argument(
+        "number",
+        help="figure number (6-11), or 'topology' for the "
+        "ring-vs-hier_ring comparison matrix",
+    )
     figure_parser.add_argument("--scale", type=int, default=2000)
     figure_parser.add_argument("--seed", type=int, default=0)
     _add_matrix_options(figure_parser)
     _add_core_option(figure_parser)
+    _add_topology_option(figure_parser)
     figure_parser.set_defaults(func=_cmd_figure)
 
     table_parser = sub.add_parser(
@@ -593,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--out", default="")
     _add_matrix_options(report_parser)
     _add_core_option(report_parser)
+    _add_topology_option(report_parser)
     report_parser.set_defaults(func=_cmd_report)
 
     cache_parser = sub.add_parser(
@@ -648,6 +744,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--tolerance", type=float, default=None)
     _add_core_option(bench_parser)
+    _add_topology_option(bench_parser)
     bench_parser.add_argument(
         "--breakdown", action="store_true",
         help="profile one matrix run and print per-subsystem time "
@@ -670,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
         "lifecycle events to a JSONL file",
     )
     _add_component_options(record_parser, "lazy", "splash2")
+    _add_topology_option(record_parser, with_num_cmps=True)
     record_parser.add_argument("--scale", type=int, default=500,
                                help="accesses per core")
     record_parser.add_argument("--seed", type=int, default=0)

@@ -62,6 +62,8 @@ def run_experiment(
     config: Optional[MachineConfig] = None,
     warmup_fraction: float = DEFAULT_WARMUP,
     core: str = "object",
+    topology: Optional[str] = None,
+    num_cmps: int = 0,
 ) -> SimulationResult:
     """Run one (algorithm, workload) cell of the evaluation matrix.
 
@@ -78,6 +80,12 @@ def run_experiment(
         core: simulation-core implementation (registry kind ``core``):
             ``object`` (default), ``soa``, or ``jit`` (numba-compiled
             kernel with a pure-Python fallback).
+        topology: snoop-topology override (registry kind
+            ``topology``): None leaves the machine's default single
+            ring; e.g. ``hier_ring`` for the two-level machine.
+        num_cmps: machine-span override (0 = the workload's own
+            geometry); reshapes synthetic workloads across that many
+            CMPs.
     """
     return execute_spec(
         RunSpec(
@@ -89,6 +97,8 @@ def run_experiment(
             warmup_fraction=warmup_fraction,
             config=config,
             core=core,
+            topology=topology,
+            num_cmps=num_cmps,
         )
     )
 
@@ -120,6 +130,8 @@ class ExperimentMatrix:
     jobs: Optional[int] = 1
     result_cache: Optional[ResultCache] = None
     core: str = "object"
+    topology: Optional[str] = None
+    num_cmps: int = 0
     _cache: Dict[MatrixCell, SimulationResult] = field(
         default_factory=dict
     )
@@ -134,6 +146,8 @@ class ExperimentMatrix:
             seed=self.seed,
             warmup_fraction=DEFAULT_WARMUP,
             core=self.core,
+            topology=self.topology,
+            num_cmps=self.num_cmps,
         )
 
     def ensure(self, cells: Sequence[MatrixCell]) -> None:
@@ -342,6 +356,85 @@ class ExperimentMatrix:
                 for workload in self.workloads
             }
         return table
+
+
+# ----------------------------------------------------------------------
+# Topology comparison (fig6-style, ring vs hier_ring)
+
+#: Algorithms of the topology comparison matrix: the two forwarding
+#: extremes plus the Oracle bound, enough to show how the snoop
+#: algorithms react to a different snoop-path shape.
+TOPOLOGY_COMPARISON_ALGORITHMS: Tuple[str, ...] = (
+    "lazy",
+    "eager",
+    "oracle",
+)
+
+
+def compare_topologies(
+    topologies: Sequence[str] = ("ring", "hier_ring"),
+    algorithms: Sequence[str] = TOPOLOGY_COMPARISON_ALGORITHMS,
+    workloads: Sequence[str] = WORKLOADS,
+    accesses_per_core: int = DEFAULT_SCALE,
+    seed: int = 0,
+    num_cmps: int = 0,
+    jobs: Optional[int] = 1,
+    result_cache: Optional[ResultCache] = None,
+    core: str = "object",
+) -> Dict[str, Dict[str, Dict[str, Dict[str, float]]]]:
+    """Run the fig6-style matrix once per topology.
+
+    Returns ``{topology: {"snoops_per_request": fig6-table,
+    "exec_time": fig8-table}}``: the same (algorithm, workload) cells
+    simulated on each named topology, so the effect of e.g. the
+    two-level hierarchy on snoop counts and execution time reads off
+    directly.  ``num_cmps`` applies to every topology (0 = each
+    workload's own geometry), keeping the machines comparable.
+    """
+    table: Dict[str, Dict[str, Dict[str, Dict[str, float]]]] = {}
+    for topology in topologies:
+        matrix = ExperimentMatrix(
+            accesses_per_core=accesses_per_core,
+            seed=seed,
+            algorithms=tuple(algorithms),
+            workloads=tuple(workloads),
+            jobs=jobs,
+            result_cache=result_cache,
+            core=core,
+            # "ring" is spelled explicitly (not None) so the run
+            # proves the explicit-default path is bit-identical.
+            topology=topology,
+            num_cmps=num_cmps,
+        )
+        matrix.run_main_matrix()
+        table[topology] = {
+            "snoops_per_request": matrix.fig6_snoops_per_request(),
+            "exec_time": matrix.fig8_execution_time(),
+        }
+    return table
+
+
+def format_topology_comparison(
+    table: Dict[str, Dict[str, Dict[str, Dict[str, float]]]],
+) -> str:
+    """Render :func:`compare_topologies` output as stacked fig6/fig8
+    text tables, one block per topology."""
+    blocks = []
+    for topology, figures in table.items():
+        blocks.append(
+            format_by_workload(
+                "Snoops per read request [topology=%s]" % topology,
+                figures["snoops_per_request"],
+            )
+        )
+        blocks.append(
+            format_by_workload(
+                "Execution time normalized to Lazy [topology=%s]"
+                % topology,
+                figures["exec_time"],
+            )
+        )
+    return "\n\n".join(blocks)
 
 
 # ----------------------------------------------------------------------

@@ -70,6 +70,17 @@ class RunSpec:
     #: diagnostic event counts that differ from the object engine, so
     #: non-default cores get their own result-cache entries.
     core: str = "object"
+    #: Snoop-topology override (registry kind ``topology``): ``None``
+    #: leaves the machine config untouched (the default ``ring``);
+    #: naming one replaces ``config.topology.kind``.  The topology
+    #: travels inside the machine fingerprint, and the default
+    #: ``TopologyConfig`` is elided there, so pre-existing cache keys
+    #: stay byte-stable (the ``core`` precedent above).
+    topology: Optional[str] = None
+    #: Machine-span override: 0 = the workload source's own geometry;
+    #: a nonzero value reshapes a synthetic workload across that many
+    #: CMPs (e.g. a 16-CMP two-level hier_ring machine).
+    num_cmps: int = 0
 
     def resolve_config(
         self, cores_per_cmp: int, num_cmps: int = 8
@@ -82,16 +93,28 @@ class RunSpec:
         its own CMP count.
         """
         if self.config is None:
-            return default_machine(
+            machine = default_machine(
                 algorithm=self.algorithm,
                 predictor=self.predictor,
                 cores_per_cmp=cores_per_cmp,
                 num_cmps=num_cmps,
             )
-        machine = self.config
-        if self.predictor is not None:
+        else:
+            machine = self.config
+            if self.predictor is not None:
+                machine = machine.replace(
+                    predictor=REGISTRY.create(
+                        "predictor", self.predictor
+                    )
+                )
+        if self.topology is not None:
+            import dataclasses
+
             machine = machine.replace(
-                predictor=REGISTRY.create("predictor", self.predictor)
+                topology=dataclasses.replace(
+                    machine.topology,
+                    kind=REGISTRY.canonical("topology", self.topology),
+                )
             )
         return machine
 
@@ -139,7 +162,8 @@ class RunSpec:
         header/hash scan, a synthetic source costs nothing.
         """
         source = _cached_source(
-            self.workload, self.accesses_per_core, self.seed
+            self.workload, self.accesses_per_core, self.seed,
+            self.num_cmps,
         )
         return fingerprint_key(
             self.fingerprint(
@@ -152,7 +176,10 @@ class RunSpec:
 
 @lru_cache(maxsize=8)
 def _cached_source(
-    workload: str, accesses_per_core: int, seed: int
+    workload: str,
+    accesses_per_core: int,
+    seed: int,
+    num_cmps: int = 0,
 ) -> WorkloadSource:
     """Resolve (and reuse) a workload source.
 
@@ -167,7 +194,10 @@ def _cached_source(
     files locally instead of pickling materialized traces.
     """
     return resolve_source(
-        workload, accesses_per_core=accesses_per_core, seed=seed
+        workload,
+        accesses_per_core=accesses_per_core,
+        seed=seed,
+        num_cmps=num_cmps,
     )
 
 
@@ -180,7 +210,7 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     identical by construction.
     """
     source = _cached_source(
-        spec.workload, spec.accesses_per_core, spec.seed
+        spec.workload, spec.accesses_per_core, spec.seed, spec.num_cmps
     )
     machine = spec.resolve_config(source.cores_per_cmp, source.num_cmps)
     system = REGISTRY.create(

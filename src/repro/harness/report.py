@@ -18,6 +18,7 @@ from repro.harness.experiments import (
     ExperimentMatrix,
     format_accuracy_table,
 )
+from repro.registry import REGISTRY
 
 #: Width of the ASCII bars.
 BAR_WIDTH = 36
@@ -72,12 +73,23 @@ def render_report(
             Figure 10 adds ~24 extra simulations and is opt-in).
     """
     selected = set(figures) if figures is not None else {6, 7, 8, 9, 11}
+    topology = matrix.topology or "ring"
+    try:
+        topology = REGISTRY.canonical("topology", topology)
+    except ValueError:
+        pass  # surfaced with the uniform error when the matrix runs
+    shape = (
+        "embedded unidirectional ring"
+        if topology == "ring"
+        else "%s snoop topology" % topology
+    )
     parts: List[str] = [
         "# Flexible Snooping - evaluation report",
         "",
-        "Machine: 8 CMPs, embedded unidirectional ring "
+        "Machine: %d CMPs, %s "
         "(39-cycle hops, 55-cycle snoops), workloads at %d "
-        "accesses/core." % matrix.accesses_per_core,
+        "accesses/core."
+        % (matrix.num_cmps or 8, shape, matrix.accesses_per_core),
         "",
     ]
 

@@ -39,7 +39,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Optional
 
 from repro import __version__
-from repro.config import MachineConfig
+from repro.config import MachineConfig, TopologyConfig
 from repro.sim.system import SimulationResult
 
 #: Bump when the semantics of cached results change (new counters,
@@ -64,14 +64,27 @@ def default_cache_root() -> Path:
     return Path.home() / ".cache" / "flexsnoop"
 
 
+#: Snapshot of the stock topology; computed once at import.
+_DEFAULT_TOPOLOGY = dataclasses.asdict(TopologyConfig())
+
+
 def config_fingerprint(config: MachineConfig) -> Dict[str, Any]:
     """A JSON-serializable snapshot of a machine configuration.
 
     ``dataclasses.asdict`` recurses through the nested frozen config
     dataclasses; tuples become lists, which is fine because the JSON
     canonicalization below is only ever compared against itself.
+
+    The ``topology`` section is elided when it equals the default
+    (single embedded ring), so fingerprints stay byte-stable across
+    that field's introduction and existing caches remain warm -
+    mirroring the ``core`` field precedent in
+    :meth:`repro.harness.parallel.RunSpec.fingerprint`.
     """
-    return dataclasses.asdict(config)
+    payload = dataclasses.asdict(config)
+    if payload.get("topology") == _DEFAULT_TOPOLOGY:
+        del payload["topology"]
+    return payload
 
 
 def fingerprint_key(payload: Dict[str, Any]) -> str:

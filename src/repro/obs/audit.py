@@ -39,9 +39,10 @@ back from JSONL files.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.obs.trace import EventType, TraceEvent
+from repro.ring.topology import ring_successors
 
 #: Predictor kinds that may never predict a supplier that is absent.
 _NO_FALSE_POSITIVE_KINDS = ("subset", "exact", "perfect")
@@ -68,12 +69,34 @@ class Violation:
 
 
 class TraceAuditor:
-    """Validate a trace against the transaction lifecycle FSM."""
+    """Validate a trace against the transaction lifecycle FSM.
 
-    def __init__(self, num_cmps: int) -> None:
+    Args:
+        num_cmps: node count of the audited machine.
+        successors: the topology's successor cycle (``successors[i]``
+            is the node one snoop segment downstream of ``i``), used
+            by the per-segment conservation check.  Defaults to the
+            single embedded ring; traced runs on other topologies
+            persist their cycle in the trace metadata
+            (``meta["successors"]``) for replayed audits.
+    """
+
+    def __init__(
+        self,
+        num_cmps: int,
+        successors: Optional[Sequence[int]] = None,
+    ) -> None:
         if num_cmps < 2:
             raise ValueError("need at least 2 CMPs for a ring")
         self.num_cmps = num_cmps
+        if successors is None:
+            successors = ring_successors(num_cmps)
+        self._succ = [int(node) for node in successors]
+        if sorted(self._succ) != list(range(num_cmps)):
+            raise ValueError(
+                "successor table is not a permutation of %d nodes"
+                % num_cmps
+            )
 
     def audit(self, events: Iterable[TraceEvent]) -> List[Violation]:
         """All violations in ``events`` (empty list = clean trace)."""
@@ -178,12 +201,13 @@ class TraceAuditor:
                 )
                 return
             to = int(hop.data["to"])
-            if to != (hop.node + 1) % n:
+            if to != self._succ[hop.node]:
                 flag(
                     "conservation",
                     hop.time,
-                    "hop %d -> %d is not one ring segment"
-                    % (hop.node, to),
+                    "hop %d -> %d is not one snoop segment "
+                    "(successor of %d is %d)"
+                    % (hop.node, to, hop.node, self._succ[hop.node]),
                 )
                 return
             if hop.time < issue.time:

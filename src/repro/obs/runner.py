@@ -62,6 +62,8 @@ def run_traced(
     sample_window: int = 0,
     config: Optional[MachineConfig] = None,
     sink: str = "memory",
+    topology: Optional[str] = None,
+    num_cmps: int = 0,
 ) -> TracedRun:
     """Run one cell with tracing on and return the full observation.
 
@@ -82,6 +84,11 @@ def run_traced(
             :func:`~repro.harness.experiments.run_experiment`.
         sink: trace sink spec (registry kind ``sink``); file-backed
             sinks receive the run metadata as their header line.
+        topology: snoop-topology override (registry kind
+            ``topology``), as in
+            :func:`~repro.harness.experiments.run_experiment`.
+        num_cmps: machine-span override (0 = the workload's own
+            geometry).
     """
     spec = RunSpec(
         algorithm=algorithm,
@@ -91,8 +98,10 @@ def run_traced(
         seed=seed,
         warmup_fraction=warmup_fraction,
         config=config,
+        topology=topology,
+        num_cmps=num_cmps,
     )
-    source = _cached_source(workload, accesses_per_core, seed)
+    source = _cached_source(workload, accesses_per_core, seed, num_cmps)
     machine = spec.resolve_config(source.cores_per_cmp, source.num_cmps)
     machine = machine.replace(
         tracing=TraceConfig(
@@ -115,7 +124,15 @@ def run_traced(
         "accesses_per_core": accesses_per_core,
         "seed": seed,
         "warmup_fraction": warmup_fraction,
+        "topology": machine.topology.kind,
     }
+    if machine.topology.kind != "ring":
+        # Non-ring walks hop along a different successor cycle; the
+        # auditor needs it to check per-segment conservation, so it is
+        # persisted with the trace rather than re-derived.
+        from repro.ring.topology import build_topology
+
+        meta["successors"] = build_topology(machine).successors()
     trace_sink = resolve_sink(sink, meta=meta)
     system = RingMultiprocessor(
         machine,

@@ -67,6 +67,7 @@ ENTRY_POINT_GROUPS: Dict[str, str] = {
     "workload": "flexsnoop.workloads",
     "sink": "flexsnoop.sinks",
     "core": "flexsnoop.cores",
+    "topology": "flexsnoop.topologies",
 }
 
 #: Kind -> module whose import registers the built-in components.
@@ -79,6 +80,7 @@ _BUILTIN_MODULES: Dict[str, str] = {
     "workload": "repro.workloads.profiles",
     "sink": "repro.obs.trace",
     "core": "repro.sim.cores",
+    "topology": "repro.ring.topology",
 }
 
 
@@ -101,6 +103,7 @@ _NORMALIZERS: Dict[str, Callable[[str], str]] = {
     "workload": _normalize_workload,
     "sink": _normalize_algorithm,  # case-insensitive, like algorithms
     "core": _normalize_algorithm,  # case-insensitive, like algorithms
+    "topology": _normalize_algorithm,  # case-insensitive, like algorithms
 }
 
 

@@ -5,12 +5,25 @@ from repro.ring.messages import (
     SnoopKind,
     RingMessage,
 )
-from repro.ring.topology import RingTopology, TorusTopology
+from repro.ring.topology import (
+    HierRingTopology,
+    RingTopology,
+    SnoopTopology,
+    TopologyTablesUnavailable,
+    TorusTopology,
+    build_topology,
+    ring_successors,
+)
 
 __all__ = [
     "MessageMode",
     "SnoopKind",
     "RingMessage",
+    "HierRingTopology",
     "RingTopology",
+    "SnoopTopology",
+    "TopologyTablesUnavailable",
     "TorusTopology",
+    "build_topology",
+    "ring_successors",
 ]

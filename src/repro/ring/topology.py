@@ -1,35 +1,262 @@
-"""Ring and torus topology helpers.
+"""Snoop-interconnect topologies and the torus data network.
 
-The machine embeds one or more unidirectional rings in its physical
-network (a 2D torus by default).  Snoop messages are constrained to a
-ring; data messages use torus shortest paths.  Requests are mapped to
-rings by line address, balancing the load (Section 2.2).
+The machine embeds one or more unidirectional snoop rings in its
+physical network.  Snoop messages walk the topology's successor cycle;
+data messages use the topology's data-network shortest paths (a 2D
+torus for the flat ring, hierarchical bidirectional rings for
+``hier_ring``).  Requests are mapped to rings by line address,
+balancing the load (Section 2.2).
+
+Topology is a registry component (kind ``"topology"``, entry-point
+group ``flexsnoop.topologies``).  A topology factory is called with
+the full :class:`~repro.config.MachineConfig` and must return a
+:class:`SnoopTopology`.  Every layer of the simulator - the
+:class:`~repro.sim.walker.RingWalker`, the
+:class:`~repro.sim.datapath.DataPathModel`, the
+:class:`~repro.sim.transactions.TransactionManager`, and the soa/jit
+cores - consumes this interface instead of assuming "(i+1) mod N";
+ring-order arithmetic lives in this package only (enforced by a lint
+test).
+
+The performance contract: the simulation cores never call
+:meth:`SnoopTopology.route` per hop.  They hoist the topology into
+flat tables once per run via :meth:`SnoopTopology.export_tables` -
+a successor array plus per-segment latency arrays - and index those in
+the hot loop.  A topology that cannot express itself as one static
+Hamiltonian cycle with fixed per-segment latencies raises
+:class:`TopologyTablesUnavailable` from ``export_tables``; the soa and
+jit cores surface that through the existing ``SoaUnsupportedError``
+envelope (the CLI then falls back to the object core, or fails under
+``--strict-core``).
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
-from repro.config import DataNetworkConfig, RingConfig
+from repro.config import DataNetworkConfig, RingConfig, TopologyConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.config import MachineConfig
 
 
-class RingTopology:
+def ring_successors(num_nodes: int) -> List[int]:
+    """Successor table of the flat unidirectional ring: node ``i``
+    forwards to ``(i + 1) mod N``.  The one place this arithmetic is
+    written down; everything else consumes the table."""
+    return [(node + 1) % num_nodes for node in range(num_nodes)]
+
+
+class TopologyTablesUnavailable(NotImplementedError):
+    """The topology cannot export static successor/latency tables.
+
+    Raised by :meth:`SnoopTopology.export_tables` for topologies whose
+    routing is path-dependent.  The fused soa/jit cores require the
+    tables; they translate this into their ``SoaUnsupportedError``
+    envelope so the CLI can fall back to the object core.
+    """
+
+
+class SnoopTopology:
+    """Interface every snoop topology implements.
+
+    A topology owns three things:
+
+    * **Walk order** - :meth:`route` is the definitional seam: given
+      the requester and the path walked so far, it names the next node
+      the snoop request visits.  :meth:`next_node`, :meth:`walk_order`
+      and :meth:`ring_distance` all derive from it for topologies that
+      are a static successor cycle.
+    * **Segment timing** - :meth:`segment_latency` gives the cycles a
+      message spends on the segment *leaving* a node.  The flat ring
+      is uniform; ``hier_ring`` charges extra on segments that cross
+      between local rings.
+    * **Data network** - :meth:`transfer_latency` gives the latency of
+      a data (non-snoop) transfer between two CMPs.
+
+    Subclasses must implement :meth:`next_node`, :meth:`segment_latency`
+    and :meth:`transfer_latency`; everything else has a derived default.
+    """
+
+    #: Registry kind name of this topology (stamped into trace meta).
+    kind: str = "topology"
+
+    def __init__(self, num_nodes: int, num_rings: int = 1) -> None:
+        if num_nodes < 2:
+            raise ValueError("a snoop topology needs at least 2 nodes")
+        if num_rings < 1:
+            raise ValueError("need at least 1 embedded ring")
+        self.num_nodes = num_nodes
+        self.num_rings = num_rings
+
+    # ------------------------------------------------------------------
+    # Walk order
+
+    def next_node(self, node: int) -> int:
+        """Downstream neighbour of ``node`` on the snoop walk."""
+        raise NotImplementedError
+
+    def prev_node(self, node: int) -> int:
+        """Upstream neighbour: the node whose successor is ``node``."""
+        self._check(node)
+        for candidate in range(self.num_nodes):
+            if self.next_node(candidate) == node:
+                return candidate
+        raise ValueError("node %d has no predecessor" % node)
+
+    def route(self, requester: int, path_so_far: Sequence[int]) -> int:
+        """Next node a snoop request visits.
+
+        ``path_so_far`` is the sequence of nodes already visited (not
+        including the requester).  The default follows the static
+        successor cycle; adaptive topologies may override this with
+        path-dependent routing (and then cannot export tables).
+        """
+        self._check(requester)
+        tail = path_so_far[-1] if path_so_far else requester
+        return self.next_node(tail)
+
+    def walk_order(self, requester: int) -> List[int]:
+        """Nodes a snoop request visits, in order, excluding the
+        requester itself (the request finally returns home)."""
+        self._check(requester)
+        path: List[int] = []
+        for _ in range(self.num_nodes - 1):
+            path.append(self.route(requester, path))
+        return path
+
+    def ring_distance(self, src: int, dst: int) -> int:
+        """Number of walk segments from ``src`` to ``dst`` going
+        downstream; 0 when src == dst."""
+        self._check(src)
+        self._check(dst)
+        node, distance = src, 0
+        while node != dst:
+            node = self.next_node(node)
+            distance += 1
+            if distance > self.num_nodes:
+                raise ValueError(
+                    "no walk from node %d to node %d" % (src, dst)
+                )
+        return distance
+
+    def ring_of(self, address: int) -> int:
+        """Ring index a line address maps to (address interleaving)."""
+        return address % self.num_rings
+
+    # ------------------------------------------------------------------
+    # Segment timing and table export
+
+    def segment_latency(self, node: int) -> int:
+        """Cycles a snoop message spends on the segment leaving
+        ``node`` (toward ``next_node(node)``)."""
+        raise NotImplementedError
+
+    def successors(self) -> List[int]:
+        """Successor table: ``successors()[i] == route(i, ())``."""
+        return [self.route(node, ()) for node in range(self.num_nodes)]
+
+    def segment_latencies(self) -> List[int]:
+        """Outbound per-segment latency table, indexed by source node."""
+        return [self.segment_latency(node) for node in range(self.num_nodes)]
+
+    def entry_latencies(self) -> List[int]:
+        """Inbound latency table: ``entry_latencies()[n]`` is the cost
+        of the segment a message crosses to *enter* node ``n`` (the
+        outbound latency of ``n``'s predecessor)."""
+        entry = [0] * self.num_nodes
+        successors = self.successors()
+        latencies = self.segment_latencies()
+        for node in range(self.num_nodes):
+            entry[successors[node]] = latencies[node]
+        return entry
+
+    def export_tables(self) -> Tuple[List[int], List[int], List[int]]:
+        """``(successors, segment_latencies, entry_latencies)`` for the
+        fused cores' hot loops.
+
+        Validates that the successor table is one Hamiltonian cycle
+        covering every node - the structural invariant the walker and
+        the per-segment audit rules rely on.  Raises
+        :class:`TopologyTablesUnavailable` when the topology cannot be
+        expressed as static tables.
+        """
+        try:
+            successors = self.successors()
+            out_latencies = self.segment_latencies()
+        except NotImplementedError as error:
+            raise TopologyTablesUnavailable(
+                "topology %r does not export static ring tables" % self.kind
+            ) from error
+        node, seen = 0, 0
+        while seen < self.num_nodes:
+            node = successors[node]
+            seen += 1
+            if node == 0 and seen < self.num_nodes:
+                raise ValueError(
+                    "topology %r successors do not form one Hamiltonian "
+                    "cycle over %d nodes" % (self.kind, self.num_nodes)
+                )
+        if node != 0:
+            raise ValueError(
+                "topology %r successor walk does not return home"
+                % self.kind
+            )
+        entry = [0] * self.num_nodes
+        for src in range(self.num_nodes):
+            entry[successors[src]] = out_latencies[src]
+        return successors, out_latencies, entry
+
+    # ------------------------------------------------------------------
+    # Data network
+
+    def transfer_latency(self, src: int, dst: int) -> int:
+        """Latency of a data (non-snoop) transfer from src to dst."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(
+                "node %d out of range [0, %d)" % (node, self.num_nodes)
+            )
+
+
+class RingTopology(SnoopTopology):
     """Unidirectional ring over ``num_nodes`` CMP gateways.
 
     Node ids are 0..num_nodes-1 and the ring order follows ids:
-    node i forwards to node (i+1) mod N.
+    node i forwards to node (i+1) mod N.  Data messages use the 2D
+    torus when a :class:`~repro.config.DataNetworkConfig` is supplied
+    (the registry factory always supplies one).
     """
 
-    def __init__(self, num_nodes: int, config: RingConfig) -> None:
-        if num_nodes < 2:
-            raise ValueError("a ring needs at least 2 nodes")
-        self.num_nodes = num_nodes
+    kind = "ring"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: RingConfig,
+        data_network: "DataNetworkConfig | None" = None,
+    ) -> None:
+        super().__init__(num_nodes, num_rings=config.num_rings)
         self.config = config
+        self._succ = ring_successors(num_nodes)
+        self.torus = (
+            TorusTopology(num_nodes, data_network)
+            if data_network is not None
+            else None
+        )
 
     def next_node(self, node: int) -> int:
         """Downstream neighbour of ``node`` on the ring."""
         self._check(node)
-        return (node + 1) % self.num_nodes
+        return self._succ[node]
+
+    def prev_node(self, node: int) -> int:
+        self._check(node)
+        return self._succ.index(node)
 
     def ring_distance(self, src: int, dst: int) -> int:
         """Number of ring segments from ``src`` to ``dst`` going
@@ -38,24 +265,172 @@ class RingTopology:
         self._check(dst)
         return (dst - src) % self.num_nodes
 
-    def ring_of(self, address: int) -> int:
-        """Ring index a line address maps to (address interleaving)."""
-        return address % self.config.num_rings
+    def walk_order(self, requester: int) -> List[int]:
+        self._check(requester)
+        order: List[int] = []
+        node = requester
+        for _ in range(self.num_nodes - 1):
+            node = self._succ[node]
+            order.append(node)
+        return order
+
+    def segment_latency(self, node: int) -> int:
+        self._check(node)
+        return self.config.hop_latency
+
+    def transfer_latency(self, src: int, dst: int) -> int:
+        if self.torus is None:
+            raise NotImplementedError(
+                "RingTopology built without a data network"
+            )
+        return self.torus.transfer_latency(src, dst)
+
+
+class HierRingTopology(SnoopTopology):
+    """Two-level hierarchy: K local rings of M CMPs joined by a global
+    ring through one bridge node per local ring.
+
+    Node ids are laid out in consecutive blocks of M: local ring ``r``
+    owns nodes ``r*M .. r*M+M-1`` and its bridge sits at position 0 of
+    the block.  The snoop walk threads every local ring through the
+    bridges into a single Hamiltonian cycle - the successor of node
+    ``i`` is still node ``(i+1) mod N`` in this numbering - so the
+    hierarchy is expressed purely in segment *timing*: a segment
+    inside a local ring costs ``local_hop_latency``, while the segment
+    leaving the last node of a block crosses to the next local ring
+    over the global ring and costs ``local_hop_latency +
+    global_hop_latency`` (hand-off to the bridge plus one global-ring
+    hop).  A latency of 0 in :class:`~repro.config.TopologyConfig`
+    inherits ``RingConfig.hop_latency``.
+
+    Data (non-snoop) transfers use bidirectional hierarchical rings:
+    shortest way around the source's local ring to its bridge, the
+    shortest way around the global ring, then the target's local ring
+    from its bridge - ``hops * per_hop_latency + overhead`` with the
+    torus' timing constants.
+    """
+
+    kind = "hier_ring"
+
+    def __init__(
+        self,
+        num_nodes: int,
+        ring: RingConfig,
+        topology: TopologyConfig,
+        data_network: DataNetworkConfig,
+    ) -> None:
+        super().__init__(num_nodes, num_rings=ring.num_rings)
+        local_rings = topology.local_rings
+        if local_rings < 2:
+            raise ValueError("hier_ring needs at least 2 local rings")
+        if num_nodes % local_rings != 0:
+            raise ValueError(
+                "hier_ring needs num_cmps (%d) divisible by "
+                "local_rings (%d)" % (num_nodes, local_rings)
+            )
+        ring_size = num_nodes // local_rings
+        if ring_size < 2:
+            raise ValueError(
+                "hier_ring needs at least 2 CMPs per local ring "
+                "(%d CMPs / %d rings)" % (num_nodes, local_rings)
+            )
+        self.config = ring
+        self.topology_config = topology
+        self.data_network = data_network
+        self.local_rings = local_rings
+        self.ring_size = ring_size
+        self.local_hop = topology.local_hop_latency or ring.hop_latency
+        self.global_hop = topology.global_hop_latency or ring.hop_latency
+        self._succ = ring_successors(num_nodes)
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+
+    def local_ring_of(self, node: int) -> int:
+        """Index of the local ring ``node`` belongs to."""
+        self._check(node)
+        return node // self.ring_size
+
+    def bridge_of(self, node: int) -> int:
+        """The bridge node of ``node``'s local ring (block position 0)."""
+        self._check(node)
+        return (node // self.ring_size) * self.ring_size
+
+    def bridges(self) -> List[int]:
+        """All bridge nodes, one per local ring, in global-ring order."""
+        return [r * self.ring_size for r in range(self.local_rings)]
+
+    def is_bridge(self, node: int) -> bool:
+        self._check(node)
+        return node % self.ring_size == 0
+
+    # ------------------------------------------------------------------
+    # Walk order and timing
+
+    def next_node(self, node: int) -> int:
+        self._check(node)
+        return self._succ[node]
+
+    def prev_node(self, node: int) -> int:
+        self._check(node)
+        return self._succ.index(node)
+
+    def ring_distance(self, src: int, dst: int) -> int:
+        self._check(src)
+        self._check(dst)
+        return (dst - src) % self.num_nodes
 
     def walk_order(self, requester: int) -> List[int]:
-        """Nodes a snoop request visits, in order, excluding the
-        requester itself (the request finally returns home)."""
         self._check(requester)
-        return [
-            (requester + offset) % self.num_nodes
-            for offset in range(1, self.num_nodes)
-        ]
+        order: List[int] = []
+        node = requester
+        for _ in range(self.num_nodes - 1):
+            node = self._succ[node]
+            order.append(node)
+        return order
 
-    def _check(self, node: int) -> None:
-        if not 0 <= node < self.num_nodes:
-            raise ValueError(
-                "node %d out of range [0, %d)" % (node, self.num_nodes)
-            )
+    def segment_latency(self, node: int) -> int:
+        self._check(node)
+        if (node + 1) % self.ring_size == 0:
+            # Last node of its block: the segment hands the message to
+            # the next local ring across one global-ring hop.
+            return self.local_hop + self.global_hop
+        return self.local_hop
+
+    # ------------------------------------------------------------------
+    # Data network
+
+    def _local_hops(self, position_a: int, position_b: int) -> int:
+        """Shortest-way hop count between two positions of one
+        (bidirectional) local ring of ``ring_size`` nodes."""
+        direct = abs(position_a - position_b)
+        return min(direct, self.ring_size - direct)
+
+    def _global_hops(self, ring_a: int, ring_b: int) -> int:
+        direct = abs(ring_a - ring_b)
+        return min(direct, self.local_rings - direct)
+
+    def data_hop_distance(self, src: int, dst: int) -> int:
+        """Shortest-path hop count over the hierarchical data rings."""
+        self._check(src)
+        self._check(dst)
+        src_ring, src_pos = divmod(src, self.ring_size)
+        dst_ring, dst_pos = divmod(dst, self.ring_size)
+        if src_ring == dst_ring:
+            return self._local_hops(src_pos, dst_pos)
+        return (
+            self._local_hops(src_pos, 0)  # to the source bridge
+            + self._global_hops(src_ring, dst_ring)
+            + self._local_hops(0, dst_pos)  # from the target bridge
+        )
+
+    def transfer_latency(self, src: int, dst: int) -> int:
+        if src == dst:
+            return self.data_network.overhead
+        hops = self.data_hop_distance(src, dst)
+        return hops * self.data_network.per_hop_latency + (
+            self.data_network.overhead
+        )
 
 
 class TorusTopology:
@@ -93,3 +468,59 @@ class TorusTopology:
             return self.config.overhead
         hops = self.hop_distance(src, dst)
         return hops * self.config.per_hop_latency + self.config.overhead
+
+
+# ----------------------------------------------------------------------
+# Registry wiring
+
+
+def _build_ring(config: "MachineConfig") -> RingTopology:
+    return RingTopology(
+        config.num_cmps, config.ring, data_network=config.data_network
+    )
+
+
+def _build_hier_ring(config: "MachineConfig") -> HierRingTopology:
+    return HierRingTopology(
+        config.num_cmps, config.ring, config.topology, config.data_network
+    )
+
+
+def build_topology(config: "MachineConfig") -> SnoopTopology:
+    """Instantiate the topology named by ``config.topology.kind``
+    through the component registry."""
+    from repro.registry import REGISTRY
+
+    topology = REGISTRY.create("topology", config.topology.kind, config)
+    if topology.num_nodes != config.num_cmps:
+        raise ValueError(
+            "topology %r built %d nodes for a %d-CMP machine"
+            % (config.topology.kind, topology.num_nodes, config.num_cmps)
+        )
+    return topology
+
+
+def _register_topologies() -> None:
+    from repro.registry import REGISTRY
+
+    REGISTRY.register(
+        "topology",
+        "ring",
+        _build_ring,
+        aliases=("flat", "embedded_ring"),
+        metadata={"description": "single unidirectional embedded ring"},
+    )
+    REGISTRY.register(
+        "topology",
+        "hier_ring",
+        _build_hier_ring,
+        aliases=("hierarchical", "hier"),
+        metadata={
+            "description": (
+                "two-level hierarchy: local rings bridged by a global ring"
+            )
+        },
+    )
+
+
+_register_topologies()

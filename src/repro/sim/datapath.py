@@ -5,10 +5,12 @@ Interface contract
 
 :class:`DataPathModel` owns everything that happens after the ring
 walk has located (or failed to locate) a supplier: the data line's
-trip over the point-to-point torus, home-memory reads (with the
-prefetch-heuristic latency hiding), write commit, cache fills with
-eviction/writeback accounting, and the Exact predictor's downgrade
-bookkeeping.
+trip over the topology's data network (the point-to-point torus on
+the flat ring, hierarchical data rings on ``hier_ring`` - the model
+only consumes :meth:`~repro.ring.topology.SnoopTopology.transfer_latency`),
+home-memory reads (with the prefetch-heuristic latency hiding), write
+commit, cache fills with eviction/writeback accounting, and the Exact
+predictor's downgrade bookkeeping.
 
 * **Inbound** (called by the :class:`~repro.sim.walker.RingWalker`):
   ``supply_read`` / ``capture_write_supply`` when a snoop hits the
@@ -50,7 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.energy.model import EnergyModel
     from repro.metrics.stats import RunStats
     from repro.ring.node import CMPNode
-    from repro.ring.topology import TorusTopology
+    from repro.ring.topology import SnoopTopology
     from repro.sim.engine import EventEngine
     from repro.sim.memory import MainMemory
     from repro.sim.processor import Core
@@ -66,7 +68,7 @@ class DataPathModel:
         engine: "EventEngine",
         nodes: List["CMPNode"],
         memory: "MainMemory",
-        torus: "TorusTopology",
+        topology: "SnoopTopology",
         stats: "RunStats",
         energy: "EnergyModel",
         supplier_of: Dict[int, Tuple[int, int]],
@@ -76,7 +78,7 @@ class DataPathModel:
         self.engine = engine
         self.nodes = nodes
         self.memory = memory
-        self.torus = torus
+        self.topology = topology
         self.stats = stats
         self.energy = energy
         self._supplier_of = supplier_of
@@ -114,7 +116,7 @@ class DataPathModel:
 
         txn.supplier_cmp = node_id
         txn.supplied_version = line.version
-        data_arrival = snoop_done + self.torus.transfer_latency(
+        data_arrival = snoop_done + self.topology.transfer_latency(
             node_id, txn.requester_cmp
         )
         txn.data_arrival = data_arrival
@@ -157,7 +159,7 @@ class DataPathModel:
         _, line = found
         txn.supplied_version = line.version
         txn.supplier_cmp = node_id
-        txn.data_arrival = snoop_done + self.torus.transfer_latency(
+        txn.data_arrival = snoop_done + self.topology.transfer_latency(
             node_id, txn.requester_cmp
         )
         self.stats.writes_supplied_by_cache += 1

@@ -73,7 +73,7 @@ from repro.core.predictors import PerfectPredictor
 from repro.energy.model import EnergyModel
 from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.stats import PredictorAccuracy, RunStats
-from repro.ring.topology import TorusTopology
+from repro.ring.topology import TopologyTablesUnavailable, build_topology
 from repro.sim.soa import (
     _P_FTS,
     _P_FWD,
@@ -622,7 +622,8 @@ def _build(decorate, alloc_i64):
     @decorate
     def _kernel(
         num_cmps, cpc, num_sets, assoc, nU,
-        hop, snoop_time, batching, hit_latency, local_master_latency,
+        succ, out_lat, in_lat,
+        snoop_time, batching, hit_latency, local_master_latency,
         squash_backoff, prefetch_on_snoop,
         mem_local, mem_remote, mem_prefetched,
         warmup_target, max_events, collect_perfect,
@@ -1401,7 +1402,7 @@ def _build(decorate, alloc_i64):
                         if node == requester:
                             # _walk_returned: the final reply crossing.
                             if tx[o + 11]:
-                                info = tx[o + 12] + hop
+                                info = tx[o + 12] + in_lat[requester]
                                 e_ring += cost_ring
                                 if is_w:
                                     write_ring_crossings += 1
@@ -1419,7 +1420,7 @@ def _build(decorate, alloc_i64):
                             break
                         if tx[o + 11]:
                             # Advance the trailing reply into this node.
-                            tx[o + 12] += hop
+                            tx[o + 12] += in_lat[node]
                             e_ring += cost_ring
                             if is_w:
                                 write_ring_crossings += 1
@@ -1666,10 +1667,8 @@ def _build(decorate, alloc_i64):
                         write_ring_crossings += 1
                     else:
                         read_ring_crossings += 1
-                    arrival = departure + hop
-                    to_node = node + 1
-                    if to_node == num_cmps:
-                        to_node = 0
+                    arrival = departure + out_lat[node]
+                    to_node = succ[node]
                     if (
                         batching
                         and in_warmup == 0
@@ -1825,9 +1824,20 @@ class JitRingMultiprocessor(SoaRingMultiprocessor):
         kind = config.predictor.kind
         pkind = _PKIND_OF[kind]
 
-        torus = TorusTopology(num_cmps, config.data_network)
+        # Topology tables for the kernel: successor, outbound segment
+        # latency, inbound (entry) latency, and the flattened
+        # data-network latency matrix.  Table-less topologies need the
+        # object core's dynamic routing.
+        topology = build_topology(config)
+        try:
+            succ_list, out_lat_list, in_lat_list = topology.export_tables()
+        except TopologyTablesUnavailable as error:
+            raise JitUnsupportedError(
+                "core=jit needs a table-exporting topology: %s; "
+                "use core=object" % error
+            ) from error
         torus_flat = [
-            torus.transfer_latency(src, dst)
+            topology.transfer_latency(src, dst)
             for src in range(num_cmps)
             for dst in range(num_cmps)
         ]
@@ -2069,6 +2079,9 @@ class JitRingMultiprocessor(SoaRingMultiprocessor):
             def conv(values: List[int]) -> Any:
                 return np.asarray(values, dtype=np.int64)
 
+            succ_list = conv(succ_list)
+            out_lat_list = conv(out_lat_list)
+            in_lat_list = conv(in_lat_list)
             torus_flat = conv(torus_flat)
             raw_of = conv(raw_of)
             acc_addr = conv(acc_addr)
@@ -2120,7 +2133,8 @@ class JitRingMultiprocessor(SoaRingMultiprocessor):
             lat, lat_len,
         ) = kernel(
             num_cmps, cpc, num_sets, assoc, nU,
-            config.ring.hop_latency, config.ring.snoop_time,
+            succ_list, out_lat_list, in_lat_list,
+            config.ring.snoop_time,
             1 if config.ring.hop_batching else 0,
             config.cache.hit_latency, config.cache.local_master_latency,
             config.squash_backoff,

@@ -80,7 +80,7 @@ from repro.core.primitives import Primitive
 from repro.energy.model import EnergyModel
 from repro.metrics.histogram import LatencyHistogram
 from repro.metrics.stats import PredictorAccuracy, RunStats
-from repro.ring.topology import TorusTopology
+from repro.ring.topology import TopologyTablesUnavailable, build_topology
 from repro.sim.system import SimulationResult
 from repro.workloads.source import WorkloadSource, as_source, descriptor_key
 
@@ -703,7 +703,6 @@ class SoaRingMultiprocessor:
         num_cores = num_cmps * cpc
         num_sets = config.cache.num_sets
         associativity = config.cache.associativity
-        hop = config.ring.hop_latency
         snoop_time = config.ring.snoop_time
         batching = config.ring.hop_batching
         hit_latency = config.cache.hit_latency
@@ -719,9 +718,24 @@ class SoaRingMultiprocessor:
         cost_dmem = config.energy.memory_line_access
         collect_perfect = self.collect_perfect
 
-        torus = TorusTopology(num_cmps, config.data_network)
+        # Topology tables hoisted for the fused loop: successor of each
+        # node, outbound per-segment latency, inbound (entry) latency,
+        # and the full data-network latency matrix.  A topology that
+        # cannot export static tables needs the object core's dynamic
+        # routing, so it is outside this core's envelope.
+        topology = build_topology(config)
+        try:
+            succ, out_lat, in_lat = topology.export_tables()
+        except TopologyTablesUnavailable as error:
+            raise SoaUnsupportedError(
+                "core=soa needs a table-exporting topology: %s; "
+                "use core=object" % error
+            ) from error
         torus_lat = [
-            [torus.transfer_latency(src, dst) for dst in range(num_cmps)]
+            [
+                topology.transfer_latency(src, dst)
+                for dst in range(num_cmps)
+            ]
             for src in range(num_cmps)
         ]
 
@@ -1061,7 +1075,7 @@ class SoaRingMultiprocessor:
                     if node_id == requester:
                         # _walk_returned: the final reply crossing.
                         if txn[_T_SPLIT]:
-                            info_time = txn[_T_REPLY] + hop
+                            info_time = txn[_T_REPLY] + in_lat[requester]
                             e_ring += cost_ring
                             if is_write:
                                 write_ring_crossings += 1
@@ -1076,7 +1090,7 @@ class SoaRingMultiprocessor:
                         return
                     if txn[_T_SPLIT]:
                         # Advance the trailing reply into this node.
-                        txn[_T_REPLY] += hop
+                        txn[_T_REPLY] += in_lat[node_id]
                         e_ring += cost_ring
                         if is_write:
                             write_ring_crossings += 1
@@ -1311,10 +1325,8 @@ class SoaRingMultiprocessor:
                     write_ring_crossings += 1
                 else:
                     read_ring_crossings += 1
-                arrival = departure + hop
-                to_node = node_id + 1
-                if to_node == num_cmps:
-                    to_node = 0
+                arrival = departure + out_lat[node_id]
+                to_node = succ[node_id]
                 if (
                     batching
                     and not in_warmup

@@ -74,7 +74,7 @@ from repro.metrics.stats import RunStats
 from repro.obs.timeline import MetricsTimeline
 from repro.obs.trace import TraceSink, resolve_sink
 from repro.ring.node import CMPNode
-from repro.ring.topology import RingTopology, TorusTopology
+from repro.ring.topology import build_topology
 from repro.sim.datapath import DataPathModel
 from repro.sim.engine import EventEngine
 from repro.sim.memory import MainMemory
@@ -173,8 +173,14 @@ class RingMultiprocessor:
         self.trace: Optional[TraceSink] = trace_sink
 
         self.engine = EventEngine()
-        self.ring = RingTopology(config.num_cmps, config.ring)
-        self.torus = TorusTopology(config.num_cmps, config.data_network)
+        # The snoop topology is a registry component (kind "topology",
+        # selected by config.topology.kind); it owns the walk order,
+        # the per-segment latencies and the data network.  ``ring``
+        # and ``torus`` stay as aliases for callers that predate the
+        # topology seam (both roles live on the one topology object).
+        self.topology = build_topology(config)
+        self.ring = self.topology
+        self.torus = self.topology
         self.memory = MainMemory(config.memory, config.num_cmps)
         self.stats = RunStats()
         self.energy = EnergyModel(config.energy, config.predictor.kind)
@@ -217,6 +223,7 @@ class RingMultiprocessor:
         self.txns = TransactionManager(
             self.engine,
             config,
+            self.topology,
             self.stats,
             self.nodes,
             self.cores,
@@ -225,7 +232,7 @@ class RingMultiprocessor:
         self.walker = RingWalker(
             self.engine,
             config,
-            self.ring,
+            self.topology,
             self.memory,
             self.stats,
             self.energy,
@@ -240,7 +247,7 @@ class RingMultiprocessor:
             self.engine,
             self.nodes,
             self.memory,
-            self.torus,
+            self.topology,
             self.stats,
             self.energy,
             self._supplier_of,

@@ -49,7 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.energy.model import EnergyModel
     from repro.metrics.stats import RunStats
     from repro.ring.node import CMPNode
-    from repro.ring.topology import RingTopology
+    from repro.ring.topology import SnoopTopology
     from repro.sim.datapath import DataPathModel
     from repro.sim.engine import EventEngine
     from repro.sim.memory import MainMemory
@@ -64,7 +64,7 @@ class RingWalker:
         self,
         engine: "EventEngine",
         config: "MachineConfig",
-        ring: "RingTopology",
+        topology: "SnoopTopology",
         memory: "MainMemory",
         stats: "RunStats",
         energy: "EnergyModel",
@@ -77,7 +77,7 @@ class RingWalker:
     ) -> None:
         self.engine = engine
         self.config = config
-        self.ring = ring
+        self.topology = topology
         self.memory = memory
         self.stats = stats
         self.energy = energy
@@ -95,6 +95,32 @@ class RingWalker:
         self._choose = algorithm.choose
         self._prefetch_on_snoop = config.memory.prefetch_on_snoop
         self._home_of = memory.home_of
+        self._ring_of = topology.ring_of
+        # Topology tables hoisted for the per-hop hot path: successor,
+        # outbound per-segment latency, inbound (entry) latency, and
+        # predecessor of every node.  A topology whose routing is
+        # path-dependent cannot export them; the walk then falls back
+        # to calling ``route``/``segment_latency`` per hop with the
+        # path tracked on the transaction (only this object core
+        # supports that - the fused cores require the tables).
+        from repro.ring.topology import TopologyTablesUnavailable
+
+        try:
+            succ, out_lat, in_lat = topology.export_tables()
+        except TopologyTablesUnavailable:
+            self._dynamic_route = True
+            self._succ: List[int] = []
+            self._out_lat: List[int] = []
+            self._in_lat: List[int] = []
+            self._pred: List[int] = []
+        else:
+            self._dynamic_route = False
+            self._succ = succ
+            self._out_lat = out_lat
+            self._in_lat = in_lat
+            self._pred = [0] * len(succ)
+            for node, downstream in enumerate(succ):
+                self._pred[downstream] = node
         # Hop batching: walk consecutive ring hops of one transaction
         # inside a single engine event (at "virtual" times ahead of the
         # engine clock) instead of scheduling one event per hop.  Only
@@ -157,7 +183,7 @@ class RingWalker:
         occupancy = self.config.ring.link_occupancy
         if not occupancy:
             return departure
-        key = (self.ring.ring_of(txn.address), from_node)
+        key = (self._ring_of(txn.address), from_node)
         actual = max(departure, self._link_free.get(key, 0))
         self._link_free[key] = actual + occupancy
         return actual
@@ -182,8 +208,17 @@ class RingWalker:
         msg.hops_request += 1
         self._charge_crossing(txn)
         departure = self._cross_link(txn, from_node, departure)
-        arrival = departure + self.config.ring.hop_latency
-        to_node = self.ring.next_node(from_node)
+        if self._dynamic_route:
+            path = txn.path
+            if path is None:
+                path = txn.path = []
+            arrival = departure + self.topology.segment_latency(from_node)
+            to_node = self.topology.route(txn.requester_cmp, path)
+            if to_node != txn.requester_cmp:
+                path.append(to_node)
+        else:
+            arrival = departure + self._out_lat[from_node]
+            to_node = self._succ[from_node]
         trace = self._trace
         if trace is not None:
             trace.emit(
@@ -248,9 +283,17 @@ class RingWalker:
         assert msg is not None
         if msg.mode is MessageMode.SPLIT:
             assert msg.reply_time is not None
-            upstream = (node_id - 1) % self.config.num_cmps
+            if self._dynamic_route:
+                path = txn.path or []
+                upstream = (
+                    path[-2] if len(path) >= 2 else txn.requester_cmp
+                )
+                hop = self.topology.segment_latency(upstream)
+            else:
+                upstream = self._pred[node_id]
+                hop = self._in_lat[node_id]
             departure = self._cross_link(txn, upstream, msg.reply_time)
-            msg.reply_time = departure + self.config.ring.hop_latency
+            msg.reply_time = departure + hop
             msg.hops_reply += 1
             self._charge_crossing(txn)
 
@@ -507,7 +550,13 @@ class RingWalker:
         assert msg is not None
         if msg.mode is MessageMode.SPLIT:
             assert msg.reply_time is not None
-            info_time = msg.reply_time + self.config.ring.hop_latency
+            if self._dynamic_route:
+                path = txn.path
+                assert path, "split reply with no walked path"
+                hop = self.topology.segment_latency(path[-1])
+            else:
+                hop = self._in_lat[txn.requester_cmp]
+            info_time = msg.reply_time + hop
             msg.hops_reply += 1
             self._charge_crossing(txn)
         else:

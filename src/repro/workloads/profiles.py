@@ -22,11 +22,34 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Dict
 
 from repro.registry import REGISTRY
 from repro.workloads.synthetic import SharingProfile, generate_workload
 from repro.workloads.trace import WorkloadTrace
+
+
+def reshape_profile(
+    profile: SharingProfile, num_cmps: int
+) -> SharingProfile:
+    """Re-span ``profile`` across ``num_cmps`` CMPs.
+
+    Synthetic workloads carry their machine geometry (the paper's
+    profiles all populate 8 CMPs); larger topologies - e.g. a 16-CMP
+    two-level hier_ring machine - need the same sharing behaviour
+    spread over more CMPs.  Scales ``num_cores`` keeping the profile's
+    cores-per-CMP, so per-core trace length and sharing knobs are
+    untouched; the reshaped core count lands in the source descriptor,
+    giving the workload its own cache/prewarm keys.
+    """
+    if num_cmps < 2:
+        raise ValueError("need at least 2 CMPs, got %d" % num_cmps)
+    if num_cmps * profile.cores_per_cmp == profile.num_cores:
+        return profile
+    return dataclasses.replace(
+        profile, num_cores=num_cmps * profile.cores_per_cmp
+    )
 
 
 def splash2_profile(
@@ -137,7 +160,7 @@ _WORKLOAD_ALIASES: Dict[str, tuple] = {
 
 
 def resolve_profile(
-    name: str, accesses_per_core: int = 0, seed: int = 0
+    name: str, accesses_per_core: int = 0, seed: int = 0, num_cmps: int = 0
 ) -> SharingProfile:
     """Resolve a workload name (with aliases) to its profile.
 
@@ -146,17 +169,30 @@ def resolve_profile(
     without paying for trace synthesis.  Unknown names raise
     :class:`repro.registry.UnknownComponentError` (a ``ValueError``
     listing the valid choices).
+
+    Args:
+        name: registered workload name or alias.
+        accesses_per_core: trace length override (0 = profile default).
+        seed: RNG seed override (0 = profile default).
+        num_cmps: machine-span override (0 = profile default); see
+            :func:`reshape_profile`.
     """
     kwargs = {}
     if accesses_per_core:
         kwargs["accesses_per_core"] = accesses_per_core
     if seed:
         kwargs["seed"] = seed
-    return REGISTRY.create("workload", name, **kwargs)
+    profile = REGISTRY.create("workload", name, **kwargs)
+    if num_cmps:
+        profile = reshape_profile(profile, num_cmps)
+    return profile
 
 
 def build_workload(
-    name: str, accesses_per_core: int = 0, seed: int = 0
+    name: str,
+    accesses_per_core: int = 0,
+    seed: int = 0,
+    num_cmps: int = 0,
 ) -> WorkloadTrace:
     """Generate the named workload's trace.
 
@@ -164,9 +200,10 @@ def build_workload(
         name: one of ``splash2``, ``specjbb``, ``specweb``.
         accesses_per_core: trace length override (0 = profile default).
         seed: RNG seed override (0 = profile default).
+        num_cmps: machine-span override (0 = profile default).
     """
     return generate_workload(
-        resolve_profile(name, accesses_per_core, seed)
+        resolve_profile(name, accesses_per_core, seed, num_cmps)
     )
 
 

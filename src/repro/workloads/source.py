@@ -290,6 +290,7 @@ def resolve_source(
     spec: Union[str, WorkloadSource, WorkloadTrace, SharingProfile],
     accesses_per_core: int = 0,
     seed: int = 0,
+    num_cmps: int = 0,
 ) -> WorkloadSource:
     """Resolve a workload spec to a :class:`WorkloadSource`.
 
@@ -298,11 +299,32 @@ def resolve_source(
     nothing.  ``file:`` specs pay one streaming scan of the file.
     Unknown registry names raise
     :class:`repro.registry.UnknownComponentError`.
+
+    ``num_cmps`` re-spans a synthetic workload over that many CMPs
+    (see :func:`repro.workloads.profiles.reshape_profile`); recorded
+    traces carry fixed geometry, so combining it with a ``file:`` /
+    ``gem5:`` / ``champsim:`` spec or a pre-built trace is an error.
     """
+    if num_cmps and not isinstance(spec, (str, SharingProfile)):
+        raise ValueError(
+            "num_cmps only reshapes synthetic workloads; %r carries "
+            "its own geometry" % type(spec).__name__
+        )
+    if isinstance(spec, SharingProfile):
+        if num_cmps:
+            from repro.workloads.profiles import reshape_profile
+
+            spec = reshape_profile(spec, num_cmps)
+        return as_source(spec)
     if not isinstance(spec, str):
         return as_source(spec)
     scheme, sep, arg = spec.partition(":")
     if sep and scheme in _SOURCE_SCHEMES:
+        if num_cmps:
+            raise ValueError(
+                "num_cmps only reshapes synthetic workloads; %r "
+                "replays a recorded trace" % spec
+            )
         if not arg:
             raise ValueError("workload spec %r needs a path" % spec)
         if scheme == "file":
@@ -315,4 +337,14 @@ def resolve_source(
         kwargs["accesses_per_core"] = accesses_per_core
     if seed:
         kwargs["seed"] = seed
-    return as_source(REGISTRY.create("workload", spec, **kwargs))
+    created = REGISTRY.create("workload", spec, **kwargs)
+    if num_cmps and isinstance(created, SharingProfile):
+        from repro.workloads.profiles import reshape_profile
+
+        created = reshape_profile(created, num_cmps)
+    elif num_cmps:
+        raise ValueError(
+            "num_cmps only reshapes synthetic workloads; workload %r "
+            "resolved to %r" % (spec, type(created).__name__)
+        )
+    return as_source(created)

@@ -8,11 +8,14 @@ import pytest
 
 from repro.config import (
     CacheConfig,
+    DataNetworkConfig,
     MachineConfig,
     NAMED_PREDICTORS,
     PredictorConfig,
     RingConfig,
+    TopologyConfig,
     default_machine,
+    derive_torus_shape,
 )
 
 
@@ -38,8 +41,38 @@ def test_machine_validation():
         MachineConfig(num_cmps=1)
     with pytest.raises(ValueError):
         MachineConfig(cores_per_cmp=0)
+    # An explicitly chosen torus shape that is too small still fails.
     with pytest.raises(ValueError):
-        MachineConfig(num_cmps=16)  # default 4x2 torus too small
+        MachineConfig(
+            num_cmps=16,
+            data_network=DataNetworkConfig(torus_shape=(2, 2)),
+        )
+
+
+def test_default_torus_shape_grows_with_machine():
+    # The stock 4x2 torus only fits 8 CMPs; larger machines (e.g. a
+    # replayed 16-CMP trace shaping the default machine) get a derived
+    # near-square shape instead of a validation error.
+    machine = MachineConfig(num_cmps=16)
+    rows, cols = machine.data_network.torus_shape
+    assert (rows, cols) == (4, 4)
+    assert MachineConfig(num_cmps=12).data_network.torus_shape == (4, 3)
+    # The 8-CMP default keeps the paper's shape bit-for-bit.
+    assert MachineConfig().data_network.torus_shape == (4, 2)
+    assert derive_torus_shape(10) == (4, 3)
+    assert derive_torus_shape(25) == (5, 5)
+
+
+def test_topology_config_defaults_and_validation():
+    machine = MachineConfig()
+    assert machine.topology == TopologyConfig()
+    assert machine.topology.kind == "ring"
+    with pytest.raises(ValueError):
+        TopologyConfig(kind="")
+    with pytest.raises(ValueError):
+        TopologyConfig(local_rings=0)
+    with pytest.raises(ValueError):
+        TopologyConfig(local_hop_latency=-1)
 
 
 def test_machine_replace():

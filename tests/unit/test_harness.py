@@ -96,7 +96,9 @@ def test_cli_parser_commands():
     )
     assert args.algorithm == "lazy"
     args = parser.parse_args(["figure", "6"])
-    assert args.number == 6
+    assert args.number == "6"  # resolved to int (or "topology") later
+    args = parser.parse_args(["figure", "topology"])
+    assert args.number == "topology"
     args = parser.parse_args(["table", "1", "--nodes", "12"])
     assert args.nodes == 12
 

@@ -108,10 +108,13 @@ def test_source_resolved_once_per_workload(monkeypatch):
     calls = []
     real = parallel_module.resolve_source
 
-    def counting(name, accesses_per_core=0, seed=0):
+    def counting(name, accesses_per_core=0, seed=0, num_cmps=0):
         calls.append((name, accesses_per_core, seed))
         return real(
-            name, accesses_per_core=accesses_per_core, seed=seed
+            name,
+            accesses_per_core=accesses_per_core,
+            seed=seed,
+            num_cmps=num_cmps,
         )
 
     _cached_source.cache_clear()
@@ -132,10 +135,13 @@ def test_sweep_resolves_source_once(monkeypatch):
     calls = []
     real = parallel_module.resolve_source
 
-    def counting(name, accesses_per_core=0, seed=0):
+    def counting(name, accesses_per_core=0, seed=0, num_cmps=0):
         calls.append(name)
         return real(
-            name, accesses_per_core=accesses_per_core, seed=seed
+            name,
+            accesses_per_core=accesses_per_core,
+            seed=seed,
+            num_cmps=num_cmps,
         )
 
     _cached_source.cache_clear()
