@@ -5,6 +5,8 @@ Examples::
     flexsnoop run --algorithm superset_agg --workload splash2
     flexsnoop figure 6 --jobs 4
     flexsnoop figure 9 --scale 1000
+    flexsnoop figure saturation --scale 800 --jobs 4
+    flexsnoop sweep ring.link_occupancy --values 0,15,30,60
     flexsnoop table 1
     flexsnoop report --scale 1000 --out report.md
     flexsnoop trace record --algorithm subset --workload specjbb \
@@ -197,6 +199,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number == "saturation":
+        from repro.harness.saturation import (
+            DEFAULT_THINK_SCALES,
+            format_saturation,
+            run_saturation,
+        )
+
+        try:
+            scales = (
+                [float(s) for s in args.think_scales.split(",")
+                 if s.strip()]
+                if args.think_scales
+                else DEFAULT_THINK_SCALES
+            )
+        except ValueError:
+            print(
+                "flexsnoop: --think-scales must be a comma-separated "
+                "list of positive floats, got %r" % args.think_scales,
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            targets = (
+                [float(s) for s in args.target_rates.split(",")
+                 if s.strip()]
+                if args.target_rates
+                else None
+            )
+        except ValueError:
+            print(
+                "flexsnoop: --target-rates must be a comma-separated "
+                "list of positive floats, got %r" % args.target_rates,
+                file=sys.stderr,
+            )
+            return 2
+        curves = run_saturation(
+            algorithms=[a for a in args.algorithms.split(",") if a],
+            topologies=[t for t in args.topologies.split(",") if t],
+            workload=args.workload,
+            think_scales=scales,
+            target_rates=targets,
+            accesses_per_core=args.scale,
+            seed=args.seed,
+            link_occupancy=args.link_occupancy,
+            serialize_snoop_port=not args.no_serialize_port,
+            num_cmps=getattr(args, "num_cmps", 0),
+            jobs=args.jobs,
+            cache=_make_cache(args),
+            core=args.core,
+        )
+        print(format_saturation(curves, knee_factor=args.knee_factor))
+        return 0
     if args.number == "topology":
         from repro.harness.experiments import (
             compare_topologies,
@@ -217,8 +271,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         number = int(args.number)
     except ValueError:
         print(
-            "unknown figure %r (know 6-11 and 'topology')"
-            % args.number,
+            "unknown figure %r (know 6-11, 'topology' and "
+            "'saturation')" % args.number,
             file=sys.stderr,
         )
         return 2
@@ -275,10 +329,80 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(format_accuracy_table(matrix.fig11_accuracy()))
     else:
         print(
-            "unknown figure %d (know 6-11 and 'topology')" % number,
+            "unknown figure %d (know 6-11, 'topology' and "
+            "'saturation')" % number,
             file=sys.stderr,
         )
         return 2
+    return 0
+
+
+def _parse_sweep_value(text: str):
+    """Parse one ``--values`` item: int, float, bool or bare string."""
+    raw = text.strip()
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.sweep import run_sweep
+
+    values = [
+        _parse_sweep_value(v) for v in args.values.split(",") if v.strip()
+    ]
+    if not values:
+        print("flexsnoop: --values is empty", file=sys.stderr)
+        return 2
+    try:
+        sweep = run_sweep(
+            args.field,
+            values,
+            algorithm=args.algorithm,
+            workload=args.workload,
+            accesses_per_core=args.scale,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache=_make_cache(args),
+            core=args.core,
+        )
+    except SoaUnsupportedError:
+        # A ValueError subclass, but it belongs to main()'s core
+        # fallback machinery, not to the typo handler below.
+        raise
+    except ValueError as exc:
+        # The field resolver rejects typos with the full list of
+        # valid dotted paths; surface that verbatim.
+        print("flexsnoop: %s" % exc, file=sys.stderr)
+        return 2
+    try:
+        series = sweep.series(args.metric)
+    except AttributeError:
+        print(
+            "flexsnoop: unknown metric %r (expect a SimulationResult "
+            "or RunStats attribute, e.g. exec_time, total_energy, "
+            "mean_read_miss_latency)" % args.metric,
+            file=sys.stderr,
+        )
+        return 2
+    print(
+        "sweep %s  [algorithm=%s workload=%s core=%s]"
+        % (args.field, args.algorithm, args.workload, args.core)
+    )
+    print("%16s  %s" % ("value", args.metric))
+    for value in values:
+        metric = series[value]
+        rendered = (
+            "%.4f" % metric if isinstance(metric, float) else metric
+        )
+        print("%16s  %s" % (value, rendered))
     return 0
 
 
@@ -658,15 +782,93 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure_parser.add_argument(
         "number",
-        help="figure number (6-11), or 'topology' for the "
-        "ring-vs-hier_ring comparison matrix",
+        help="figure number (6-11), 'topology' for the "
+        "ring-vs-hier_ring comparison matrix, or 'saturation' for "
+        "the loaded-regime injection sweep",
     )
     figure_parser.add_argument("--scale", type=int, default=2000)
     figure_parser.add_argument("--seed", type=int, default=0)
     _add_matrix_options(figure_parser)
     _add_core_option(figure_parser)
     _add_topology_option(figure_parser)
+    saturation_group = figure_parser.add_argument_group(
+        "figure saturation options"
+    )
+    saturation_group.add_argument(
+        "--workload", default="splash2",
+        help="workload swept across injection rates",
+    )
+    saturation_group.add_argument(
+        "--algorithms", default="lazy,eager,oracle",
+        help="comma-separated algorithms, one curve each",
+    )
+    saturation_group.add_argument(
+        "--topologies", default="ring,hier_ring",
+        help="comma-separated snoop topologies, one curve each",
+    )
+    saturation_group.add_argument(
+        "--think-scales", default="",
+        help="comma-separated think-time multipliers, e.g. "
+        "1.0,0.5,0.25 (default: the built-in ladder)",
+    )
+    saturation_group.add_argument(
+        "--target-rates", default="",
+        help="closed-loop mode: comma-separated target ring "
+        "transaction rates (txns per 1000 cycles per CMP); a "
+        "calibration run converts each into a think scale",
+    )
+    saturation_group.add_argument(
+        "--link-occupancy", type=int, default=600,
+        help="cycles each ring link stays busy per crossing "
+        "(the finite-capacity knob; 0 disables link contention; "
+        "the default chokes the ring inside the built-in ladder)",
+    )
+    saturation_group.add_argument(
+        "--no-serialize-port", action="store_true",
+        help="leave the per-CMP snoop port infinitely wide",
+    )
+    saturation_group.add_argument(
+        "--knee-factor", type=float, default=2.0,
+        help="knee = first point whose latency exceeds this multiple "
+        "of the lightest-load latency",
+    )
     figure_parser.set_defaults(func=_cmd_figure)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="sweep one machine-config field and print a metric series",
+    )
+    sweep_parser.add_argument(
+        "field",
+        help="dotted MachineConfig field path, e.g. "
+        "ring.link_occupancy or memory.local_round_trip (a typo "
+        "lists every valid path)",
+    )
+    sweep_parser.add_argument(
+        "--values", required=True,
+        help="comma-separated swept values (int/float/true/false)",
+    )
+    sweep_parser.add_argument(
+        "--metric", default="exec_time",
+        help="SimulationResult or RunStats attribute to report "
+        "(e.g. exec_time, total_energy, mean_read_miss_latency)",
+    )
+    sweep_parser.add_argument(
+        "--algorithm", default="lazy",
+        help="algorithm name (known: %s)"
+        % ", ".join(REGISTRY.names("algorithm")),
+    )
+    sweep_parser.add_argument(
+        "--workload", default="splash2",
+        help="workload source spec (known: %s)"
+        % ", ".join(REGISTRY.names("workload")),
+    )
+    sweep_parser.add_argument("--scale", type=int, default=800,
+                              help="accesses per core")
+    sweep_parser.add_argument("--seed", type=int, default=0)
+    _add_matrix_options(sweep_parser)
+    _add_core_option(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     table_parser = sub.add_parser(
         "table", help="print one of the paper's analytical tables"

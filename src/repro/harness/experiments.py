@@ -64,6 +64,7 @@ def run_experiment(
     core: str = "object",
     topology: Optional[str] = None,
     num_cmps: int = 0,
+    think_scale: float = 1.0,
 ) -> SimulationResult:
     """Run one (algorithm, workload) cell of the evaluation matrix.
 
@@ -86,6 +87,8 @@ def run_experiment(
         num_cmps: machine-span override (0 = the workload's own
             geometry); reshapes synthetic workloads across that many
             CMPs.
+        think_scale: think-time multiplier (1.0 = workload default);
+            the loaded-regime injection axis (smaller = more load).
     """
     return execute_spec(
         RunSpec(
@@ -99,6 +102,7 @@ def run_experiment(
             core=core,
             topology=topology,
             num_cmps=num_cmps,
+            think_scale=think_scale,
         )
     )
 
@@ -132,6 +136,7 @@ class ExperimentMatrix:
     core: str = "object"
     topology: Optional[str] = None
     num_cmps: int = 0
+    think_scale: float = 1.0
     _cache: Dict[MatrixCell, SimulationResult] = field(
         default_factory=dict
     )
@@ -148,6 +153,7 @@ class ExperimentMatrix:
             core=self.core,
             topology=self.topology,
             num_cmps=self.num_cmps,
+            think_scale=self.think_scale,
         )
 
     def ensure(self, cells: Sequence[MatrixCell]) -> None:

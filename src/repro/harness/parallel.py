@@ -81,6 +81,12 @@ class RunSpec:
     #: a nonzero value reshapes a synthetic workload across that many
     #: CMPs (e.g. a 16-CMP two-level hier_ring machine).
     num_cmps: int = 0
+    #: Injection-pacing override: every synthetic think time is
+    #: multiplied by this factor (the loaded-regime axis; see
+    #: :attr:`repro.workloads.synthetic.SharingProfile.think_scale`).
+    #: 1.0 leaves the workload - and every pre-existing cache key -
+    #: untouched.
+    think_scale: float = 1.0
 
     def resolve_config(
         self, cores_per_cmp: int, num_cmps: int = 8
@@ -151,6 +157,12 @@ class RunSpec:
             payload["workload"] = self.workload
             payload["accesses_per_core"] = self.accesses_per_core
             payload["seed"] = self.seed
+            if self.think_scale != 1.0:
+                # Descriptor-bearing sources already carry the pacing
+                # in their profile dict; the field fallback needs it
+                # spelled out (elided at the default for key
+                # stability).
+                payload["think_scale"] = self.think_scale
         return payload
 
     def cache_key(self) -> str:
@@ -163,7 +175,7 @@ class RunSpec:
         """
         source = _cached_source(
             self.workload, self.accesses_per_core, self.seed,
-            self.num_cmps,
+            self.num_cmps, self.think_scale,
         )
         return fingerprint_key(
             self.fingerprint(
@@ -180,6 +192,7 @@ def _cached_source(
     accesses_per_core: int,
     seed: int,
     num_cmps: int = 0,
+    think_scale: float = 1.0,
 ) -> WorkloadSource:
     """Resolve (and reuse) a workload source.
 
@@ -198,6 +211,7 @@ def _cached_source(
         accesses_per_core=accesses_per_core,
         seed=seed,
         num_cmps=num_cmps,
+        think_scale=think_scale,
     )
 
 
@@ -210,7 +224,8 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     identical by construction.
     """
     source = _cached_source(
-        spec.workload, spec.accesses_per_core, spec.seed, spec.num_cmps
+        spec.workload, spec.accesses_per_core, spec.seed, spec.num_cmps,
+        spec.think_scale,
     )
     machine = spec.resolve_config(source.cores_per_cmp, source.num_cmps)
     system = REGISTRY.create(

@@ -16,14 +16,22 @@ module generalizes that into a reusable utility::
 
 Sweeps accept a *mutator* - a function that takes the base
 ``MachineConfig`` and one swept value and returns the modified config
-- so any nested field can be swept without bespoke plumbing.
+- so any nested field can be swept without bespoke plumbing.  A
+dotted field path stands in for the callable (``mutate`` may be a
+string, or ``None`` to reuse ``name``), so the CLI can sweep e.g.
+``ring.link_occupancy`` or ``memory.local_round_trip`` without
+shipping code::
+
+    sweep = run_sweep("ring.link_occupancy", [0, 15, 30, 60])
+
+Typos raise ``ValueError`` listing every valid field path.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.config import MachineConfig, default_machine
 from repro.harness.parallel import RunSpec, run_specs
@@ -77,10 +85,55 @@ class Sweep:
         return {key: value / reference for key, value in series.items()}
 
 
+def valid_sweep_fields(
+    config: Optional[MachineConfig] = None,
+) -> List[str]:
+    """Every dotted field path :func:`run_sweep` accepts, sorted.
+
+    Scalar ``MachineConfig`` fields appear bare (``squash_backoff``);
+    each field of a nested config section appears under its section
+    name (``ring.link_occupancy``, ``memory.local_round_trip``, ...).
+    """
+    base = config if config is not None else MachineConfig()
+    names: List[str] = []
+    for outer in dataclasses.fields(base):
+        value = getattr(base, outer.name)
+        if dataclasses.is_dataclass(value):
+            names.extend(
+                "%s.%s" % (outer.name, inner.name)
+                for inner in dataclasses.fields(value)
+            )
+        else:
+            names.append(outer.name)
+    return sorted(names)
+
+
+def field_mutator(path: str) -> ConfigMutator:
+    """Mutator assigning the dotted ``MachineConfig`` field ``path``.
+
+    Resolution is validated here, against the dataclass schema, so a
+    typo fails fast with the full list of valid paths instead of
+    surfacing as an opaque ``dataclasses.replace`` error mid-sweep.
+    """
+    valid = valid_sweep_fields()
+    if path not in valid:
+        raise ValueError(
+            "unknown sweep field %r; valid fields: %s"
+            % (path, ", ".join(valid))
+        )
+    parts = path.split(".")
+    if len(parts) == 1:
+        return lambda config, value: config.replace(**{path: value})
+    section, field_name = parts
+    return lambda config, value: _nested_replace(
+        config, section, field_name, value
+    )
+
+
 def run_sweep(
     name: str,
     values: Sequence[Any],
-    mutate: ConfigMutator,
+    mutate: Union[ConfigMutator, str, None] = None,
     *,
     algorithm: str = "lazy",
     workload: str = "splash2",
@@ -90,8 +143,13 @@ def run_sweep(
     base_config: Optional[MachineConfig] = None,
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    core: str = "object",
 ) -> Sweep:
     """Run one simulation per swept value and collect the results.
+
+    ``mutate`` may be a callable ``(config, value) -> config``, a
+    dotted field path (see :func:`valid_sweep_fields`), or ``None`` to
+    treat ``name`` itself as the field path.
 
     The workload source does not vary across swept values, so it is
     resolved once per process and shared by every point (the
@@ -100,6 +158,10 @@ def run_sweep(
     (picklable) ``MachineConfig`` is shipped to pool workers when
     ``jobs`` enables fan-out.
     """
+    if mutate is None:
+        mutate = field_mutator(name)
+    elif isinstance(mutate, str):
+        mutate = field_mutator(mutate)
     source = resolve_source(
         workload, accesses_per_core=accesses_per_core, seed=seed
     )
@@ -116,6 +178,7 @@ def run_sweep(
             seed=seed,
             warmup_fraction=warmup_fraction,
             config=mutate(base, value),
+            core=core,
         )
         for value in values
     ]

@@ -4,14 +4,19 @@
 transaction id and/or node, then render one indented timeline block
 per transaction (issue header, then each lifecycle event with its
 simulated time, node and payload), followed by any machine events
-(downgrades) that match the filter.
+(downgrades) that match the filter.  :func:`render_samples` is the
+shared table renderer for :class:`~repro.obs.timeline.MetricsTimeline`
+sample series, including the loaded-regime occupancy channels.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Mapping, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.obs.trace import EventType, TraceEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.timeline import TimelineSample
 
 
 def filter_events(
@@ -38,6 +43,50 @@ def filter_events(
             if (e.txn in touched) or (e.txn < 0 and e.node == node)
         ]
     return out
+
+
+def render_samples(samples: Sequence["TimelineSample"]) -> str:
+    """Fixed-width table of a metrics-timeline series, one row per
+    sampling window.
+
+    The occupancy columns read 0.0 unless the run modeled contention:
+    ``linkutil`` is the fraction of physical-link capacity booked
+    during the window (reservations are charged when made, so a
+    heavily backlogged window can exceed 1.0), ``portq`` the mean
+    pending snoops per CMP port at the sample instant.
+    """
+    if not samples:
+        return "(no samples)"
+    lines = [
+        "%12s %-8s %9s %9s %8s %8s %12s %9s %7s"
+        % (
+            "time",
+            "phase",
+            "inflight",
+            "requests",
+            "snoops",
+            "retries",
+            "snoops/req",
+            "linkutil",
+            "portq",
+        )
+    ]
+    for sample in samples:
+        lines.append(
+            "%12d %-8s %9d %9d %8d %8d %12.2f %9.3f %7.2f"
+            % (
+                sample.time,
+                sample.phase,
+                sample.inflight,
+                sample.requests,
+                sample.snoops,
+                sample.retries,
+                sample.snoops_per_request,
+                sample.link_util,
+                sample.port_queue,
+            )
+        )
+    return "\n".join(lines)
 
 
 def _payload(data: Mapping[str, Any]) -> str:

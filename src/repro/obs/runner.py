@@ -64,6 +64,7 @@ def run_traced(
     sink: str = "memory",
     topology: Optional[str] = None,
     num_cmps: int = 0,
+    think_scale: float = 1.0,
 ) -> TracedRun:
     """Run one cell with tracing on and return the full observation.
 
@@ -89,6 +90,9 @@ def run_traced(
             :func:`~repro.harness.experiments.run_experiment`.
         num_cmps: machine-span override (0 = the workload's own
             geometry).
+        think_scale: injection-rate re-pacing of synthetic workloads
+            (1.0 = native pacing), as in
+            :func:`~repro.harness.experiments.run_experiment`.
     """
     spec = RunSpec(
         algorithm=algorithm,
@@ -100,8 +104,11 @@ def run_traced(
         config=config,
         topology=topology,
         num_cmps=num_cmps,
+        think_scale=think_scale,
     )
-    source = _cached_source(workload, accesses_per_core, seed, num_cmps)
+    source = _cached_source(
+        workload, accesses_per_core, seed, num_cmps, think_scale
+    )
     machine = spec.resolve_config(source.cores_per_cmp, source.num_cmps)
     machine = machine.replace(
         tracing=TraceConfig(
@@ -126,6 +133,10 @@ def run_traced(
         "warmup_fraction": warmup_fraction,
         "topology": machine.topology.kind,
     }
+    if think_scale != 1.0:
+        # Keyed only when re-paced so native-pacing trace headers stay
+        # byte-identical to pre-axis captures.
+        meta["think_scale"] = think_scale
     if machine.topology.kind != "ring":
         # Non-ring walks hop along a different successor cycle; the
         # auditor needs it to check per-segment conservation, so it is

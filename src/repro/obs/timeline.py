@@ -9,7 +9,14 @@ that every ``window`` simulated cycles samples:
   (``TransactionManager.inflight()``);
 * **snoops and ring requests** issued during the window (deltas of
   the live ``RunStats`` counters), and their ratio;
-* **retries** during the window.
+* **retries** during the window;
+* **link utilization** - the fraction of physical-link capacity
+  booked during the window, from the walker's cumulative link
+  reservation cycles (``_link_free`` bookings); 0.0 whenever link
+  contention modeling is off;
+* **snoop-port queue depth** - mean pending snoops per CMP port at
+  the sample instant, from the walker's ``_snoop_port_free`` state;
+  0.0 whenever port serialization is off.
 
 Each sample is labeled with the phase (``warmup`` / ``measure``), so a
 run's series splits cleanly at the measurement reset.  The sampler
@@ -21,10 +28,11 @@ only the engine's bookkeeping event counts grow).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, NamedTuple
+from typing import TYPE_CHECKING, List, NamedTuple, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guards
     from repro.sim.system import RingMultiprocessor
+    from repro.sim.walker import RingWalker
 
 
 class TimelineSample(NamedTuple):
@@ -36,6 +44,12 @@ class TimelineSample(NamedTuple):
     requests: int
     snoops: int
     retries: int
+    #: Fraction of physical-link capacity reserved during the window
+    #: (0.0 when link contention modeling is off).
+    link_util: float = 0.0
+    #: Mean snoop-port queue depth (pending snoops per CMP) at the
+    #: sample instant (0.0 when port serialization is off).
+    port_queue: float = 0.0
 
     @property
     def snoops_per_request(self) -> float:
@@ -45,7 +59,12 @@ class TimelineSample(NamedTuple):
 class MetricsTimeline:
     """Periodic sampler over a running :class:`RingMultiprocessor`."""
 
-    def __init__(self, system: "RingMultiprocessor", window: int) -> None:
+    def __init__(
+        self,
+        system: "RingMultiprocessor",
+        window: int,
+        walker: Optional["RingWalker"] = None,
+    ) -> None:
         if window <= 0:
             raise ValueError("sample window must be positive")
         self.system = system
@@ -54,6 +73,13 @@ class MetricsTimeline:
         self._last_requests = 0
         self._last_snoops = 0
         self._last_retries = 0
+        # Occupancy channels read the walker's contention state; the
+        # facade wires its walker in, other cores may pass None (the
+        # channels then stay at 0.0).
+        self._walker = (
+            walker if walker is not None else getattr(system, "walker", None)
+        )
+        self._last_link_busy = 0
 
     def start(self) -> None:
         """Begin sampling (call before ``engine.run``)."""
@@ -62,6 +88,7 @@ class MetricsTimeline:
     def _sample(self) -> None:
         system = self.system
         stats = system.stats  # rebound at the warmup reset
+        now = system.engine.now
         requests = (
             stats.read_ring_transactions + stats.write_ring_transactions
         )
@@ -73,14 +100,27 @@ class MetricsTimeline:
             self._last_requests = 0
             self._last_snoops = 0
             self._last_retries = 0
+        link_util = 0.0
+        port_queue = 0.0
+        walker = self._walker
+        if walker is not None:
+            link_busy = walker.link_busy_cycles
+            if walker.total_links:
+                link_util = (link_busy - self._last_link_busy) / (
+                    self.window * walker.total_links
+                )
+            self._last_link_busy = link_busy
+            port_queue = walker.snoop_port_backlog(now)
         self.samples.append(
             TimelineSample(
-                time=system.engine.now,
+                time=now,
                 phase="warmup" if system.warmup.in_warmup else "measure",
                 inflight=system.txns.inflight(),
                 requests=requests - self._last_requests,
                 snoops=snoops - self._last_snoops,
                 retries=retries - self._last_retries,
+                link_util=link_util,
+                port_queue=port_queue,
             )
         )
         self._last_requests = requests
@@ -92,31 +132,6 @@ class MetricsTimeline:
 
     def render(self) -> str:
         """Fixed-width table of every sample (one row per window)."""
-        if not self.samples:
-            return "(no samples)"
-        lines = [
-            "%12s %-8s %9s %9s %8s %8s %12s"
-            % (
-                "time",
-                "phase",
-                "inflight",
-                "requests",
-                "snoops",
-                "retries",
-                "snoops/req",
-            )
-        ]
-        for sample in self.samples:
-            lines.append(
-                "%12d %-8s %9d %9d %8d %8d %12.2f"
-                % (
-                    sample.time,
-                    sample.phase,
-                    sample.inflight,
-                    sample.requests,
-                    sample.snoops,
-                    sample.retries,
-                    sample.snoops_per_request,
-                )
-            )
-        return "\n".join(lines)
+        from repro.obs.render import render_samples
+
+        return render_samples(self.samples)

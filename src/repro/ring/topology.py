@@ -145,6 +145,30 @@ class SnoopTopology:
         return address % self.num_rings
 
     # ------------------------------------------------------------------
+    # Physical links (contention modeling)
+
+    def segment_links(self, node: int) -> Tuple[Tuple[str, int], ...]:
+        """Physical links a message occupies crossing the segment
+        leaving ``node``, as ``(scope, link_id)`` pairs.
+
+        ``scope`` is ``"ring"`` for a link that is replicated once per
+        embedded snoop ring (the normal case: each embedded ring has
+        its own wires), or ``"shared"`` for a link that is one physical
+        resource regardless of which embedded ring the message belongs
+        to (e.g. the single global ring of ``hier_ring``).  The walker
+        keys its link reservations on these descriptors, so a segment
+        that is physically several links serializes on each of them.
+        """
+        self._check(node)
+        return (("ring", node),)
+
+    def link_counts(self) -> Tuple[int, int]:
+        """``(per_ring_links, shared_links)`` distinct physical link
+        counts, for occupancy/utilization denominators.  Total physical
+        links = ``per_ring_links * num_rings + shared_links``."""
+        return (self.num_nodes, 0)
+
+    # ------------------------------------------------------------------
     # Segment timing and table export
 
     def segment_latency(self, node: int) -> int:
@@ -396,6 +420,22 @@ class HierRingTopology(SnoopTopology):
             # the next local ring across one global-ring hop.
             return self.local_hop + self.global_hop
         return self.local_hop
+
+    def segment_links(self, node: int) -> Tuple[Tuple[str, int], ...]:
+        """Block-crossing segments occupy two distinct physical links:
+        the local hand-off link (one per embedded ring, like every
+        local segment) plus one global-ring link.  The global ring is a
+        single physical resource - there is one bridge per local ring,
+        not one per embedded ring - so its links carry ``"shared"``
+        scope and messages of *different* embedded rings serialize on
+        them."""
+        self._check(node)
+        if (node + 1) % self.ring_size == 0:
+            return (("ring", node), ("shared", self.local_ring_of(node)))
+        return (("ring", node),)
+
+    def link_counts(self) -> Tuple[int, int]:
+        return (self.num_nodes, self.local_rings)
 
     # ------------------------------------------------------------------
     # Data network

@@ -282,9 +282,14 @@ class RingMultiprocessor:
                 )
 
         # Windowed metrics timeline (simulated-time sampling of live
-        # counters); independent of event tracing.
+        # counters); independent of event tracing.  The walker is
+        # wired in explicitly so the occupancy channels (link
+        # utilization, snoop-port queue depth) sample its contention
+        # state.
         self.timeline: Optional[MetricsTimeline] = (
-            MetricsTimeline(self, config.tracing.sample_window)
+            MetricsTimeline(
+                self, config.tracing.sample_window, walker=self.walker
+            )
             if config.tracing.sample_window > 0
             else None
         )

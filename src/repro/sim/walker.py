@@ -136,11 +136,44 @@ class RingWalker:
             and not config.filter_write_snoops
         )
         self.hops_batched = 0
-        # Optional contention modeling: next-free times of each ring
-        # link (keyed by (ring index, source node)) and of each CMP's
-        # snoop port.
+        # Optional contention modeling: next-free times of each
+        # physical link and of each CMP's snoop port.  The topology
+        # describes the physical links behind each outbound segment as
+        # scoped descriptors (see ``SnoopTopology.segment_links``):
+        # "ring"-scoped links are replicated per embedded ring and
+        # keyed ``(ring index, link id)``; "shared"-scoped links (e.g.
+        # the hier_ring global ring) are one physical resource crossed
+        # by every embedded ring and keyed ``(-1, link id)``.
         self._link_free: Dict[Tuple[int, int], int] = {}
         self._snoop_port_free: List[int] = [0] * config.num_cmps
+        if self._dynamic_route:
+            # Path-dependent routing: descriptors are fetched per hop.
+            self._ring_links: Optional[List[Tuple[int, ...]]] = None
+            self._shared_links: Optional[List[Tuple[int, ...]]] = None
+        else:
+            ring_links: List[Tuple[int, ...]] = []
+            shared_links: List[Tuple[int, ...]] = []
+            for node in range(len(self._succ)):
+                links = topology.segment_links(node)
+                ring_links.append(
+                    tuple(lid for scope, lid in links if scope == "ring")
+                )
+                shared_links.append(
+                    tuple(lid for scope, lid in links if scope != "ring")
+                )
+            self._ring_links = ring_links
+            self._shared_links = shared_links
+        per_ring, shared = topology.link_counts()
+        #: Physical link count across the whole machine (per-ring
+        #: links exist once per embedded ring); the denominator of the
+        #: timeline's link-utilization channel.
+        self.total_links = per_ring * config.ring.num_rings + shared
+        #: Cumulative link-reservation cycles (occupancy x links per
+        #: crossing), charged when the reservation is made.  Not reset
+        #: at warmup end - samplers difference it per window.
+        self.link_busy_cycles = 0
+        #: Cumulative snoop-port queueing delay (cycles).
+        self.port_wait_cycles = 0
         self._in_warmup = False
 
     def wire(
@@ -157,9 +190,19 @@ class RingWalker:
 
     def on_warmup_end(self, stats: "RunStats", energy: "EnergyModel") -> None:
         """Warmup reset notification: measurement restarts on the new
-        stats/energy objects and hop batching un-suspends."""
+        stats/energy objects and hop batching un-suspends.
+
+        The contention reservations are cleared along with the
+        counters: link and snoop-port bookings made by warmup-era
+        traffic must not delay the first measured transactions, so the
+        measured phase starts from an idle interconnect exactly like a
+        warmup-free run does (pinned by
+        ``tests/integration/test_warmup_contention.py``).
+        """
         self.stats = stats
         self.energy = energy
+        self._link_free.clear()
+        self._snoop_port_free = [0] * len(self._snoop_port_free)
         self._in_warmup = False
 
     # ==================================================================
@@ -177,15 +220,55 @@ class RingWalker:
     def _cross_link(
         self, txn: "Transaction", from_node: int, departure: int
     ) -> int:
-        """Reserve the ring link for one message crossing; returns the
-        actual departure time (== requested time unless link
-        contention modeling is on and the link is busy)."""
+        """Reserve every physical link behind one segment crossing;
+        returns the actual departure time (== requested time unless
+        link contention modeling is on and a link is busy).
+
+        The segment out of ``from_node`` may be more than one physical
+        link (a hier_ring block-crossing is the local hand-off plus a
+        global-ring link) and a link may be private to the message's
+        embedded ring ("ring" scope) or shared by all embedded rings
+        ("shared" scope, e.g. the single bridge each local ring owns
+        onto the global ring).  The message departs when the last of
+        its links frees up and holds all of them for ``occupancy``
+        cycles.
+        """
         occupancy = self.config.ring.link_occupancy
         if not occupancy:
             return departure
-        key = (self._ring_of(txn.address), from_node)
-        actual = max(departure, self._link_free.get(key, 0))
-        self._link_free[key] = actual + occupancy
+        if (
+            self._ring_links is not None
+            and self._shared_links is not None
+        ):
+            ring_links = self._ring_links[from_node]
+            shared_links = self._shared_links[from_node]
+        else:
+            links = self.topology.segment_links(from_node)
+            ring_links = tuple(
+                lid for scope, lid in links if scope == "ring"
+            )
+            shared_links = tuple(
+                lid for scope, lid in links if scope != "ring"
+            )
+        ring = self._ring_of(txn.address)
+        link_free = self._link_free
+        actual = departure
+        for lid in ring_links:
+            free = link_free.get((ring, lid), 0)
+            if free > actual:
+                actual = free
+        for lid in shared_links:
+            free = link_free.get((-1, lid), 0)
+            if free > actual:
+                actual = free
+        until = actual + occupancy
+        for lid in ring_links:
+            link_free[(ring, lid)] = until
+        for lid in shared_links:
+            link_free[(-1, lid)] = until
+        self.link_busy_cycles += occupancy * (
+            len(ring_links) + len(shared_links)
+        )
         return actual
 
     def _reserve_snoop_port(self, node_id: int, ready: int) -> int:
@@ -196,7 +279,27 @@ class RingWalker:
         self._snoop_port_free[node_id] = (
             start + self.config.ring.snoop_time
         )
+        self.port_wait_cycles += start - ready
         return start - ready
+
+    def links_busy(self, now: int) -> int:
+        """Physical links with a reservation extending past ``now``."""
+        return sum(1 for free in self._link_free.values() if free > now)
+
+    def snoop_port_backlog(self, now: int) -> float:
+        """Mean pending snoops per CMP port at time ``now``.
+
+        Each port's backlog is its booked-beyond-now time divided by
+        the per-snoop service time; 0.0 whenever port serialization is
+        off (the bookings then never exist).
+        """
+        snoop_time = self.config.ring.snoop_time
+        if not snoop_time or not self._snoop_port_free:
+            return 0.0
+        backlog = sum(
+            free - now for free in self._snoop_port_free if free > now
+        )
+        return backlog / (len(self._snoop_port_free) * snoop_time)
 
     def forward_request(
         self, txn: "Transaction", from_node: int, departure: int

@@ -160,7 +160,11 @@ _WORKLOAD_ALIASES: Dict[str, tuple] = {
 
 
 def resolve_profile(
-    name: str, accesses_per_core: int = 0, seed: int = 0, num_cmps: int = 0
+    name: str,
+    accesses_per_core: int = 0,
+    seed: int = 0,
+    num_cmps: int = 0,
+    think_scale: float = 1.0,
 ) -> SharingProfile:
     """Resolve a workload name (with aliases) to its profile.
 
@@ -176,6 +180,8 @@ def resolve_profile(
         seed: RNG seed override (0 = profile default).
         num_cmps: machine-span override (0 = profile default); see
             :func:`reshape_profile`.
+        think_scale: think-time multiplier (1.0 = profile default);
+            the loaded-regime injection axis.
     """
     kwargs = {}
     if accesses_per_core:
@@ -185,6 +191,8 @@ def resolve_profile(
     profile = REGISTRY.create("workload", name, **kwargs)
     if num_cmps:
         profile = reshape_profile(profile, num_cmps)
+    if think_scale != 1.0:
+        profile = profile.with_think_scale(think_scale)
     return profile
 
 

@@ -188,10 +188,13 @@ class SyntheticSource(WorkloadSource):
     def descriptor(self) -> Dict[str, Any]:
         import dataclasses
 
-        return {
-            "kind": "synthetic",
-            "profile": dataclasses.asdict(self.profile),
-        }
+        profile = dataclasses.asdict(self.profile)
+        if profile.get("think_scale") == 1.0:
+            # The default pacing generates a bit-identical trace, so
+            # eliding the field keeps every pre-existing cache and
+            # prewarm key stable.
+            del profile["think_scale"]
+        return {"kind": "synthetic", "profile": profile}
 
     def materialize(self) -> WorkloadTrace:
         if self._trace is None:
@@ -291,6 +294,7 @@ def resolve_source(
     accesses_per_core: int = 0,
     seed: int = 0,
     num_cmps: int = 0,
+    think_scale: float = 1.0,
 ) -> WorkloadSource:
     """Resolve a workload spec to a :class:`WorkloadSource`.
 
@@ -301,20 +305,31 @@ def resolve_source(
     :class:`repro.registry.UnknownComponentError`.
 
     ``num_cmps`` re-spans a synthetic workload over that many CMPs
-    (see :func:`repro.workloads.profiles.reshape_profile`); recorded
-    traces carry fixed geometry, so combining it with a ``file:`` /
-    ``gem5:`` / ``champsim:`` spec or a pre-built trace is an error.
+    (see :func:`repro.workloads.profiles.reshape_profile`);
+    ``think_scale`` re-paces a synthetic workload's think times (the
+    loaded-regime injection axis, see
+    :attr:`repro.workloads.synthetic.SharingProfile.think_scale`).
+    Recorded traces carry fixed geometry and pacing, so combining
+    either with a ``file:`` / ``gem5:`` / ``champsim:`` spec or a
+    pre-built trace is an error.
     """
     if num_cmps and not isinstance(spec, (str, SharingProfile)):
         raise ValueError(
             "num_cmps only reshapes synthetic workloads; %r carries "
             "its own geometry" % type(spec).__name__
         )
+    if think_scale != 1.0 and not isinstance(spec, (str, SharingProfile)):
+        raise ValueError(
+            "think_scale only re-paces synthetic workloads; %r "
+            "carries its own timing" % type(spec).__name__
+        )
     if isinstance(spec, SharingProfile):
         if num_cmps:
             from repro.workloads.profiles import reshape_profile
 
             spec = reshape_profile(spec, num_cmps)
+        if think_scale != 1.0:
+            spec = spec.with_think_scale(think_scale)
         return as_source(spec)
     if not isinstance(spec, str):
         return as_source(spec)
@@ -323,6 +338,11 @@ def resolve_source(
         if num_cmps:
             raise ValueError(
                 "num_cmps only reshapes synthetic workloads; %r "
+                "replays a recorded trace" % spec
+            )
+        if think_scale != 1.0:
+            raise ValueError(
+                "think_scale only re-paces synthetic workloads; %r "
                 "replays a recorded trace" % spec
             )
         if not arg:
@@ -338,13 +358,23 @@ def resolve_source(
     if seed:
         kwargs["seed"] = seed
     created = REGISTRY.create("workload", spec, **kwargs)
-    if num_cmps and isinstance(created, SharingProfile):
-        from repro.workloads.profiles import reshape_profile
+    if isinstance(created, SharingProfile):
+        if num_cmps:
+            from repro.workloads.profiles import reshape_profile
 
-        created = reshape_profile(created, num_cmps)
-    elif num_cmps:
-        raise ValueError(
-            "num_cmps only reshapes synthetic workloads; workload %r "
-            "resolved to %r" % (spec, type(created).__name__)
-        )
+            created = reshape_profile(created, num_cmps)
+        if think_scale != 1.0:
+            created = created.with_think_scale(think_scale)
+    else:
+        if num_cmps:
+            raise ValueError(
+                "num_cmps only reshapes synthetic workloads; workload "
+                "%r resolved to %r" % (spec, type(created).__name__)
+            )
+        if think_scale != 1.0:
+            raise ValueError(
+                "think_scale only re-paces synthetic workloads; "
+                "workload %r resolved to %r"
+                % (spec, type(created).__name__)
+            )
     return as_source(created)

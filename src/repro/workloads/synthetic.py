@@ -98,6 +98,15 @@ class SharingProfile:
             supplier-state footprints (which is what pressures the
             Supplier Predictors).
         think_mean: mean CPU think time between accesses (geometric).
+        think_scale: injection-rate control: every generated think
+            time is multiplied by this factor (floored at 1 cycle).
+            Cores are closed-loop - they block on outstanding misses -
+            so shrinking think times is how the loaded-regime harness
+            raises the offered ring-transaction rate per core without
+            touching the access pattern: the drawn addresses and
+            read/write mix are identical at every scale, only the
+            pacing changes.  1.0 (the default) reproduces the base
+            trace bit-identically.
         seed: RNG seed; traces are fully deterministic given the seed.
     """
 
@@ -118,9 +127,14 @@ class SharingProfile:
     burst_mean: float = 1.0
     prewarm_fraction: float = 0.0
     think_mean: float = 12.0
+    think_scale: float = 1.0
     seed: int = 42
 
     def __post_init__(self) -> None:
+        if self.think_scale <= 0.0:
+            raise ValueError(
+                "think_scale must be positive, got %r" % (self.think_scale,)
+            )
         if self.num_cores % self.cores_per_cmp != 0:
             raise ValueError(
                 "num_cores (%d) must be a multiple of cores_per_cmp (%d)"
@@ -150,6 +164,12 @@ class SharingProfile:
         return dataclasses.replace(
             self, accesses_per_core=accesses_per_core
         )
+
+    def with_think_scale(self, think_scale: float) -> "SharingProfile":
+        """Copy of this profile at a different injection pacing."""
+        import dataclasses
+
+        return dataclasses.replace(self, think_scale=think_scale)
 
 
 def _zipf_weights(n: int, exponent: float) -> np.ndarray:
@@ -242,9 +262,14 @@ def _generate_core_trace(
         else None
     )
 
+    scale = profile.think_scale
     trace: List[Access] = []
     for i in range(n):
         think = int(thinks[i])
+        if scale != 1.0:
+            # Applied after the draw so every scale shares the same
+            # RNG stream: identical addresses, different pacing.
+            think = max(1, int(round(think * scale)))
         if shared_mask[i]:
             address = scramble(_SHARED_BASE + int(shared_choices[i]))
             if migratory_stride and (

@@ -108,13 +108,15 @@ def test_source_resolved_once_per_workload(monkeypatch):
     calls = []
     real = parallel_module.resolve_source
 
-    def counting(name, accesses_per_core=0, seed=0, num_cmps=0):
+    def counting(name, accesses_per_core=0, seed=0, num_cmps=0,
+                 think_scale=1.0):
         calls.append((name, accesses_per_core, seed))
         return real(
             name,
             accesses_per_core=accesses_per_core,
             seed=seed,
             num_cmps=num_cmps,
+            think_scale=think_scale,
         )
 
     _cached_source.cache_clear()
@@ -135,13 +137,15 @@ def test_sweep_resolves_source_once(monkeypatch):
     calls = []
     real = parallel_module.resolve_source
 
-    def counting(name, accesses_per_core=0, seed=0, num_cmps=0):
+    def counting(name, accesses_per_core=0, seed=0, num_cmps=0,
+                 think_scale=1.0):
         calls.append(name)
         return real(
             name,
             accesses_per_core=accesses_per_core,
             seed=seed,
             num_cmps=num_cmps,
+            think_scale=think_scale,
         )
 
     _cached_source.cache_clear()

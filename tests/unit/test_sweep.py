@@ -7,10 +7,12 @@ import pytest
 from repro.harness.sweep import (
     Sweep,
     SweepPoint,
+    field_mutator,
     run_sweep,
     sweep_memory_field,
     sweep_predictor_entries,
     sweep_ring_field,
+    valid_sweep_fields,
 )
 
 FAST = dict(workload="specjbb", accesses_per_core=150,
@@ -117,6 +119,64 @@ def test_sweep_predictor_entries():
     assert [p.value for p in sweep.points] == [512, 2048]
     assert sweep.points[0].result.config.predictor.entries == 512
     assert sweep.points[1].result.config.predictor.entries == 2048
+
+
+def test_run_sweep_resolves_dotted_field_without_mutator():
+    sweep = run_sweep(
+        "ring.snoop_time", [10, 110], algorithm="lazy", **FAST
+    )
+    latency = sweep.series("mean_read_miss_latency")
+    assert latency[110] > latency[10]
+    assert sweep.points[0].result.config.ring.snoop_time == 10
+
+
+def test_run_sweep_accepts_field_path_as_mutate_string():
+    sweep = run_sweep(
+        "rtt", [200, 600], mutate="memory.local_round_trip",
+        algorithm="lazy", **FAST
+    )
+    assert sweep.name == "rtt"
+    assert (
+        sweep.points[1].result.config.memory.local_round_trip == 600
+    )
+
+
+def test_run_sweep_resolves_scalar_field():
+    sweep = run_sweep(
+        "squash_backoff", [100, 300], algorithm="lazy", **FAST
+    )
+    assert sweep.points[0].result.config.squash_backoff == 100
+    assert sweep.points[1].result.config.squash_backoff == 300
+
+
+def test_field_mutator_typo_lists_valid_fields():
+    with pytest.raises(ValueError) as err:
+        field_mutator("ring.link_occupncy")
+    message = str(err.value)
+    assert "ring.link_occupncy" in message
+    assert "ring.link_occupancy" in message
+    assert "memory.local_round_trip" in message
+
+
+def test_field_mutator_rejects_deep_paths():
+    with pytest.raises(ValueError):
+        field_mutator("ring.link_occupancy.extra")
+
+
+def test_valid_sweep_fields_enumerates_config():
+    fields = valid_sweep_fields()
+    assert fields == sorted(fields)
+    for expected in (
+        "ring.link_occupancy",
+        "ring.serialize_snoop_port",
+        "memory.local_round_trip",
+        "predictor.entries",
+        "squash_backoff",
+        "num_cmps",
+    ):
+        assert expected in fields
+    # Sections themselves are not sweepable - only their leaves.
+    assert "ring" not in fields
 
 
 def test_custom_mutator():
