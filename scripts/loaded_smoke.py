@@ -9,7 +9,9 @@ model perturbs *timing only*: a fully traced and invariant-checked
 contended run must still pass the protocol auditor with zero
 violations.
 
-Protocol:
+Protocol (run per smoke algorithm - Lazy as the no-predictor
+baseline and Criticality, whose decision inputs are the retries and
+MSHR queues that only exist under contention):
 
 1. Run a two-point injection sweep (one genuinely light point, one
    well past the ring's capacity) for one (algorithm, topology) pair
@@ -18,8 +20,9 @@ Protocol:
 2. Assert the heavier point offers more and is served no faster
    (monotone loaded latency), and that both points completed.
 3. Re-run both injection points with event tracing plus synchronous
-   invariant checks on, and feed each trace to the
-   :class:`~repro.obs.audit.TraceAuditor`: zero violations required.
+   invariant checks on, and feed each trace to the policy-aware
+   :class:`~repro.obs.audit.TraceAuditor` (decision table and
+   write-snoop form included): zero violations required.
 
 Exit status 0 on success, 1 with a diagnostic on failure.  Run it
 from the repository root: ``python scripts/loaded_smoke.py``
@@ -40,6 +43,7 @@ sys.path.insert(
 )
 
 from repro.config import RingConfig, default_machine  # noqa: E402
+from repro.core.algorithms import build_algorithm  # noqa: E402
 from repro.harness.saturation import (  # noqa: E402
     DEFAULT_LINK_OCCUPANCY,
     format_saturation,
@@ -49,7 +53,10 @@ from repro.obs.audit import TraceAuditor  # noqa: E402
 from repro.obs.runner import run_traced  # noqa: E402
 from repro.workloads.source import resolve_source  # noqa: E402
 
-ALGORITHM = "lazy"
+#: The no-predictor baseline plus the criticality-aware policy, whose
+#: decision context (retries, MSHR-waiter depth) is only exercised in
+#: the contended regime this smoke drives.
+ALGORITHMS = ("lazy", "criticality")
 WORKLOAD = "specjbb"
 SCALE = 150
 #: One genuinely light point and one well past the ring's capacity.
@@ -57,13 +64,13 @@ THINK_SCALES = (40.0, 0.3)
 LINK_OCCUPANCY = DEFAULT_LINK_OCCUPANCY
 
 
-def sweep() -> int:
+def sweep(algorithm: str) -> int:
     print(
         "sweeping %s on ring: think scales %s, link occupancy %d..."
-        % (ALGORITHM, THINK_SCALES, LINK_OCCUPANCY)
+        % (algorithm, THINK_SCALES, LINK_OCCUPANCY)
     )
     (curve,) = run_saturation(
-        algorithms=(ALGORITHM,),
+        algorithms=(algorithm,),
         topologies=("ring",),
         workload=WORKLOAD,
         think_scales=THINK_SCALES,
@@ -115,10 +122,11 @@ def sweep() -> int:
     return 0
 
 
-def audit() -> int:
+def audit(algorithm: str) -> int:
     source = resolve_source(WORKLOAD, accesses_per_core=SCALE)
+    policy = build_algorithm(algorithm)
     machine = default_machine(
-        algorithm=ALGORITHM,
+        algorithm=algorithm,
         cores_per_cmp=source.cores_per_cmp,
         num_cmps=source.num_cmps,
         ring=RingConfig(
@@ -132,7 +140,7 @@ def audit() -> int:
             % scale
         )
         traced = run_traced(
-            ALGORITHM,
+            algorithm,
             WORKLOAD,
             accesses_per_core=SCALE,
             config=machine,
@@ -142,7 +150,11 @@ def audit() -> int:
         if not traced.events:
             print("FAIL: tracing produced no events")
             return 1
-        auditor = TraceAuditor(num_cmps=traced.meta["num_cmps"])
+        auditor = TraceAuditor(
+            num_cmps=traced.meta["num_cmps"],
+            table=policy.decision_table(),
+            decouple_writes=policy.decouple_writes,
+        )
         violations = auditor.audit(traced.events)
         if violations:
             print(
@@ -160,10 +172,15 @@ def audit() -> int:
 
 
 def main() -> int:
-    rc = sweep()
-    if rc:
-        return rc
-    return audit()
+    for algorithm in ALGORITHMS:
+        rc = sweep(algorithm)
+        if rc:
+            return rc
+        rc = audit(algorithm)
+        if rc:
+            return rc
+        print()
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,10 +1,17 @@
-"""The Flexible Snooping algorithms (Table 3) and the baselines.
+"""The Flexible Snooping algorithms (Table 3), the baselines, and the
+criticality extension.
 
-An algorithm is a small policy object: given the Supplier Predictor's
-prediction at a node, it selects one of the three primitives.  The
-baselines Lazy and Eager ignore the prediction and always choose
-Snoop Then Forward / Forward Then Snoop respectively; Oracle uses a
-perfect predictor.
+An algorithm is a small *decision policy* object: at each unsatisfied
+read hop it receives a :class:`~repro.core.decision.DecisionContext`
+(the Supplier Predictor's prediction plus the requester's urgency
+signals) and selects one of the three primitives.  The paper's seven
+algorithms read only the prediction; :class:`Criticality` - an eighth
+algorithm beyond the paper - also reads the requester's retry count
+and MSHR-waiter depth.  Every built-in publishes its policy as a
+static :class:`~repro.core.decision.DecisionTable`, which is what the
+fused simulation cores hoist into plain integers; ``choose`` accepts a
+bare bool for backward compatibility (coerced to a prediction-only
+context).
 
 Write snoop requests cannot use supplier predictors (writes must
 invalidate *all* copies, not find the single supplier - Section 5.3).
@@ -16,15 +23,21 @@ decouple write snoops, enabling parallel invalidation; the others
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple, Type
+from typing import Callable, Dict, Optional, Tuple, Type, Union
 
 from repro.config import PredictorConfig
+from repro.core.decision import (
+    DecisionContext,
+    DecisionTable,
+    as_context,
+    uniform_table,
+)
 from repro.core.primitives import Primitive
 from repro.registry import REGISTRY
 
 
 class SnoopingAlgorithm:
-    """Base class for ring snooping algorithms.
+    """Base class for ring snooping algorithms (decision policies).
 
     Attributes:
         name: canonical lower-case name used in configs and results.
@@ -32,24 +45,81 @@ class SnoopingAlgorithm:
         default_predictor_kind: predictor family the algorithm expects.
         decouple_writes: whether write snoops split into request +
             reply for parallel invalidation (Section 5.3).
+        table: the static :class:`DecisionTable` form of the policy,
+            or ``None`` for a policy whose decision depends on state
+            outside the context (object core only).
     """
 
     name = "abstract"
     display_name = "Abstract"
     default_predictor_kind = "none"
     decouple_writes = False
+    table: Optional[DecisionTable] = None
+    #: Resolved predictor kind, bound by the simulation cores from the
+    #: machine config (``bind_predictor_kind``); ``None`` until bound,
+    #: in which case ``default_predictor_kind`` is assumed.
+    _predictor_kind: Optional[str] = None
 
-    def choose(self, prediction: bool) -> Primitive:
-        """Select the primitive for a read snoop given the prediction."""
-        raise NotImplementedError
+    def decision_table(self) -> Optional[DecisionTable]:
+        """The policy's static table, or ``None`` if the decision is
+        dynamic (then only the object core can run it)."""
+        return self.table
+
+    def choose(
+        self, ctx: Union[DecisionContext, bool]
+    ) -> Primitive:
+        """Select the primitive for a read snoop.
+
+        ``ctx`` is a :class:`DecisionContext`; a bare bool prediction
+        (the pre-seam contract) is accepted and coerced.
+        """
+        table = self.decision_table()
+        if table is None:
+            raise NotImplementedError(
+                "algorithm %r publishes no decision table and does not "
+                "override choose()" % self.name
+            )
+        return table.decide(as_context(ctx))
+
+    def decision_inputs(self) -> Tuple[str, ...]:
+        """Context fields (plus any out-of-context state) the policy
+        reads - the registry metadata the CLI/core envelope checks
+        cite when refusing a core/algorithm combination."""
+        table = self.decision_table()
+        if table is None:
+            return ("prediction", "dynamic")
+        return table.decision_inputs()
+
+    def forwards_on_negative(self) -> bool:
+        """Whether the policy may filter (``FORWARD``) on a negative
+        prediction; dynamic policies conservatively answer True."""
+        table = self.decision_table()
+        if table is None:
+            return True
+        return table.forwards_on_negative()
+
+    def fold_choice_counts(self, count: int) -> None:
+        """Absorb the counted-output tally of an array-core run (see
+        :attr:`DecisionTable.counts`); the base policy counts nothing."""
+
+    def bind_predictor_kind(self, kind: str) -> None:
+        """Record the machine's *resolved* predictor kind (called by
+        the simulation cores at construction), so predictor overrides
+        charge lookup latency/energy correctly."""
+        self._predictor_kind = kind
 
     def uses_predictor(self) -> bool:
         """Whether the algorithm consults a Supplier Predictor at all.
 
         Determines if predictor access latency and energy are charged
-        on each ring message arrival.
+        on each ring message arrival.  Consults the *instance's*
+        resolved predictor kind when one was bound, falling back to
+        the class default otherwise.
         """
-        return self.default_predictor_kind not in ("none",)
+        kind = self._predictor_kind
+        if kind is None:
+            kind = self.default_predictor_kind
+        return kind not in ("none",)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "<%s>" % type(self).__name__
@@ -64,9 +134,9 @@ class Lazy(SnoopingAlgorithm):
 
     name = "lazy"
     display_name = "Lazy"
-
-    def choose(self, prediction: bool) -> Primitive:
-        return Primitive.SNOOP_THEN_FORWARD
+    table = uniform_table(
+        Primitive.SNOOP_THEN_FORWARD, Primitive.SNOOP_THEN_FORWARD
+    )
 
 
 class Eager(SnoopingAlgorithm):
@@ -79,9 +149,9 @@ class Eager(SnoopingAlgorithm):
     name = "eager"
     display_name = "Eager"
     decouple_writes = True
-
-    def choose(self, prediction: bool) -> Primitive:
-        return Primitive.FORWARD_THEN_SNOOP
+    table = uniform_table(
+        Primitive.FORWARD_THEN_SNOOP, Primitive.FORWARD_THEN_SNOOP
+    )
 
 
 class Oracle(SnoopingAlgorithm):
@@ -91,11 +161,9 @@ class Oracle(SnoopingAlgorithm):
     display_name = "Oracle"
     default_predictor_kind = "perfect"
     decouple_writes = True
-
-    def choose(self, prediction: bool) -> Primitive:
-        if prediction:
-            return Primitive.SNOOP_THEN_FORWARD
-        return Primitive.FORWARD
+    table = uniform_table(
+        Primitive.SNOOP_THEN_FORWARD, Primitive.FORWARD
+    )
 
 
 class Subset(SnoopingAlgorithm):
@@ -110,11 +178,9 @@ class Subset(SnoopingAlgorithm):
     display_name = "Subset"
     default_predictor_kind = "subset"
     decouple_writes = True
-
-    def choose(self, prediction: bool) -> Primitive:
-        if prediction:
-            return Primitive.SNOOP_THEN_FORWARD
-        return Primitive.FORWARD_THEN_SNOOP
+    table = uniform_table(
+        Primitive.SNOOP_THEN_FORWARD, Primitive.FORWARD_THEN_SNOOP
+    )
 
 
 class SupersetCon(SnoopingAlgorithm):
@@ -129,11 +195,9 @@ class SupersetCon(SnoopingAlgorithm):
     name = "superset_con"
     display_name = "SupersetCon"
     default_predictor_kind = "superset"
-
-    def choose(self, prediction: bool) -> Primitive:
-        if prediction:
-            return Primitive.SNOOP_THEN_FORWARD
-        return Primitive.FORWARD
+    table = uniform_table(
+        Primitive.SNOOP_THEN_FORWARD, Primitive.FORWARD
+    )
 
 
 class SupersetAgg(SnoopingAlgorithm):
@@ -148,11 +212,9 @@ class SupersetAgg(SnoopingAlgorithm):
     display_name = "SupersetAgg"
     default_predictor_kind = "superset"
     decouple_writes = True
-
-    def choose(self, prediction: bool) -> Primitive:
-        if prediction:
-            return Primitive.FORWARD_THEN_SNOOP
-        return Primitive.FORWARD
+    table = uniform_table(
+        Primitive.FORWARD_THEN_SNOOP, Primitive.FORWARD
+    )
 
 
 class Exact(SnoopingAlgorithm):
@@ -166,11 +228,9 @@ class Exact(SnoopingAlgorithm):
     name = "exact"
     display_name = "Exact"
     default_predictor_kind = "exact"
-
-    def choose(self, prediction: bool) -> Primitive:
-        if prediction:
-            return Primitive.SNOOP_THEN_FORWARD
-        return Primitive.FORWARD
+    table = uniform_table(
+        Primitive.SNOOP_THEN_FORWARD, Primitive.FORWARD
+    )
 
 
 class SupersetHybrid(SnoopingAlgorithm):
@@ -183,7 +243,10 @@ class SupersetHybrid(SnoopingAlgorithm):
 
     ``energy_pressure`` is a callable polled on each positive
     prediction; when it returns True the conservative action is used.
-    By default the hybrid stays in aggressive mode.
+    Without a pressure source the policy is the static aggressive
+    table (with ``aggressive_choices`` as its declared counted
+    output), so it runs on all three cores; binding a pressure probe
+    makes the decision dynamic and confines it to the object core.
     """
 
     name = "superset_hybrid"
@@ -192,6 +255,11 @@ class SupersetHybrid(SnoopingAlgorithm):
     # Write decoupling follows the currently dominant mode; we keep the
     # aggressive convention, matching its common case.
     decouple_writes = True
+    table = uniform_table(
+        Primitive.FORWARD_THEN_SNOOP,
+        Primitive.FORWARD,
+        counts="pred_true",
+    )
 
     def __init__(
         self, energy_pressure: Optional[Callable[[], bool]] = None
@@ -203,8 +271,23 @@ class SupersetHybrid(SnoopingAlgorithm):
     def set_energy_pressure(self, probe: Callable[[], bool]) -> None:
         self._energy_pressure = probe
 
-    def choose(self, prediction: bool) -> Primitive:
-        if not prediction:
+    def decision_table(self) -> Optional[DecisionTable]:
+        if self._energy_pressure is not None:
+            return None
+        return self.table
+
+    def decision_inputs(self) -> Tuple[str, ...]:
+        if self._energy_pressure is not None:
+            return ("prediction", "energy_pressure")
+        return self.table.decision_inputs()  # type: ignore[union-attr]
+
+    def fold_choice_counts(self, count: int) -> None:
+        self.aggressive_choices += count
+
+    def choose(
+        self, ctx: Union[DecisionContext, bool]
+    ) -> Primitive:
+        if not as_context(ctx).prediction:
             return Primitive.FORWARD
         pressed = self._energy_pressure() if self._energy_pressure else False
         if pressed:
@@ -212,6 +295,77 @@ class SupersetHybrid(SnoopingAlgorithm):
             return Primitive.SNOOP_THEN_FORWARD
         self.aggressive_choices += 1
         return Primitive.FORWARD_THEN_SNOOP
+
+
+class Criticality(SnoopingAlgorithm):
+    """Criticality-aware snooping: an eighth algorithm beyond the
+    paper's seven ("Criticality Aware Multiprocessors" applied to the
+    embedded ring).
+
+    The requester's urgency - carried in the decision context as its
+    retry count and the MSHR-waiter depth queued behind it - selects
+    the flavour per message: a *critical* requester (either count at
+    or above its threshold) gets the aggressive Forward-Then-Snoop on
+    a positive prediction, so its request is never delayed by snoops;
+    a calm requester gets the conservative Snoop-Then-Forward, keeping
+    ring traffic at one message.  The supplier predictor is the
+    tiebreak in both rows: a trustworthy negative filters the snoop
+    entirely, so the predictor must have no false negatives
+    (superset/exact/perfect, like the Superset family).
+
+    Under the unloaded regime retries and waiter queues are rare and
+    the policy degenerates to Superset Con; under load it spends extra
+    snoop bandwidth exactly where stalls pile up.
+    ``critical_choices`` counts critical-row decisions (a declared
+    counted output, exact on all three cores).
+    """
+
+    name = "criticality"
+    display_name = "Criticality"
+    default_predictor_kind = "superset"
+    decouple_writes = True
+
+    #: Default urgency thresholds: any survived squash/retry, or any
+    #: same-CMP core already queued behind the request, marks the
+    #: requester critical.
+    DEFAULT_RETRY_THRESHOLD = 1
+    DEFAULT_WAITER_THRESHOLD = 1
+
+    def __init__(
+        self,
+        retry_threshold: int = DEFAULT_RETRY_THRESHOLD,
+        waiter_threshold: int = DEFAULT_WAITER_THRESHOLD,
+    ) -> None:
+        if retry_threshold < 1 or waiter_threshold < 1:
+            raise ValueError("criticality thresholds must be >= 1")
+        self.table = DecisionTable(
+            on_true=Primitive.SNOOP_THEN_FORWARD,
+            on_false=Primitive.FORWARD,
+            critical_true=Primitive.FORWARD_THEN_SNOOP,
+            critical_false=Primitive.FORWARD,
+            retry_threshold=retry_threshold,
+            waiter_threshold=waiter_threshold,
+            counts="critical",
+        )
+        self.critical_choices = 0
+
+    def fold_choice_counts(self, count: int) -> None:
+        self.critical_choices += count
+
+    def choose(
+        self, ctx: Union[DecisionContext, bool]
+    ) -> Primitive:
+        context = as_context(ctx)
+        table = self.table
+        assert table is not None
+        if table.is_critical(context):
+            self.critical_choices += 1
+            return (
+                table.critical_true
+                if context.prediction
+                else table.critical_false
+            )
+        return table.on_true if context.prediction else table.on_false
 
 
 #: All algorithms by canonical name (kept for direct class access;
@@ -227,11 +381,14 @@ ALGORITHMS: Dict[str, Type[SnoopingAlgorithm]] = {
         SupersetAgg,
         SupersetHybrid,
         Exact,
+        Criticality,
     )
 }
 
 #: The paper's per-algorithm default predictor (Section 6.1's main
-#: comparison), recorded as registry metadata below.
+#: comparison), recorded as registry metadata below.  Criticality
+#: filters on trusted negatives, so it takes the Superset family's
+#: predictor.
 _DEFAULT_PREDICTORS: Dict[str, str] = {
     "lazy": "None",
     "eager": "None",
@@ -241,12 +398,14 @@ _DEFAULT_PREDICTORS: Dict[str, str] = {
     "superset_agg": "Supy2k",
     "superset_hybrid": "Supy2k",
     "exact": "Exa2k",
+    "criticality": "Supy2k",
 }
 
 _ALGORITHM_ALIASES: Dict[str, Tuple[str, ...]] = {
     "superset_con": ("supersetcon", "supcon"),
     "superset_agg": ("supersetagg", "supagg"),
     "superset_hybrid": ("supersethybrid",),
+    "criticality": ("crit", "critical"),
 }
 
 
@@ -266,17 +425,14 @@ def compatible_predictor(
     """Whether ``predictor_config`` provides the guarantees the
     algorithm relies on for correctness.
 
-    An algorithm that issues ``Forward`` on a negative prediction
-    (Oracle, Superset Con/Agg/Hybrid, Exact) must never see a false
-    negative, or the single supplier would be skipped and the request
-    wrongly serviced by memory.
+    An algorithm whose decision table may issue ``Forward`` on a
+    negative prediction (Oracle, Superset Con/Agg/Hybrid, Exact,
+    Criticality) must never see a false negative, or the single
+    supplier would be skipped and the request wrongly serviced by
+    memory.  Dynamic policies (no table) conservatively require the
+    same guarantee.
     """
-    forwards_on_negative = (
-        algorithm.choose(False) is Primitive.FORWARD
-        if not isinstance(algorithm, SupersetHybrid)
-        else True
-    )
-    if not forwards_on_negative:
+    if not algorithm.forwards_on_negative():
         return True
     return predictor_config.kind in ("superset", "exact", "perfect")
 
@@ -287,11 +443,8 @@ _NO_FALSE_NEGATIVE_KINDS: Tuple[str, ...] = ("superset", "exact", "perfect")
 _ANY_KIND: Tuple[str, ...] = PredictorConfig.VALID_KINDS
 
 for _cls in ALGORITHMS.values():
-    _forwards_on_negative = (
-        True
-        if _cls is SupersetHybrid
-        else _cls().choose(False) is Primitive.FORWARD
-    )
+    _instance = _cls()
+    _table = _instance.decision_table()
     REGISTRY.register(
         "algorithm",
         _cls.name,
@@ -304,9 +457,11 @@ for _cls in ALGORITHMS.values():
             "decouple_writes": _cls.decouple_writes,
             "compatible_predictor_kinds": (
                 _NO_FALSE_NEGATIVE_KINDS
-                if _forwards_on_negative
+                if _instance.forwards_on_negative()
                 else _ANY_KIND
             ),
+            "decision_inputs": _instance.decision_inputs(),
+            "dynamic_choose": _table is None,
         },
     )
-del _cls, _forwards_on_negative
+del _cls, _instance, _table

@@ -40,6 +40,7 @@ from typing import List, Optional
 
 from repro.core.analytical import AnalyticalParams, table1, table3
 from repro.harness.experiments import (
+    MAIN_ALGORITHMS,
     ExperimentMatrix,
     format_accuracy_table,
     format_by_workload,
@@ -72,6 +73,78 @@ def _parse_size(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError("size must be >= 0: %r" % text)
     return int(value * multiplier)
+
+
+def _all_algorithm_names() -> List[str]:
+    """Every registered algorithm, paper order first, extensions after.
+
+    The registry sorts alphabetically; sweeps and figure matrices read
+    better with the paper's seven main-comparison algorithms leading
+    in their Section 6 order, followed by the post-paper additions
+    (``superset_hybrid``, ``criticality``, entry-point plugins).
+    """
+    ordered = list(MAIN_ALGORITHMS)
+    for name in REGISTRY.names("algorithm"):
+        if name not in ordered:
+            ordered.append(name)
+    return ordered
+
+
+def _parse_algorithm_list(text: str) -> List[str]:
+    """Parse a comma-separated ``--algorithms`` value.
+
+    The word ``all`` (any case) expands to every registered algorithm
+    via :func:`_all_algorithm_names`; duplicates are dropped while
+    preserving first-mention order.  Unknown names are *not* rejected
+    here - they resolve through the registry at execution time, which
+    also sees entry-point plugins and produces the uniform "unknown
+    algorithm" error.
+    """
+    expanded: List[str] = []
+    for item in text.split(","):
+        name = item.strip()
+        if not name:
+            continue
+        if name.lower() == "all":
+            for known in _all_algorithm_names():
+                if known not in expanded:
+                    expanded.append(known)
+        elif name not in expanded:
+            expanded.append(name)
+    return expanded
+
+
+def _refuse_unsupported_core(core: str, algorithms: List[str]) -> None:
+    """Pre-flight an algorithm list against the requested core.
+
+    The jit core only compiles policies that publish a static decision
+    table; an algorithm whose registry metadata says ``dynamic_choose``
+    would be rejected at construction time anyway, but for matrix
+    commands that rejection happens deep inside a worker pool.  Raising
+    the same :class:`SoaUnsupportedError` here keeps the message (which
+    names the policy's decision inputs) on one line and lets ``main``'s
+    usual fall-back-to-object / ``--strict-core`` machinery apply.
+
+    Unknown core or algorithm names are left alone: they get the
+    registry's uniform error when the run actually resolves them.
+    """
+    try:
+        if REGISTRY.canonical("core", core) != "jit":
+            return
+    except UnknownComponentError:
+        return
+    for name in algorithms:
+        try:
+            meta = REGISTRY.metadata("algorithm", name)
+        except UnknownComponentError:
+            continue
+        if meta.get("dynamic_choose"):
+            raise SoaUnsupportedError(
+                "core=jit does not support: algorithm %r (dynamic "
+                "choose() over decision inputs %s has no static "
+                "decision table to compile); use core=object"
+                % (name, "/".join(meta.get("decision_inputs", ())))
+            )
 
 
 def _add_component_options(
@@ -179,6 +252,7 @@ def _add_matrix_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _refuse_unsupported_core(args.core, [args.algorithm])
     result = run_experiment(
         args.algorithm,
         args.workload,
@@ -234,8 +308,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+        algorithms = _parse_algorithm_list(args.algorithms)
+        if not algorithms:
+            print(
+                "flexsnoop: --algorithms is empty (expect a comma "
+                "list of algorithm names, or 'all')",
+                file=sys.stderr,
+            )
+            return 2
+        _refuse_unsupported_core(args.core, algorithms)
         curves = run_saturation(
-            algorithms=[a for a in args.algorithms.split(",") if a],
+            algorithms=algorithms,
             topologies=[t for t in args.topologies.split(",") if t],
             workload=args.workload,
             think_scales=scales,
@@ -250,6 +333,48 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             core=args.core,
         )
         print(format_saturation(curves, knee_factor=args.knee_factor))
+        return 0
+    if args.number == "criticality":
+        # Criticality-aware snooping vs the forwarding extremes (Lazy,
+        # Eager) and the strongest predictor baseline (Exact): the
+        # fig6/fig8 views where the criticality escalation shows up.
+        # --think-scale < 1 re-paces the workloads into the loaded
+        # regime, where retries and MSHR queueing (the criticality
+        # inputs) actually occur.
+        algorithms = ("lazy", "eager", "exact", "criticality")
+        _refuse_unsupported_core(args.core, list(algorithms))
+        matrix = ExperimentMatrix(
+            accesses_per_core=args.scale,
+            seed=args.seed,
+            algorithms=algorithms,
+            jobs=args.jobs,
+            result_cache=_make_cache(args),
+            core=args.core,
+            topology=args.topology,
+            num_cmps=_resolved_num_cmps(args),
+            think_scale=args.think_scale,
+        )
+        suffix = (
+            ""
+            if args.think_scale == 1.0
+            else " [loaded: think_scale=%g]" % args.think_scale
+        )
+        print(
+            format_by_workload(
+                "Criticality: snoop operations per read snoop request"
+                + suffix,
+                matrix.fig6_snoops_per_request(),
+            )
+        )
+        print()
+        print(
+            format_by_workload(
+                "Criticality: execution time (normalized to Lazy)"
+                + suffix,
+                matrix.fig8_execution_time(),
+                fmt="%6.3f",
+            )
+        )
         return 0
     if args.number == "topology":
         from repro.harness.experiments import (
@@ -271,8 +396,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         number = int(args.number)
     except ValueError:
         print(
-            "unknown figure %r (know 6-11, 'topology' and "
-            "'saturation')" % args.number,
+            "unknown figure %r (know 6-11, 'topology', 'saturation' "
+            "and 'criticality')" % args.number,
             file=sys.stderr,
         )
         return 2
@@ -329,8 +454,8 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         print(format_accuracy_table(matrix.fig11_accuracy()))
     else:
         print(
-            "unknown figure %d (know 6-11, 'topology' and "
-            "'saturation')" % number,
+            "unknown figure %d (know 6-11, 'topology', 'saturation' "
+            "and 'criticality')" % number,
             file=sys.stderr,
         )
         return 2
@@ -361,6 +486,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not values:
         print("flexsnoop: --values is empty", file=sys.stderr)
         return 2
+    _refuse_unsupported_core(args.core, [args.algorithm])
     try:
         sweep = run_sweep(
             args.field,
@@ -479,6 +605,29 @@ def _print_violations(violations) -> None:
         print("  %s" % violation, file=sys.stderr)
 
 
+def _policy_auditor_kwargs(algorithm_name) -> dict:
+    """Policy-guarantee auditor arguments for a named algorithm.
+
+    Resolves the algorithm's static decision table and write-snoop
+    form so the auditor also checks the trace against the policy's
+    declared behaviour.  Unknown names (e.g. a trace recorded with a
+    plugin that is not installed here) degrade to the policy-agnostic
+    lifecycle checks.
+    """
+    from repro.core.algorithms import build_algorithm
+
+    if not algorithm_name:
+        return {}
+    try:
+        policy = build_algorithm(algorithm_name)
+    except UnknownComponentError:
+        return {}
+    return {
+        "table": policy.decision_table(),
+        "decouple_writes": policy.decouple_writes,
+    }
+
+
 def _cmd_trace_record(args: argparse.Namespace) -> int:
     from repro.obs.audit import TraceAuditor
     from repro.obs.jsonl import read_trace, write_trace
@@ -533,6 +682,7 @@ def _cmd_trace_record(args: argparse.Namespace) -> int:
         auditor = TraceAuditor(
             num_cmps=traced.meta["num_cmps"],
             successors=traced.meta.get("successors"),
+            **_policy_auditor_kwargs(args.algorithm),
         )
         violations = auditor.audit(events)
         if violations:
@@ -605,7 +755,9 @@ def _cmd_trace_audit(args: argparse.Namespace) -> int:
     # header geometry is being second-guessed, so ignore it then.
     successors = None if args.num_cmps else meta.get("successors")
     violations = TraceAuditor(
-        num_cmps=num_cmps, successors=successors
+        num_cmps=num_cmps,
+        successors=successors,
+        **_policy_auditor_kwargs(meta.get("algorithm")),
     ).audit(events)
     transactions = len({e.txn for e in events if e.txn >= 0})
     if violations:
@@ -783,8 +935,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument(
         "number",
         help="figure number (6-11), 'topology' for the "
-        "ring-vs-hier_ring comparison matrix, or 'saturation' for "
-        "the loaded-regime injection sweep",
+        "ring-vs-hier_ring comparison matrix, 'saturation' for "
+        "the loaded-regime injection sweep, or 'criticality' for "
+        "the criticality-aware-snooping comparison matrix",
     )
     figure_parser.add_argument("--scale", type=int, default=2000)
     figure_parser.add_argument("--seed", type=int, default=0)
@@ -800,7 +953,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     saturation_group.add_argument(
         "--algorithms", default="lazy,eager,oracle",
-        help="comma-separated algorithms, one curve each",
+        help="comma-separated algorithms, one curve each; 'all' "
+        "expands to every registered algorithm (currently: %s)"
+        % ", ".join(REGISTRY.names("algorithm")),
     )
     saturation_group.add_argument(
         "--topologies", default="ring,hier_ring",
@@ -831,6 +986,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--knee-factor", type=float, default=2.0,
         help="knee = first point whose latency exceeds this multiple "
         "of the lightest-load latency",
+    )
+    criticality_group = figure_parser.add_argument_group(
+        "figure criticality options"
+    )
+    criticality_group.add_argument(
+        "--think-scale", type=float, default=1.0,
+        help="think-time multiplier for the criticality matrix "
+        "(1.0 = native pacing; < 1 drives the loaded regime where "
+        "retries and MSHR queueing occur)",
     )
     figure_parser.set_defaults(func=_cmd_figure)
 

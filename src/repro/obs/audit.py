@@ -24,23 +24,39 @@ states after the fact); the auditor checks the *mechanism*:
 * **Predictor guarantees** - Subset/Exact predictions are never false
   positives, Superset predictions are never false negatives,
   Exact/Perfect are never wrong at all (Section 4.3).
+* **Policy guarantees** (when the audited algorithm's
+  :class:`~repro.core.decision.DecisionTable` is supplied) - every
+  read snoop's primitive belongs to the table's alphabet; after a
+  negative prediction the node snoops only if some reachable row says
+  so, and after a positive prediction the node *must* snoop unless
+  some reachable row forwards; write snoops use the coupled or
+  decoupled form the policy declares.
 * **Squash discipline** - a squashed message circulates for
   serialization only: no snoops, no supply, no fill, exactly one
   squash marker and one retry; a non-squashed transaction fills the
   requester cache exactly once and never retries.
+* **MSHR fairness** (cross-transaction rider) - waiters queued behind
+  a transaction are released at its retirement in exactly their wait
+  order, none dropped, none invented.
+* **Same-address serialization** (cross-transaction rider) - at any
+  instant at most one non-squashed write-involving transaction is in
+  flight per line: a conflicting issue must be squashed, and a squash
+  must have a conflict to justify it (Section 2.1.4 in event order).
 * **Time sanity** - hops and retirement never precede the issue, and
   retirement never precedes the last hop.
 
-The auditor is pure (no simulator imports beyond the event types), so
-it runs equally on live ``InMemorySink`` events and on traces read
-back from JSONL files.
+The auditor is pure (no simulator imports beyond the event types and
+the decision-table data model), so it runs equally on live
+``InMemorySink`` events and on traces read back from JSONL files.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.decision import DecisionTable
+from repro.core.primitives import Primitive
 from repro.obs.trace import EventType, TraceEvent
 from repro.ring.topology import ring_successors
 
@@ -79,12 +95,20 @@ class TraceAuditor:
             single embedded ring; traced runs on other topologies
             persist their cycle in the trace metadata
             (``meta["successors"]``) for replayed audits.
+        table: the audited algorithm's static
+            :class:`~repro.core.decision.DecisionTable`; enables the
+            policy-guarantee checks (skipped when ``None``, e.g. for
+            dynamic policies).
+        decouple_writes: the policy's write-decoupling declaration;
+            enables the write-snoop form check (skipped when ``None``).
     """
 
     def __init__(
         self,
         num_cmps: int,
         successors: Optional[Sequence[int]] = None,
+        table: Optional[DecisionTable] = None,
+        decouple_writes: Optional[bool] = None,
     ) -> None:
         if num_cmps < 2:
             raise ValueError("need at least 2 CMPs for a ring")
@@ -97,17 +121,31 @@ class TraceAuditor:
                 "successor table is not a permutation of %d nodes"
                 % num_cmps
             )
+        self._table = table
+        self._decouple_writes = decouple_writes
+        if table is not None:
+            # Hoist the policy alphabet once: what primitives any
+            # reachable row may emit after each prediction, and
+            # whether a snoop/forward is optional or mandated.
+            self._allowed_true = table.primitives_on(True)
+            self._allowed_false = table.primitives_on(False)
+        else:
+            self._allowed_true = ()
+            self._allowed_false = ()
 
     def audit(self, events: Iterable[TraceEvent]) -> List[Violation]:
         """All violations in ``events`` (empty list = clean trace)."""
         by_txn: Dict[int, List[TraceEvent]] = {}
+        ordered: List[TraceEvent] = []
         for event in events:
             if event.txn < 0:
                 continue  # machine events (e.g. downgrades): no FSM
+            ordered.append(event)
             by_txn.setdefault(event.txn, []).append(event)
         violations: List[Violation] = []
         for txn_id in sorted(by_txn):
             violations.extend(self._audit_txn(txn_id, by_txn[txn_id]))
+        violations.extend(self._check_serialization(ordered))
         return violations
 
     # ------------------------------------------------------------------
@@ -130,7 +168,9 @@ class TraceAuditor:
         self._check_recombination(events, flag)
         self._check_supply(events, flag)
         self._check_predictions(events, flag)
+        self._check_policy(events, flag)
         self._check_squash_discipline(squashed, events, flag)
+        self._check_mshr_fairness(events, flag)
         return out
 
     def _check_lifecycle(
@@ -163,12 +203,21 @@ class TraceAuditor:
         retire = retires[0]
         after_retire = events[events.index(retire) + 1:]
         for event in after_retire:
-            if event.type is not EventType.RETRY:
-                flag(
-                    "lifecycle",
-                    event.time,
-                    "%s emitted after retirement" % event.type.value,
-                )
+            # Retirement itself releases the MSHR waiters (phase
+            # "reissue"), and a squashed transaction's retry follows
+            # its retirement; anything else is a zombie event.
+            if event.type is EventType.RETRY:
+                continue
+            if (
+                event.type is EventType.MSHR
+                and event.data.get("phase") == "reissue"
+            ):
+                continue
+            flag(
+                "lifecycle",
+                event.time,
+                "%s emitted after retirement" % event.type.value,
+            )
         if retire.time < first.time:
             flag(
                 "time",
@@ -301,6 +350,236 @@ class TraceAuditor:
                     "%s predictor false negative at node %d"
                     % (kind, event.node),
                 )
+
+    def _check_policy(self, events: List[TraceEvent], flag) -> None:
+        """Policy-guarantee checks driven by the decision table (the
+        generalization of the predictor-guarantee rules): every snoop
+        decision the trace records must be one the table can emit."""
+        table = self._table
+        if table is not None:
+            # Pair each predictor lookup with the decision that
+            # follows it at the same node: the next SNOOP (the node
+            # snooped) or the next HOP (the node forwarded).  Other
+            # event types - MSHR joins, supplies landing from earlier
+            # nodes - may interleave and are skipped.
+            pending: Optional[TraceEvent] = None
+            for event in events:
+                if event.type is EventType.PREDICTOR:
+                    pending = event
+                    continue
+                if pending is None:
+                    continue
+                if event.type is EventType.SNOOP:
+                    if event.data.get("kind") == "read":
+                        self._check_read_decision(pending, event, flag)
+                    pending = None
+                elif event.type is EventType.HOP:
+                    prediction = bool(pending.data.get("prediction"))
+                    allowed = (
+                        self._allowed_true
+                        if prediction
+                        else self._allowed_false
+                    )
+                    if Primitive.FORWARD not in allowed:
+                        flag(
+                            "policy",
+                            event.time,
+                            "node %d forwarded without snooping on a "
+                            "%s prediction, but the policy mandates a "
+                            "snoop (%s)"
+                            % (
+                                pending.node,
+                                "positive" if prediction else "negative",
+                                "/".join(p.value for p in allowed),
+                            ),
+                        )
+                    pending = None
+            # Predictor-less policies (prediction implicitly True):
+            # every read snoop must still use a primitive from the
+            # table's positive-prediction alphabet.
+            alphabet = set(self._allowed_true) | set(self._allowed_false)
+            for event in events:
+                if (
+                    event.type is EventType.SNOOP
+                    and event.data.get("kind") == "read"
+                ):
+                    primitive = event.data.get("primitive")
+                    if primitive not in tuple(p.value for p in alphabet):
+                        flag(
+                            "policy",
+                            event.time,
+                            "read snoop used %r at node %d, outside the "
+                            "policy alphabet {%s}"
+                            % (
+                                primitive,
+                                event.node,
+                                ", ".join(
+                                    sorted(p.value for p in alphabet)
+                                ),
+                            ),
+                        )
+        if self._decouple_writes is not None:
+            expected = (
+                Primitive.FORWARD_THEN_SNOOP.value
+                if self._decouple_writes
+                else Primitive.SNOOP_THEN_FORWARD.value
+            )
+            for event in events:
+                if (
+                    event.type is EventType.SNOOP
+                    and event.data.get("kind") == "write"
+                    and event.data.get("primitive") != expected
+                ):
+                    flag(
+                        "policy",
+                        event.time,
+                        "write snoop used %r at node %d, but the policy "
+                        "declares %s write snoops (%s)"
+                        % (
+                            event.data.get("primitive"),
+                            event.node,
+                            "decoupled"
+                            if self._decouple_writes
+                            else "coupled",
+                            expected,
+                        ),
+                    )
+
+    def _check_read_decision(
+        self, lookup: TraceEvent, snoop: TraceEvent, flag
+    ) -> None:
+        prediction = bool(lookup.data.get("prediction"))
+        allowed = self._allowed_true if prediction else self._allowed_false
+        allowed_values = tuple(
+            p.value for p in allowed if p is not Primitive.FORWARD
+        )
+        primitive = snoop.data.get("primitive")
+        if not allowed_values:
+            flag(
+                "policy",
+                snoop.time,
+                "node %d snooped on a %s prediction, but every "
+                "reachable policy row forwards"
+                % (snoop.node, "positive" if prediction else "negative"),
+            )
+        elif primitive not in allowed_values:
+            flag(
+                "policy",
+                snoop.time,
+                "read snoop used %r at node %d on a %s prediction; "
+                "the policy allows {%s}"
+                % (
+                    primitive,
+                    snoop.node,
+                    "positive" if prediction else "negative",
+                    ", ".join(allowed_values),
+                ),
+            )
+
+    def _check_mshr_fairness(self, events: List[TraceEvent], flag) -> None:
+        """Waiters queued behind this transaction must be released at
+        retirement in exactly their wait order (the ROADMAP's
+        MSHR-waiter fairness rider)."""
+        waits: List[Tuple[int, int]] = []
+        reissues: List[Tuple[int, int]] = []
+        for event in events:
+            if event.type is not EventType.MSHR:
+                continue
+            phase = event.data.get("phase")
+            record = (
+                int(event.data.get("core", -1)),
+                int(event.data.get("position", -1)),
+            )
+            if phase == "wait":
+                waits.append(record)
+            elif phase == "reissue":
+                reissues.append(record)
+            else:
+                flag(
+                    "mshr",
+                    event.time,
+                    "unknown mshr phase %r" % phase,
+                )
+        if not waits and not reissues:
+            return
+        anchor = events[-1].time
+        if [w[0] for w in waits] != [r[0] for r in reissues]:
+            flag(
+                "mshr",
+                anchor,
+                "waiters joined as cores %s but were released as %s "
+                "(must retire in wait order)"
+                % ([w[0] for w in waits], [r[0] for r in reissues]),
+            )
+        for queue, label in ((waits, "wait"), (reissues, "reissue")):
+            positions = [p for _, p in queue]
+            if positions != list(range(len(queue))):
+                flag(
+                    "mshr",
+                    anchor,
+                    "%s positions %s are not the contiguous queue "
+                    "order %s"
+                    % (label, positions, list(range(len(queue)))),
+                )
+
+    def _check_serialization(
+        self, events: List[TraceEvent]
+    ) -> List[Violation]:
+        """Whole-trace sweep: same-address transactions serialize.
+
+        Replays issues/retirements in emission order and checks the
+        collision rule the ring enforces (Section 2.1.4): a new
+        transaction must be squashed exactly when a non-squashed
+        write-involving transaction on the same line is in flight, and
+        concurrent non-squashed *reads* are the only legal overlap.
+        """
+        out: List[Violation] = []
+        # address -> {txn_id: (is_write, squashed)} for in-flight txns
+        active: Dict[int, Dict[int, Tuple[bool, bool]]] = {}
+        for event in events:
+            if event.type is EventType.ISSUE:
+                address = event.address
+                is_write = event.data.get("kind") == "write"
+                squashed = bool(event.data.get("squashed", False))
+                inflight = active.setdefault(address, {})
+                conflict = any(
+                    not other_squashed and (is_write or other_write)
+                    for other_write, other_squashed in inflight.values()
+                )
+                if conflict and not squashed:
+                    out.append(
+                        Violation(
+                            event.txn,
+                            "serialization",
+                            event.time,
+                            "non-squashed %s issued on line %#x with a "
+                            "conflicting write-involving transaction "
+                            "in flight"
+                            % (
+                                "write" if is_write else "read",
+                                address,
+                            ),
+                        )
+                    )
+                elif squashed and not conflict:
+                    out.append(
+                        Violation(
+                            event.txn,
+                            "serialization",
+                            event.time,
+                            "transaction issued squashed on line %#x "
+                            "with no conflicting transaction in flight"
+                            % address,
+                        )
+                    )
+                inflight[event.txn] = (is_write, squashed)
+            elif event.type is EventType.RETIRE:
+                inflight = active.get(event.address)
+                if inflight is not None:
+                    inflight.pop(event.txn, None)
+                    if not inflight:
+                        del active[event.address]
+        return out
 
     def _check_squash_discipline(
         self, squashed: bool, events: List[TraceEvent], flag

@@ -57,6 +57,11 @@ class EventType(enum.Enum):
     SQUASH = "squash"
     #: A squashed transaction re-issued after its back-off.
     RETRY = "retry"
+    #: MSHR waiter activity behind an in-flight transaction: a
+    #: same-CMP core joined the wait queue, or a waiter was released
+    #: at retirement (data: phase ("wait" | "reissue"), core,
+    #: position).  ``txn`` is the blocking transaction.
+    MSHR = "mshr"
     #: The requester cache installed the line
     #: (data: source, version).
     FILL = "fill"

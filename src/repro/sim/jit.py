@@ -78,7 +78,6 @@ from repro.sim.soa import (
     _P_FTS,
     _P_FWD,
     _PRIM_INT,
-    _PURE_CHOICE,
     SoaRingMultiprocessor,
     SoaUnsupportedError,
     check_soa_supported,
@@ -118,10 +117,14 @@ def check_jit_supported(
     ``algorithm``, when given) fit the compiled kernel's envelope.
 
     The config envelope is exactly the SoA core's.  On top of it the
-    kernel requires the snooping algorithm's ``choose`` to be a pure
-    function of the prediction: the built-in seven qualify, and
-    ``superset_hybrid`` qualifies while it has no energy-pressure
-    source (its ``choose`` is then constant-True -> aggressive).
+    kernel requires the snooping algorithm to publish a static
+    :class:`~repro.core.decision.DecisionTable` (the decision seam's
+    contract): the table, its criticality thresholds, and its counted
+    output are hoisted into plain kernel ints.  Every built-in
+    qualifies - including ``superset_hybrid`` without an
+    energy-pressure source and ``criticality`` - so the only excluded
+    policies are genuinely dynamic ones (``decision_table()`` is
+    None), whose ``choose`` must run as Python per hop.
     """
     try:
         check_soa_supported(config, trace_sink)
@@ -131,16 +134,12 @@ def check_jit_supported(
         ) from None
     if algorithm is None:
         return
-    if algorithm.name in _PURE_CHOICE:
-        return
-    if (
-        algorithm.name == "superset_hybrid"
-        and getattr(algorithm, "_energy_pressure", None) is None
-    ):
+    if algorithm.decision_table() is not None:
         return
     raise JitUnsupportedError(
-        "core=jit does not support: algorithm %r (dynamic choose()); "
-        "use core=object" % algorithm.name
+        "core=jit does not support: algorithm %r (dynamic choose(), "
+        "decision inputs %s); use core=object"
+        % (algorithm.name, "/".join(algorithm.decision_inputs()))
     )
 
 
@@ -149,12 +148,14 @@ def check_jit_supported(
 
 #: Transaction row stride.  Slots 0-15 mirror the SoA ``_T_*`` slots
 #: (``DA`` uses -1 for "no data arrival yet"); 16-19 are the intrusive
-#: active-list links and the MSHR waiter count.
-_NT = 20
+#: active-list links and the MSHR waiter count; 20 is the requester's
+#: retry-count snapshot (the decision context's ``retries`` field).
+_NT = 21
 # 0 write  1 addr(dense)  2 req cmp  3 core  4 issue  5 needs
 # 6 da(-1) 7 sver  8 pref  9 retired  10 next node  11 split
 # 12 reply 13 sat  14 satr  15 squashed
 # 16 active-next  17 active-prev  18 in-active-list  19 waiter count
+# 20 retry snapshot
 
 # Event op codes (identical to the SoA core's).
 _OP_ISSUE = 0
@@ -628,7 +629,8 @@ def _build(decorate, alloc_i64):
         mem_local, mem_remote, mem_prefetched,
         warmup_target, max_events, collect_perfect,
         uses_pred, is_perfect, prim_true, prim_false,
-        decouple, is_superset, pred_latency, pkind, count_hybrid,
+        crit_true, crit_false, retry_thr, waiter_thr, has_crit,
+        decouple, is_superset, pred_latency, pkind, counted,
         cost_ring, cost_snoop, cost_dop, cost_dmem,
         init_downgrades, init_dg_writebacks, init_e_dops, init_e_dmem,
         torus, raw_of,
@@ -645,7 +647,7 @@ def _build(decorate, alloc_i64):
         loop; the ring walk and the write commit run as funnel blocks
         after dispatch and the warmup reset is deferred to the end of
         the iteration (both proven order-neutral, see module doc)."""
-        NT = 20
+        NT = 21
         num_cores = num_cmps * cpc
 
         # -- measurement state ----------------------------------------
@@ -687,7 +689,10 @@ def _build(decorate, alloc_i64):
         e_snoop = 0.0
         e_dops = init_e_dops
         e_dmem = init_e_dmem
-        hyb_agg = 0
+        # Counted policy output (``counted``: 0 none, 1 positive
+        # predictions, 2 critical-row decisions).  Never reset at
+        # warmup end - the object core's counters are not either.
+        choice_count = 0
 
         # -- machine state --------------------------------------------
         heap_cap = 1024
@@ -710,6 +715,10 @@ def _build(decorate, alloc_i64):
             act_head[i] = -1
             act_tail[i] = -1
         core_pos = alloc_i64(num_cores)
+        # Requester criticality: retry count of each core's current
+        # access (reset at fresh issue, bumped per retry, snapshotted
+        # onto the transaction row at ring issue).
+        core_retry = alloc_i64(num_cores)
         seq = 0
         now = 0
         processed = 0
@@ -799,8 +808,11 @@ def _build(decorate, alloc_i64):
                 if op == 4:
                     retries += 1
                     c = tx[a * NT + 3]
+                    core_retry[c] += 1
                 else:
                     c = a
+                    if op == 0:
+                        core_retry[c] = 0
                 cur = core_pos[c]
                 is_w = acc_write[cur]
                 if op != 0:
@@ -981,6 +993,7 @@ def _build(decorate, alloc_i64):
                         tx[o2 + 14] = 0
                         tx[o2 + 15] = squashed
                         tx[o2 + 19] = 0
+                        tx[o2 + 20] = core_retry[c]
                         if is_w:
                             needs = 1
                             base = cmp * cpc
@@ -1537,9 +1550,21 @@ def _build(decorate, alloc_i64):
                             else:
                                 prediction = 1
                                 plat = 0
-                            primitive = prim_true if prediction else prim_false
-                            if count_hybrid and prediction:
-                                hyb_agg += 1
+                            if has_crit and (
+                                tx[o + 20] >= retry_thr
+                                or tx[o + 19] >= waiter_thr
+                            ):
+                                primitive = (
+                                    crit_true if prediction else crit_false
+                                )
+                                if counted == 2:
+                                    choice_count += 1
+                            else:
+                                primitive = (
+                                    prim_true if prediction else prim_false
+                                )
+                            if counted == 1 and prediction:
+                                choice_count += 1
                             if primitive == 0:  # FORWARD
                                 if supplier_here:
                                     raise CoherenceError(
@@ -1749,7 +1774,7 @@ def _build(decorate, alloc_i64):
             read_miss_latency_sum, read_miss_count,
             supplier_latency_sum, supplier_latency_count,
             e_ring, e_snoop, e_dops, e_dmem,
-            warmup_end_time, seq, processed, hyb_agg,
+            warmup_end_time, seq, processed, choice_count,
             lat, lat_len,
         )
 
@@ -1843,18 +1868,25 @@ class JitRingMultiprocessor(SoaRingMultiprocessor):
         ]
 
         uses_pred = algorithm.uses_predictor()
-        if algorithm.name in _PURE_CHOICE:
-            prim_true = _PRIM_INT[algorithm.choose(True)]
-            prim_false = _PRIM_INT[algorithm.choose(False)]
-            count_hybrid = 0
+        # Decision seam: the policy's static table (check_jit_supported
+        # guarantees it exists) hoisted into plain kernel ints - the
+        # table is data, so no choose() call (and no counter mutation)
+        # happens here or anywhere on the kernel path.
+        table = algorithm.decision_table()
+        assert table is not None  # enforced by check_jit_supported
+        prim_true = _PRIM_INT[table.on_true]
+        prim_false = _PRIM_INT[table.on_false]
+        crit_true = _PRIM_INT[table.critical_true]
+        crit_false = _PRIM_INT[table.critical_false]
+        retry_thr = table.retry_threshold
+        waiter_thr = table.waiter_threshold
+        has_crit = 1 if table.has_criticality() else 0
+        if table.counts == "pred_true":
+            counted = 1
+        elif table.counts == "critical":
+            counted = 2
         else:
-            # superset_hybrid with no energy-pressure source (the only
-            # dynamic algorithm inside the envelope): choose(True) is
-            # always the counted aggressive FTS arm, choose(False) is
-            # FORWARD.  Never call choose() here - it mutates counters.
-            prim_true = _P_FTS
-            prim_false = _P_FWD
-            count_hybrid = 1
+            counted = 0
         predictors = self._predictors
         is_perfect = isinstance(predictors[0], PerfectPredictor)
         is_superset = kind == "superset"
@@ -2129,7 +2161,7 @@ class JitRingMultiprocessor(SoaRingMultiprocessor):
             read_miss_latency_sum, read_miss_count,
             supplier_latency_sum, supplier_latency_count,
             e_ring, e_snoop, e_dops, e_dmem,
-            warmup_end_time, seq, processed, hyb_agg,
+            warmup_end_time, seq, processed, choice_count,
             lat, lat_len,
         ) = kernel(
             num_cmps, cpc, num_sets, assoc, nU,
@@ -2146,9 +2178,10 @@ class JitRingMultiprocessor(SoaRingMultiprocessor):
             1 if self.collect_perfect else 0,
             1 if uses_pred else 0, 1 if is_perfect else 0,
             prim_true, prim_false,
+            crit_true, crit_false, retry_thr, waiter_thr, has_crit,
             1 if algorithm.decouple_writes else 0,
             1 if is_superset else 0,
-            pred_latency, pkind, count_hybrid,
+            pred_latency, pkind, counted,
             config.energy.ring_link_message, config.energy.cmp_snoop,
             config.energy.downgrade_cache_access,
             config.energy.memory_line_access,
@@ -2183,10 +2216,11 @@ class JitRingMultiprocessor(SoaRingMultiprocessor):
                 predictor.exclude_inserts = int(  # type: ignore
                     ex_ins[cmp_id]
                 )
-        if count_hybrid:
-            algorithm.aggressive_choices += int(  # type: ignore
-                hyb_agg
-            )
+        if counted:
+            # Counted policy output: fold the kernel's tally back into
+            # the algorithm's declared counter (hybrid
+            # aggressive_choices, criticality critical_choices).
+            algorithm.fold_choice_counts(int(choice_count))
 
         # -- finalize (mirrors the SoA core line for line) --------------
         stats = RunStats()

@@ -70,6 +70,7 @@ from repro.coherence.protocol import CoherenceError
 from repro.coherence.states import LineState
 from repro.config import MachineConfig, PredictorConfig
 from repro.core.algorithms import SnoopingAlgorithm
+from repro.core.decision import DecisionContext
 from repro.core.predictors import (
     ExactPredictor,
     PerfectPredictor,
@@ -168,9 +169,10 @@ _PRIM_INT = {
     Primitive.SNOOP_THEN_FORWARD: _P_STF,
 }
 
-#: Built-in algorithms whose ``choose`` is a pure function of the
-#: prediction (SupersetHybrid mutates per-call counters and stays on
-#: the dynamic path).
+#: Legacy export (pre-decision-seam): algorithms whose ``choose`` was
+#: a pure function of the prediction.  The cores now hoist whatever
+#: ``algorithm.decision_table()`` publishes instead of consulting this
+#: set; it is kept only for external callers pinned to the old name.
 _PURE_CHOICE = frozenset(
     ("lazy", "eager", "oracle", "subset", "superset_con", "superset_agg", "exact")
 )
@@ -193,6 +195,7 @@ _T_REPLY = 13  # trailing reply time (SPLIT only)
 _T_SAT = 14  # satisfied (combined reply)
 _T_SATR = 15  # satisfied_reply
 _T_SQ = 16  # squashed
+_T_RETRY = 17  # requester retry count snapshot (decision context)
 
 # Core record slots.
 _K_ID = 0
@@ -305,6 +308,10 @@ class SoaRingMultiprocessor:
             )
         self.config = config
         self.algorithm = algorithm
+        # Resolved predictor kind onto the policy (see
+        # SnoopingAlgorithm.bind_predictor_kind): a predictor override
+        # must charge lookup latency/energy like the object core does.
+        algorithm.bind_predictor_kind(config.predictor.kind)
         self.source = source
         self.collect_perfect = collect_perfect
         self.warmup_fraction = warmup_fraction
@@ -741,13 +748,48 @@ class SoaRingMultiprocessor:
 
         uses_pred = algorithm.uses_predictor()
         decouple = algorithm.decouple_writes
-        pure_choice = algorithm.name in _PURE_CHOICE
-        if pure_choice:
-            prim_true = _PRIM_INT[algorithm.choose(True)]
-            prim_false = _PRIM_INT[algorithm.choose(False)]
+        # Decision seam: a policy that publishes a static table is
+        # hoisted into plain ints here and never called per hop; a
+        # dynamic policy (table is None, e.g. SupersetHybrid with an
+        # energy-pressure probe) keeps the per-hop Python call with a
+        # full decision context.
+        table = algorithm.decision_table()
+        static_choice = table is not None
+        if static_choice:
+            prim_true = _PRIM_INT[table.on_true]
+            prim_false = _PRIM_INT[table.on_false]
+            crit_true = _PRIM_INT[table.critical_true]
+            crit_false = _PRIM_INT[table.critical_false]
+            retry_thr = table.retry_threshold
+            waiter_thr = table.waiter_threshold
+            has_crit = table.has_criticality()
+            count_pred_true = table.counts == "pred_true"
+            count_critical = table.counts == "critical"
         else:
-            prim_true = prim_false = _P_FWD
+            prim_true = prim_false = crit_true = crit_false = _P_FWD
+            retry_thr = waiter_thr = 1 << 62
+            has_crit = False
+            count_pred_true = count_critical = False
+        counted = static_choice and table.counts is not None
+        #: counted-output tally (folded back into the algorithm's
+        #: declared counter after the run; never reset at warmup end,
+        #: matching the object core's counters)
+        choice_count = 0
         choose = algorithm.choose
+        # Ring age of a message at each node = successor-cycle distance
+        # from its requester (only the dynamic decision path reads it).
+        if not static_choice:
+            ring_dist = [[0] * num_cmps for _ in range(num_cmps)]
+            for _src in range(num_cmps):
+                _node, _d = _src, 0
+                while True:
+                    _node = succ[_node]
+                    _d += 1
+                    ring_dist[_src][_node] = _d
+                    if _node == _src:
+                        break
+        else:
+            ring_dist = []
         predictors = self._predictors
         is_perfect = isinstance(predictors[0], PerfectPredictor)
         kind = config.predictor.kind
@@ -790,6 +832,11 @@ class SoaRingMultiprocessor:
                 }
             core_sets[core_id][set_index] = cache_set
             return cache_set
+
+        # Requester criticality: retry count of each core's current
+        # access (reset at fresh issue, bumped per retry, snapshotted
+        # onto the transaction record at ring issue).
+        core_retries = [0] * num_cores
 
         # --- measurement state (single-frame locals) -------------------
         reads = writes = 0
@@ -1067,6 +1114,7 @@ class SoaRingMultiprocessor:
             nonlocal p_tp, p_tn, a_tp, a_tn, a_fp, a_fn
             nonlocal reads_supplied_by_cache, supplier_latency_sum
             nonlocal supplier_latency_count, writes_supplied_by_cache
+            nonlocal choice_count
             requester = txn[_T_REQ]
             is_write = txn[_T_WRITE]
             address = txn[_T_ADDR]
@@ -1199,10 +1247,35 @@ class SoaRingMultiprocessor:
                         else:
                             prediction = True
                             plat = 0
-                        if pure_choice:
-                            primitive = prim_true if prediction else prim_false
+                        if static_choice:
+                            if has_crit and (
+                                txn[_T_RETRY] >= retry_thr
+                                or len(txn[_T_WAIT]) >= waiter_thr
+                            ):
+                                primitive = (
+                                    crit_true if prediction else crit_false
+                                )
+                                if count_critical:
+                                    choice_count += 1
+                            else:
+                                primitive = (
+                                    prim_true if prediction else prim_false
+                                )
+                            if count_pred_true and prediction:
+                                choice_count += 1
                         else:
-                            primitive = _PRIM_INT[choose(prediction)]
+                            primitive = _PRIM_INT[
+                                choose(
+                                    DecisionContext(
+                                        prediction,
+                                        retries=txn[_T_RETRY],
+                                        waiters=len(txn[_T_WAIT]),
+                                        ring_age=ring_dist[txn[_T_REQ]][
+                                            node_id
+                                        ],
+                                    )
+                                )
+                            ]
                         if primitive == _P_FWD:
                             if supplier_here:
                                 raise CoherenceError(
@@ -1445,6 +1518,7 @@ class SoaRingMultiprocessor:
                 False,  # _T_SAT
                 False,  # _T_SATR
                 squashed,  # _T_SQ
+                core_retries[core[_K_ID]],  # _T_RETRY
             ]
             if is_write:
                 base = cmp_id * cpc
@@ -1503,6 +1577,7 @@ class SoaRingMultiprocessor:
                 walk(txn, txn[_T_NEXT], now, True)
             elif op == _OP_ISSUE:
                 core = event[3]
+                core_retries[core[_K_ID]] = 0
                 if core[_K_CUR].is_write:
                     handle_write(core)
                 else:
@@ -1628,6 +1703,7 @@ class SoaRingMultiprocessor:
                 txn = event[3]
                 retries += 1
                 core = txn[_T_CORE]
+                core_retries[core[_K_ID]] += 1
                 if core[_K_CUR].is_write:
                     writes -= 1
                     handle_write(core)
@@ -1691,6 +1767,12 @@ class SoaRingMultiprocessor:
         stats.exec_time = max(finish - warmup_end_time, 0)
         stats.events_scheduled = seq
         stats.events_fired = processed
+
+        if counted:
+            # Counted policy output (e.g. hybrid aggressive_choices,
+            # criticality critical_choices): fold the fused loop's
+            # tally back into the algorithm's declared counter.
+            algorithm.fold_choice_counts(choice_count)
 
         energy = EnergyModel(config.energy, kind)
         breakdown = energy.breakdown

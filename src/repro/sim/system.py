@@ -155,6 +155,10 @@ class RingMultiprocessor:
             )
         self.config = config
         self.algorithm = algorithm
+        # Bind the machine's *resolved* predictor kind onto the policy
+        # so uses_predictor() (latency/energy charging) follows any
+        # predictor override rather than the class default.
+        algorithm.bind_predictor_kind(config.predictor.kind)
         self.source = source
         # Back-compat attribute: the materialized trace when one is
         # available without breaking the streaming contract, else the

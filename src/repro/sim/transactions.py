@@ -80,6 +80,7 @@ class Transaction:
         "supplier_cmp",
         "prefetch_initiated",
         "waiters",
+        "retry_count",
         "retired",
         "next_node",
         "path",
@@ -114,6 +115,10 @@ class Transaction:
         self.supplier_cmp: Optional[int] = None
         self.prefetch_initiated = False
         self.waiters: List[Core] = []
+        #: requester's retry count for the current access, snapshotted
+        #: at issue (the ``retries`` field of the decision context the
+        #: walker builds at each read hop)
+        self.retry_count = 0
         self.retired = False
         #: node the next scheduled walk event processes (primed with
         #: the topology's first route stop at issue, then maintained by
@@ -166,6 +171,11 @@ class TransactionManager:
             self._make_issue_handler(core) for core in cores
         ]
         self._active: Dict[int, List[Transaction]] = {}
+        # Requester criticality: squash/retry cycles survived by each
+        # core's *current* access (reset when a fresh access issues,
+        # bumped on every retry).  Snapshotted onto the transaction at
+        # ring issue for the walker's decision context.
+        self._core_retries: List[int] = [0] * len(cores)
         self._txn_seq = 0
         self._write_counter = 0
         # Message pool + simulator-efficiency counters (surfaced on
@@ -221,6 +231,7 @@ class TransactionManager:
 
     def _issue_access(self, core: Core) -> None:
         access = core.current_access
+        self._core_retries[core.core_id] = 0
         core.block(self.engine.now)
         if access.is_write:
             self.handle_write(core, access)
@@ -332,8 +343,25 @@ class TransactionManager:
         if active_list:
             for txn in active_list:
                 if txn.requester_cmp == core.cmp_id:
+                    position = len(txn.waiters)
                     txn.waiters.append(core)
                     self.stats.mshr_queued += 1
+                    trace = self._trace
+                    if trace is not None:
+                        trace.emit(
+                            TraceEvent(
+                                now,
+                                EventType.MSHR,
+                                txn.txn_id,
+                                core.cmp_id,
+                                address,
+                                {
+                                    "phase": "wait",
+                                    "core": core.core_id,
+                                    "position": position,
+                                },
+                            )
+                        )
                     return
             # A write-involving overlap on the same line from another
             # CMP is a collision; the younger message is squashed and
@@ -382,6 +410,7 @@ class TransactionManager:
             msg=msg,
             expected_version=self.last_completed_write.get(address, 0),
         )
+        txn.retry_count = self._core_retries[core.core_id]
         if kind is SnoopKind.WRITE:
             # Data for the write can come from the writer's own copy
             # or from any valid copy in the CMP (supplied over the CMP
@@ -409,6 +438,7 @@ class TransactionManager:
                         "kind": kind.value,
                         "core": core.core_id,
                         "squashed": squashed,
+                        "retries": txn.retry_count,
                     },
                 )
             )
@@ -457,7 +487,22 @@ class TransactionManager:
             txn.msg = None
             self._msg_pool.append(msg)
         waiters, txn.waiters = txn.waiters, []
-        for waiter in waiters:
+        for position, waiter in enumerate(waiters):
+            if trace is not None:
+                trace.emit(
+                    TraceEvent(
+                        self.engine.now,
+                        EventType.MSHR,
+                        txn.txn_id,
+                        txn.requester_cmp,
+                        txn.address,
+                        {
+                            "phase": "reissue",
+                            "core": waiter.core_id,
+                            "position": position,
+                        },
+                    )
+                )
             self.engine.call_after(0, self._make_reissue_handler(waiter))
 
     def _make_reissue_handler(self, core: Core) -> Callable[[], None]:
@@ -481,6 +526,7 @@ class TransactionManager:
 
     def retry(self, txn: Transaction) -> None:
         self.stats.retries += 1
+        self._core_retries[txn.core.core_id] += 1
         trace = self._trace
         if trace is not None:
             trace.emit(

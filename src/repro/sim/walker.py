@@ -37,6 +37,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.coherence.protocol import CoherenceError
+from repro.core.decision import DecisionContext
 from repro.core.predictors import PerfectPredictor
 from repro.core.primitives import Primitive, apply_primitive
 from repro.obs.trace import EventType, TraceEvent, TraceSink
@@ -93,6 +94,18 @@ class RingWalker:
         self._predictor_kind = config.predictor.kind
         self._uses_predictor = algorithm.uses_predictor()
         self._choose = algorithm.choose
+        # Decision-context plumbing: policies that read only the
+        # prediction (every paper algorithm, and dynamic policies like
+        # the pressured SupersetHybrid whose extra input lives outside
+        # the context) get two preallocated contexts, keeping the
+        # common read hop allocation-free; policies that read the
+        # requester's urgency fields get a fresh context per decision.
+        inputs = algorithm.decision_inputs()
+        self._ctx_needs_txn = bool(
+            set(inputs) & {"retries", "waiters", "ring_age"}
+        )
+        self._ctx_true = DecisionContext(True)
+        self._ctx_false = DecisionContext(False)
         self._prefetch_on_snoop = config.memory.prefetch_on_snoop
         self._home_of = memory.home_of
         self._ring_of = topology.ring_of
@@ -480,7 +493,16 @@ class RingWalker:
             prediction = True
             predictor_latency = 0
 
-        primitive = self._choose(prediction)
+        if self._ctx_needs_txn:
+            ctx = DecisionContext(
+                prediction,
+                retries=txn.retry_count,
+                waiters=len(txn.waiters),
+                ring_age=msg.hops_request,
+            )
+        else:
+            ctx = self._ctx_true if prediction else self._ctx_false
+        primitive = self._choose(ctx)
         if primitive is Primitive.FORWARD:
             if supplier_here:
                 raise CoherenceError(

@@ -1,0 +1,121 @@
+"""28-cell equivalence of the legacy algorithms under the decision seam.
+
+The DecisionPolicy refactor replaced the per-hop ``choose(prediction)``
+callback with hoisted decision tables in both array cores.  This matrix
+pins the refactor's central claim cell by cell: all seven paper
+algorithms, on both array cores, at both warmup settings (7 x 2 x 2 =
+28 cells), produce summaries bit-identical to the object core running
+the identical scenario.
+
+The two post-paper policies ride the same seam and get the stronger
+check: their declared counted outputs (``aggressive_choices`` /
+``critical_choices``) must match the object core's Python-side tallies
+exactly on both array cores.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.config import default_machine
+from repro.core.algorithms import build_algorithm
+from repro.sim.jit import JitRingMultiprocessor
+from repro.sim.soa import SoaRingMultiprocessor
+from repro.sim.system import RingMultiprocessor
+from repro.workloads.source import SyntheticSource
+from repro.workloads.synthetic import SharingProfile
+
+LEGACY_ALGORITHMS = (
+    "lazy",
+    "eager",
+    "oracle",
+    "subset",
+    "superset_con",
+    "superset_agg",
+    "exact",
+)
+
+ARRAY_CORES = {
+    "soa": SoaRingMultiprocessor,
+    "jit": JitRingMultiprocessor,
+}
+
+WARMUPS = (0.0, 0.3)
+
+PROFILE = SharingProfile(
+    name="seam",
+    num_cores=8,
+    cores_per_cmp=2,
+    accesses_per_core=120,
+    seed=7,
+)
+
+
+def _machine(algorithm: str):
+    return default_machine(
+        algorithm=algorithm, cores_per_cmp=2, num_cmps=4
+    )
+
+
+def _run(core_cls, algorithm_name: str, warmup: float):
+    algorithm = build_algorithm(algorithm_name)
+    result = core_cls(
+        _machine(algorithm_name),
+        algorithm,
+        SyntheticSource(PROFILE),
+        warmup_fraction=warmup,
+    ).run()
+    return result, algorithm
+
+
+#: Object-core baselines, computed once per (algorithm, warmup).
+_BASELINES: Dict[Tuple[str, float], dict] = {}
+
+
+def _baseline_summary(algorithm_name: str, warmup: float) -> dict:
+    key = (algorithm_name, warmup)
+    if key not in _BASELINES:
+        result, _ = _run(RingMultiprocessor, algorithm_name, warmup)
+        _BASELINES[key] = result.summary()
+    return _BASELINES[key]
+
+
+@pytest.mark.parametrize("warmup", WARMUPS)
+@pytest.mark.parametrize("core", sorted(ARRAY_CORES))
+@pytest.mark.parametrize("algorithm", LEGACY_ALGORITHMS)
+def test_legacy_cell_bit_identical(algorithm, core, warmup):
+    result, _ = _run(ARRAY_CORES[core], algorithm, warmup)
+    assert result.summary() == _baseline_summary(algorithm, warmup)
+
+
+@pytest.mark.parametrize("core", sorted(ARRAY_CORES))
+def test_criticality_summary_and_counter_match_object(core):
+    object_result, object_algorithm = _run(
+        RingMultiprocessor, "criticality", 0.3
+    )
+    array_result, array_algorithm = _run(
+        ARRAY_CORES[core], "criticality", 0.3
+    )
+    assert array_result.summary() == object_result.summary()
+    assert (
+        array_algorithm.critical_choices
+        == object_algorithm.critical_choices
+    )
+
+
+@pytest.mark.parametrize("core", sorted(ARRAY_CORES))
+def test_hybrid_summary_and_counter_match_object(core):
+    object_result, object_algorithm = _run(
+        RingMultiprocessor, "superset_hybrid", 0.3
+    )
+    array_result, array_algorithm = _run(
+        ARRAY_CORES[core], "superset_hybrid", 0.3
+    )
+    assert array_result.summary() == object_result.summary()
+    assert (
+        array_algorithm.aggressive_choices
+        == object_algorithm.aggressive_choices
+    )
+    assert object_algorithm.aggressive_choices > 0

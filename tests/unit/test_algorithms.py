@@ -102,6 +102,7 @@ def test_registry_contains_all_algorithms():
         "superset_agg",
         "superset_hybrid",
         "exact",
+        "criticality",
     }
 
 

@@ -1,0 +1,315 @@
+"""Hand-built traces violating each of the PR's new auditor rules.
+
+Three rule families landed with the decision seam:
+
+* ``policy`` - table-driven generalization of the predictor
+  guarantees: snoop decisions must belong to the audited policy's
+  :class:`~repro.core.decision.DecisionTable` alphabet, and write
+  snoops must use the declared coupled/decoupled form;
+* ``mshr`` - cross-transaction MSHR-waiter fairness (waiters release
+  at retirement in exactly their wait order);
+* ``serialization`` - same-address transactions serialize: a
+  conflicting issue must be squashed, and a squash must have a
+  conflict justifying it.
+
+Each test builds the smallest trace that breaks exactly one rule, plus
+the matching clean variant, so a future auditor change that silently
+stops flagging (or starts over-flagging) fails here.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms import build_algorithm
+from repro.obs.audit import TraceAuditor
+from repro.obs.trace import EventType, TraceEvent
+
+ADDRESS = 0x2A40
+
+
+def _ev(time, type_, txn=1, node=0, address=ADDRESS, **data):
+    return TraceEvent(time, type_, txn, node, address, data)
+
+
+def _clean_txn(txn=1, node=0, t0=100, num_cmps=2, address=ADDRESS,
+               kind="read", mode="split"):
+    # mode="combined" keeps a trace with snoop_then_forward snoops
+    # clean of the recombination rule (STF must forward combined).
+    events = [
+        _ev(t0, EventType.ISSUE, txn, node, address,
+            kind=kind, core=0, squashed=False)
+    ]
+    time, current = t0, node
+    for _ in range(num_cmps):
+        to = (current + 1) % num_cmps
+        events.append(
+            _ev(time, EventType.HOP, txn, current, address,
+                to=to, arrival=time + 39, mode=mode,
+                satisfied=False, squashed=False)
+        )
+        time += 39
+        current = to
+    events.append(
+        _ev(time + 400, EventType.FILL, txn, node, address,
+            source="memory", version=0)
+    )
+    events.append(
+        _ev(time + 400, EventType.RETIRE, txn, node, address,
+            kind=kind, squashed=False)
+    )
+    return events
+
+
+def _rules(violations):
+    return [violation.rule for violation in violations]
+
+
+def _policy_auditor(algorithm_name, decouple_writes=None):
+    algorithm = build_algorithm(algorithm_name)
+    return TraceAuditor(
+        num_cmps=2,
+        table=algorithm.decision_table(),
+        decouple_writes=decouple_writes,
+    )
+
+
+# ----------------------------------------------------------------------
+# policy: alphabet and per-prediction decisions
+
+
+def test_policy_flags_primitive_outside_alphabet():
+    # Lazy's alphabet is {snoop_then_forward}; a forward_then_snoop
+    # read snoop cannot be one of its decisions.
+    events = _clean_txn()
+    events.insert(
+        2,
+        _ev(110, EventType.SNOOP, node=1, kind="read",
+            primitive="forward_then_snoop", snoop_done=170,
+            supplied=False),
+    )
+    assert "policy" in _rules(_policy_auditor("lazy").audit(events))
+
+
+def test_policy_accepts_alphabet_primitive():
+    events = _clean_txn(mode="combined")
+    events.insert(
+        2,
+        _ev(110, EventType.SNOOP, node=1, kind="read",
+            primitive="snoop_then_forward", snoop_done=170,
+            supplied=False),
+    )
+    assert _policy_auditor("lazy").audit(events) == []
+
+
+def test_policy_flags_snoop_on_filtering_prediction():
+    # Superset Con filters (forwards) on every negative prediction: a
+    # recorded snoop right after a negative lookup is a policy break.
+    events = _clean_txn(mode="combined")
+    events.insert(
+        2,
+        _ev(109, EventType.PREDICTOR, node=1, kind="superset",
+            prediction=False, truth=False),
+    )
+    events.insert(
+        3,
+        _ev(110, EventType.SNOOP, node=1, kind="read",
+            primitive="snoop_then_forward", snoop_done=170,
+            supplied=False),
+    )
+    violations = _policy_auditor("superset_con").audit(events)
+    assert _rules(violations) == ["policy"]
+    assert "every reachable policy row forwards" in str(violations[0])
+
+
+def test_policy_flags_forward_on_mandatory_snoop():
+    # Lazy snoops on every hop; a predictor lookup followed directly
+    # by the hop (no snoop) means the node forwarded unsnooped.
+    events = _clean_txn()
+    events.insert(
+        2,
+        _ev(138, EventType.PREDICTOR, node=1, kind="superset",
+            prediction=False, truth=False),
+    )
+    assert "policy" in _rules(_policy_auditor("lazy").audit(events))
+
+
+def test_policy_accepts_forward_on_negative_prediction():
+    # Superset Con may forward on a negative prediction - the same
+    # trace shape that breaks Lazy is clean here.
+    events = _clean_txn()
+    events.insert(
+        2,
+        _ev(138, EventType.PREDICTOR, node=1, kind="superset",
+            prediction=False, truth=False),
+    )
+    assert _policy_auditor("superset_con").audit(events) == []
+
+
+def test_policy_criticality_allows_both_rows():
+    # Criticality may answer a positive prediction with either STF
+    # (calm) or FTS (critical); both appear in one trace legally.
+    events = _clean_txn(num_cmps=3, mode="combined")
+    events.insert(
+        2,
+        _ev(105, EventType.SNOOP, node=1, kind="read",
+            primitive="snoop_then_forward", snoop_done=160,
+            supplied=False),
+    )
+    events.insert(
+        4,
+        _ev(150, EventType.SNOOP, node=2, kind="read",
+            primitive="forward_then_snoop", snoop_done=210,
+            supplied=False),
+    )
+    auditor = TraceAuditor(
+        num_cmps=3,
+        table=build_algorithm("criticality").decision_table(),
+    )
+    assert auditor.audit(events) == []
+
+
+def test_policy_flags_wrong_write_snoop_form():
+    events = _clean_txn(kind="write", mode="combined")
+    events.insert(
+        2,
+        _ev(110, EventType.SNOOP, node=1, kind="write",
+            primitive="snoop_then_forward", snoop_done=170,
+            supplied=False),
+    )
+    # The policy declares decoupled writes (forward_then_snoop).
+    auditor = _policy_auditor("eager", decouple_writes=True)
+    assert "policy" in _rules(auditor.audit(events))
+    # The coupled declaration accepts the same trace.
+    assert _policy_auditor("lazy", decouple_writes=False).audit(events) == []
+
+
+def test_policy_checks_skipped_without_table():
+    # A dynamic policy (no table) gets no policy-guarantee auditing;
+    # the same off-alphabet snoop passes.
+    events = _clean_txn()
+    events.insert(
+        2,
+        _ev(110, EventType.SNOOP, node=1, kind="read",
+            primitive="forward_then_snoop", snoop_done=170,
+            supplied=False),
+    )
+    assert TraceAuditor(num_cmps=2).audit(events) == []
+
+
+# ----------------------------------------------------------------------
+# mshr: waiter fairness
+
+
+def _txn_with_waiters(wait_cores, reissue_cores):
+    events = _clean_txn()
+    retire = events[-1]
+    for position, core in enumerate(wait_cores):
+        events.insert(
+            1 + position,
+            _ev(120 + position, EventType.MSHR, node=0,
+                phase="wait", core=core, position=position),
+        )
+    for position, core in enumerate(reissue_cores):
+        events.append(
+            _ev(retire.time, EventType.MSHR, node=0,
+                phase="reissue", core=core, position=position),
+        )
+    return events
+
+
+def test_mshr_clean_wait_order_passes():
+    events = _txn_with_waiters([1, 2, 3], [1, 2, 3])
+    assert TraceAuditor(num_cmps=2).audit(events) == []
+
+
+def test_mshr_flags_out_of_order_release():
+    events = _txn_with_waiters([1, 2, 3], [3, 2, 1])
+    assert "mshr" in _rules(TraceAuditor(num_cmps=2).audit(events))
+
+
+def test_mshr_flags_dropped_waiter():
+    events = _txn_with_waiters([1, 2], [1])
+    assert "mshr" in _rules(TraceAuditor(num_cmps=2).audit(events))
+
+
+def test_mshr_flags_non_contiguous_positions():
+    events = _txn_with_waiters([1, 2], [1, 2])
+    # Corrupt one queue position (0,1 -> 0,5).
+    for index, event in enumerate(events):
+        if (
+            event.type is EventType.MSHR
+            and event.data.get("phase") == "wait"
+            and event.data.get("position") == 1
+        ):
+            data = dict(event.data)
+            data["position"] = 5
+            events[index] = event._replace(data=data)
+    assert "mshr" in _rules(TraceAuditor(num_cmps=2).audit(events))
+
+
+def test_mshr_flags_unknown_phase():
+    events = _clean_txn()
+    events.insert(
+        1,
+        _ev(120, EventType.MSHR, node=0,
+            phase="linger", core=1, position=0),
+    )
+    assert "mshr" in _rules(TraceAuditor(num_cmps=2).audit(events))
+
+
+def test_mshr_reissue_after_retirement_is_legal():
+    # Releases are emitted by retirement itself; the lifecycle rule
+    # must not treat them as zombie events.
+    events = _txn_with_waiters([2], [2])
+    assert events[-1].type is EventType.MSHR
+    assert TraceAuditor(num_cmps=2).audit(events) == []
+
+
+# ----------------------------------------------------------------------
+# serialization: same-address issue/squash ordering
+
+
+def test_serialization_flags_unjustified_squash():
+    events = _clean_txn(txn=1, node=0)
+    squashed = [
+        _ev(500, EventType.ISSUE, txn=2, node=1,
+            kind="read", core=2, squashed=True),
+        _ev(500, EventType.HOP, txn=2, node=1, to=0, arrival=539,
+            mode="combined", satisfied=False, squashed=True),
+        _ev(539, EventType.HOP, txn=2, node=0, to=1, arrival=578,
+            mode="combined", satisfied=False, squashed=True),
+        _ev(578, EventType.SQUASH, txn=2, node=1),
+        _ev(578, EventType.RETIRE, txn=2, node=1,
+            kind="read", squashed=True),
+        _ev(778, EventType.RETRY, txn=2, node=1),
+    ]
+    # txn 1 retired long before txn 2 issues: nothing justifies the
+    # squash.
+    violations = TraceAuditor(num_cmps=2).audit(events + squashed)
+    assert "serialization" in _rules(violations)
+
+
+def test_serialization_flags_concurrent_write_not_squashed():
+    write_a = _clean_txn(txn=1, node=0, t0=100, kind="write")
+    write_b = _clean_txn(txn=2, node=1, t0=120, kind="write")
+    # Interleave: b issues while a is still in flight, yet claims
+    # non-squashed.
+    events = write_a[:-1] + write_b + write_a[-1:]
+    violations = TraceAuditor(num_cmps=2).audit(events)
+    assert "serialization" in _rules(violations)
+    assert any(v.txn == 2 for v in violations)
+
+
+def test_serialization_allows_concurrent_reads():
+    read_a = _clean_txn(txn=1, node=0, t0=100)
+    read_b = _clean_txn(txn=2, node=1, t0=120)
+    events = read_a[:-1] + read_b + read_a[-1:]
+    assert TraceAuditor(num_cmps=2).audit(events) == []
+
+
+def test_serialization_is_per_line():
+    # Overlapping writes on different lines never conflict.
+    write_a = _clean_txn(txn=1, node=0, t0=100, kind="write")
+    write_b = _clean_txn(txn=2, node=1, t0=120, kind="write",
+                         address=ADDRESS + 0x40)
+    events = write_a[:-1] + write_b + write_a[-1:]
+    assert TraceAuditor(num_cmps=2).audit(events) == []

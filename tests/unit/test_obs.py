@@ -199,16 +199,30 @@ def test_audit_ignores_machine_events():
 
 
 def test_audit_clean_squashed_txn_passes():
-    events = [
-        _ev(0, EventType.ISSUE, kind="read", core=0, squashed=True),
-        _ev(0, EventType.HOP, node=0, to=1, arrival=39, mode="combined",
-            satisfied=False, squashed=True),
-        _ev(39, EventType.HOP, node=1, to=0, arrival=78, mode="combined",
-            satisfied=False, squashed=True),
-        _ev(78, EventType.SQUASH),
-        _ev(78, EventType.RETIRE, kind="read", squashed=True),
-        _ev(278, EventType.RETRY),
+    # The conflicting in-flight write that justifies the squash (the
+    # serialization sweep checks squashes are never gratuitous).
+    blocker = [
+        _ev(0, EventType.ISSUE, txn=2, node=1,
+            kind="write", core=2, squashed=False),
+        _ev(0, EventType.HOP, txn=2, node=1, to=0, arrival=39,
+            mode="split", satisfied=False, squashed=False),
+        _ev(39, EventType.HOP, txn=2, node=0, to=1, arrival=78,
+            mode="split", satisfied=False, squashed=False),
+        _ev(500, EventType.FILL, txn=2, node=1,
+            source="memory", version=1),
+        _ev(500, EventType.RETIRE, txn=2, node=1,
+            kind="write", squashed=False),
     ]
+    events = blocker[:3] + [
+        _ev(1, EventType.ISSUE, kind="read", core=0, squashed=True),
+        _ev(1, EventType.HOP, node=0, to=1, arrival=40, mode="combined",
+            satisfied=False, squashed=True),
+        _ev(40, EventType.HOP, node=1, to=0, arrival=79, mode="combined",
+            satisfied=False, squashed=True),
+        _ev(79, EventType.SQUASH),
+        _ev(79, EventType.RETIRE, kind="read", squashed=True),
+        _ev(279, EventType.RETRY),
+    ] + blocker[3:]
     assert _audit(events) == []
 
 
